@@ -1,0 +1,45 @@
+// Ablation (DESIGN.md §5): the assumed primary-input activation rate.
+//
+// The power-aware flow simulates switching activity "assuming a certain
+// activation rate for each primary input" (paper §IV-B). This sweep
+// quantifies how sensitive the cryogenic-aware savings are to that
+// assumption — both the rate used inside the cost functions and the rate
+// used at signoff.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace cryo;
+
+int main() {
+  std::printf("=== Ablation: primary-input activation rate ===\n\n");
+  const auto lib = bench::corner_library(10.0);
+  const map::CellMatcher matcher{lib};
+
+  std::vector<epfl::Benchmark> subset;
+  subset.push_back({"adder", true, epfl::make_adder()});
+  subset.push_back({"max", true, epfl::make_max()});
+  subset.push_back({"dec", false, epfl::make_dec()});
+  subset.push_back({"router", false, epfl::make_router()});
+
+  util::Table table{
+      {"activity", "circuit", "base P [uW]", "power saving", "delay overhead"}};
+  for (const double rate : {0.05, 0.1, 0.2, 0.35, 0.5}) {
+    for (const auto& benchmark : subset) {
+      core::ExperimentOptions options;
+      options.flow.input_activity = rate;
+      options.sta.input_activity = rate;
+      const auto row = core::compare_circuit(benchmark, matcher, options);
+      table.add_row({util::Table::num(rate, 2), benchmark.name,
+                     util::Table::num(row.baseline.total_power * 1e6, 2),
+                     util::Table::pct(row.power_saving_pad()),
+                     util::Table::pct(row.delay_overhead_pad())});
+    }
+  }
+  table.write_csv(bench::csv_path("ablation_activity.csv"));
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md §5): the cost-priority tie-break threshold epsilon.
+//
+// The paper notes ABC breaks ties "within a threshold"; epsilon controls
+// how often the secondary objectives get to decide. We sweep it for the
+// proposed p->a->d priority on a subset of circuits and report the power
+// saving against the epsilon-default baseline.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace cryo;
+
+int main() {
+  std::printf("=== Ablation: priority tie-break threshold epsilon ===\n\n");
+  const auto lib = bench::corner_library(10.0);
+  const map::CellMatcher matcher{lib};
+
+  std::vector<epfl::Benchmark> subset;
+  subset.push_back({"adder", true, epfl::make_adder()});
+  subset.push_back({"multiplier", true, epfl::make_multiplier()});
+  subset.push_back({"voter", false, epfl::make_voter()});
+  subset.push_back({"priority", false, epfl::make_priority()});
+
+  util::Table table{{"epsilon", "circuit", "power saving", "delay overhead"}};
+  for (const double epsilon : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    for (const auto& benchmark : subset) {
+      core::ExperimentOptions options;
+      options.flow.epsilon = epsilon;
+      const auto row = core::compare_circuit(benchmark, matcher, options);
+      table.add_row({util::Table::num(epsilon, 2), benchmark.name,
+                     util::Table::pct(row.power_saving_pad()),
+                     util::Table::pct(row.delay_overhead_pad())});
+    }
+  }
+  table.write_csv(bench::csv_path("ablation_epsilon.csv"));
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "cells/characterize.hpp"
+#include "liberty/library.hpp"
+
+namespace cryo::bench {
+
+/// Directory for characterization caches and CSV outputs, created next to
+/// the current working directory so repeated bench runs are fast.
+inline std::filesystem::path output_dir() {
+  const std::filesystem::path dir{"cryoeda_out"};
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Characterized full-catalog library at a corner, cached as a liberty
+/// file under `cryoeda_out/` (the first run costs ~30 s of SPICE per
+/// corner; subsequent runs parse the .lib).
+inline liberty::Library corner_library(double temperature_k) {
+  const auto path =
+      output_dir() /
+      ("cryoeda_lib_" + std::to_string(static_cast<int>(temperature_k)) +
+       "K.lib");
+  return cells::load_or_characterize(path.string(), cells::standard_catalog(),
+                                     temperature_k);
+}
+
+inline std::string csv_path(const std::string& name) {
+  return (output_dir() / name).string();
+}
+
+}  // namespace cryo::bench

@@ -1,0 +1,70 @@
+// Reproduction of paper Fig. 2(a): the distribution of propagation delay
+// of all library cells at 300 K vs 10 K. The paper's observation: the two
+// distributions largely overlap — cryogenic operation barely moves cell
+// delay, because I_ON is nearly temperature-independent (Fig. 1).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace cryo;
+
+int main() {
+  std::printf("=== Fig. 2(a): cell delay distribution, 300 K vs 10 K ===\n\n");
+  const auto warm = bench::corner_library(300.0);
+  const auto cold = bench::corner_library(10.0);
+
+  constexpr double kSlew = 10e-12;
+  constexpr double kLoad = 1e-15;
+
+  util::Table rows{{"cell", "delay_300K [ps]", "delay_10K [ps]", "ratio"}};
+  std::vector<double> d_warm;
+  std::vector<double> d_cold;
+  for (const auto& cell : warm.cells) {
+    const auto* cold_cell = cold.find(cell.name);
+    if (cold_cell == nullptr || cell.arcs.empty() || cell.is_sequential) {
+      continue;
+    }
+    const double dw = cell.typical_delay(kSlew, kLoad);
+    const double dc = cold_cell->typical_delay(kSlew, kLoad);
+    d_warm.push_back(dw * 1e12);
+    d_cold.push_back(dc * 1e12);
+    rows.add_row({cell.name, util::Table::num(dw * 1e12, 2),
+                  util::Table::num(dc * 1e12, 2),
+                  util::Table::num(dc / dw, 3)});
+  }
+  rows.write_csv(bench::csv_path("fig2a_delays.csv"));
+
+  const auto s_warm = util::summarize(d_warm);
+  const auto s_cold = util::summarize(d_cold);
+  util::Table summary{{"corner", "cells", "mean [ps]", "median [ps]",
+                       "p5 [ps]", "p95 [ps]"}};
+  summary.add_row({"300 K", std::to_string(s_warm.count),
+                   util::Table::num(s_warm.mean, 2),
+                   util::Table::num(s_warm.median, 2),
+                   util::Table::num(s_warm.p5, 2),
+                   util::Table::num(s_warm.p95, 2)});
+  summary.add_row({"10 K", std::to_string(s_cold.count),
+                   util::Table::num(s_cold.mean, 2),
+                   util::Table::num(s_cold.median, 2),
+                   util::Table::num(s_cold.p5, 2),
+                   util::Table::num(s_cold.p95, 2)});
+  std::printf("%s\n", summary.render().c_str());
+
+  const double hi = std::max(s_warm.p95, s_cold.p95) * 1.2;
+  util::Histogram h_warm{0.0, hi, 16};
+  util::Histogram h_cold{0.0, hi, 16};
+  h_warm.add_all(d_warm);
+  h_cold.add_all(d_cold);
+  std::printf("300 K delay distribution:\n%s\n",
+              h_warm.render().c_str());
+  std::printf("10 K delay distribution:\n%s\n", h_cold.render().c_str());
+  std::printf(
+      "paper check: distributions largely overlap (mean shift %+.1f %%)\n",
+      (s_cold.mean / s_warm.mean - 1.0) * 100.0);
+  std::printf("per-cell data: %s\n",
+              bench::csv_path("fig2a_delays.csv").c_str());
+  return 0;
+}

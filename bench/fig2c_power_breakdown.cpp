@@ -1,0 +1,71 @@
+// Reproduction of paper Fig. 2(c): average contribution of leakage,
+// internal, and switching power to the total power of the EPFL benchmark
+// circuits, at 300 K and 10 K. The paper's headline: leakage contributes
+// ~15 % at room temperature but becomes negligible (~0.003 %) at 10 K —
+// the observation that motivates the cryogenic-aware cost functions.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/flow.hpp"
+#include "epfl/benchmarks.hpp"
+#include "map/mapper.hpp"
+#include "sta/sta.hpp"
+#include "util/table.hpp"
+
+using namespace cryo;
+
+int main() {
+  std::printf("=== Fig. 2(c): power breakdown, 300 K vs 10 K ===\n\n");
+  const auto warm_lib = bench::corner_library(300.0);
+  const auto cold_lib = bench::corner_library(10.0);
+  const map::CellMatcher warm_matcher{warm_lib};
+  const map::CellMatcher cold_matcher{cold_lib};
+
+  util::Table rows{{"circuit", "corner", "leakage", "internal", "switching",
+                    "total [uW]"}};
+  double warm_shares[3] = {0, 0, 0};
+  double cold_shares[3] = {0, 0, 0};
+  int count = 0;
+
+  const auto suite = epfl::epfl_suite();
+  for (const auto& benchmark : suite) {
+    std::fprintf(stderr, "  synthesizing %s...\n", benchmark.name.c_str());
+    for (const bool cold : {false, true}) {
+      const auto& matcher = cold ? cold_matcher : warm_matcher;
+      core::FlowOptions flow;  // conventional baseline synthesis
+      const auto result = core::synthesize(benchmark.aig, matcher, flow);
+      const auto signoff = sta::analyze(result.netlist, {});
+      const double total = signoff.power.total();
+      const double shares[3] = {signoff.power.leakage / total,
+                                signoff.power.internal / total,
+                                signoff.power.switching / total};
+      auto* acc = cold ? cold_shares : warm_shares;
+      for (int i = 0; i < 3; ++i) {
+        acc[i] += shares[i];
+      }
+      rows.add_row({benchmark.name, cold ? "10 K" : "300 K",
+                    util::Table::pct(shares[0], 4),
+                    util::Table::pct(shares[1], 2),
+                    util::Table::pct(shares[2], 2),
+                    util::Table::num(total * 1e6, 2)});
+    }
+    ++count;
+  }
+  rows.write_csv(bench::csv_path("fig2c_breakdown.csv"));
+  std::printf("%s\n", rows.render().c_str());
+
+  util::Table avg{{"corner", "avg leakage", "avg internal", "avg switching"}};
+  avg.add_row({"300 K", util::Table::pct(warm_shares[0] / count, 3),
+               util::Table::pct(warm_shares[1] / count, 2),
+               util::Table::pct(warm_shares[2] / count, 2)});
+  avg.add_row({"10 K", util::Table::pct(cold_shares[0] / count, 5),
+               util::Table::pct(cold_shares[1] / count, 2),
+               util::Table::pct(cold_shares[2] / count, 2)});
+  std::printf("%s\n", avg.render().c_str());
+  std::printf(
+      "paper check: leakage share 300 K ~15 %%  ->  10 K negligible "
+      "(~0.003 %%). Measured: %.3f %% -> %.5f %%\n",
+      warm_shares[0] / count * 100.0, cold_shares[0] / count * 100.0);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) of the synthesis kernels: AIG
+// construction/strashing, bit-parallel simulation, cut enumeration, SAT
+// solving, the optimization passes, and the compact-model evaluation that
+// dominates characterization.
+
+#include <benchmark/benchmark.h>
+
+#include "device/finfet.hpp"
+#include "epfl/benchmarks.hpp"
+#include "logic/cuts.hpp"
+#include "logic/simulate.hpp"
+#include "opt/passes.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_FinFetEvaluate(benchmark::State& state) {
+  const cryo::device::FinFetModel model{cryo::device::nominal_nfet_5nm(),
+                                        10.0};
+  double vgs = 0.31;
+  for (auto _ : state) {
+    vgs = vgs > 0.7 ? 0.1 : vgs + 1e-4;
+    benchmark::DoNotOptimize(model.evaluate(vgs, 0.7, 2));
+  }
+}
+BENCHMARK(BM_FinFetEvaluate);
+
+void BM_AigStrash(benchmark::State& state) {
+  for (auto _ : state) {
+    auto aig = cryo::epfl::make_multiplier(12);
+    benchmark::DoNotOptimize(aig.num_ands());
+  }
+}
+BENCHMARK(BM_AigStrash);
+
+void BM_Simulation64Words(benchmark::State& state) {
+  const auto aig = cryo::epfl::make_multiplier(12);
+  cryo::logic::Simulation sim{aig, 64};
+  cryo::util::Rng rng{1};
+  sim.randomize_pis(rng);
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.node_bits(aig.num_nodes() - 1));
+  }
+}
+BENCHMARK(BM_Simulation64Words);
+
+void BM_CutEnumerationK6(benchmark::State& state) {
+  const auto aig = cryo::epfl::make_multiplier(12);
+  for (auto _ : state) {
+    cryo::logic::CutEnumerator cuts{aig, 6, 8};
+    cuts.run();
+    benchmark::DoNotOptimize(cuts.cuts(aig.num_nodes() - 1).size());
+  }
+}
+BENCHMARK(BM_CutEnumerationK6);
+
+void BM_RewritePass(benchmark::State& state) {
+  const auto aig = cryo::epfl::make_adder(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cryo::opt::rewrite(aig).num_ands());
+  }
+}
+BENCHMARK(BM_RewritePass);
+
+void BM_SatCecAdder(benchmark::State& state) {
+  const auto a = cryo::epfl::make_adder(12);
+  const auto b = cryo::opt::compress2rs(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cryo::sat::check_equivalence(a, b).equivalent());
+  }
+}
+BENCHMARK(BM_SatCecAdder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Library characterization walkthrough: build transistor-level netlists
+// for a handful of standard cells, characterize them at several
+// temperatures over the 7x7 slew/load grid, and write industry-standard
+// liberty files — the paper's §III pipeline, end to end.
+//
+// Writes quickstart_<T>K.lib files into the working directory.
+
+#include <cstdio>
+
+#include "cells/characterize.hpp"
+#include "liberty/library.hpp"
+
+using namespace cryo;
+
+int main() {
+  // A representative slice of the catalog.
+  std::vector<cells::CellSpec> specs;
+  for (const auto& spec : cells::standard_catalog()) {
+    if (spec.name == "INV_X1" || spec.name == "NAND2_X1" ||
+        spec.name == "NOR2_X2" || spec.name == "AOI21_X1" ||
+        spec.name == "XOR2_X1" || spec.name == "MUX2_X1" ||
+        spec.name == "DFF_X1") {
+      specs.push_back(spec);
+    }
+  }
+  std::printf("characterizing %zu cells at four temperatures...\n\n",
+              specs.size());
+
+  for (const double temp : {300.0, 200.0, 77.0, 10.0}) {
+    const auto lib = cells::characterize(specs, temp, {});
+    const std::string path =
+        "quickstart_" + std::to_string(static_cast<int>(temp)) + "K.lib";
+    liberty::write_liberty(lib, path);
+
+    std::printf("--- %3.0f K (written to %s) ---\n", temp, path.c_str());
+    std::printf("%-10s %-12s %-12s %-12s %-10s\n", "cell", "delay[ps]",
+                "slew[ps]", "energy[fJ]", "leak[pW]");
+    for (const auto& cell : lib.cells) {
+      std::printf("%-10s %-12.2f %-12.2f %-12.3f %-10.4g\n",
+                  cell.name.c_str(),
+                  cell.typical_delay(10e-12, 1e-15) * 1e12,
+                  cell.arcs.empty()
+                      ? 0.0
+                      : cell.arcs[0].rise_transition.lookup(10e-12, 1e-15) *
+                            1e12,
+                  cell.typical_energy(10e-12, 1e-15) * 1e15,
+                  cell.leakage_power * 1e12);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Note how delay and energy barely move while leakage collapses by\n"
+      "orders of magnitude — the physics behind the cryogenic-aware cost\n"
+      "functions.\n");
+  return 0;
+}

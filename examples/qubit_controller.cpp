@@ -1,0 +1,99 @@
+// Scenario from the paper's introduction: a cryogenic qubit controller
+// living at the 10 K stage of a dilution refrigerator must stay inside a
+// ~100 mW power envelope or its heat disturbs the qubits.
+//
+// This example synthesizes the combinational datapath of a toy pulse
+// sequencer — phase accumulator increment, amplitude scaling, channel
+// decode, and a guard comparator — with the conventional baseline and
+// with both proposed cryogenic-aware priority lists, and reports how much
+// of the power budget each variant consumes at the target clock.
+
+#include <cstdio>
+
+#include "cells/characterize.hpp"
+#include "core/flow.hpp"
+#include "epfl/wordlib.hpp"
+#include "sta/sta.hpp"
+
+using namespace cryo;
+
+namespace {
+
+logic::Aig build_pulse_sequencer() {
+  logic::Aig aig;
+  aig.set_name("pulse_sequencer");
+  // Phase accumulator: phase' = phase + tuning word.
+  const auto phase = epfl::input_word(aig, "phase", 16);
+  const auto tune = epfl::input_word(aig, "tune", 16);
+  // Amplitude scaling: amp * gain (8x8 multiplier).
+  const auto amp = epfl::input_word(aig, "amp", 8);
+  const auto gain = epfl::input_word(aig, "gain", 8);
+  // Channel select for 16 qubit lines + guard threshold.
+  const auto channel = epfl::input_word(aig, "ch", 4);
+  const auto guard = epfl::input_word(aig, "guard", 16);
+
+  const auto next_phase = epfl::add(aig, phase, tune);
+  const auto scaled = epfl::multiply(aig, amp, gain);
+  const auto over =
+      logic::lit_not(epfl::less_than(aig, next_phase, guard));
+
+  epfl::output_word(aig, "phase_next", next_phase);
+  epfl::output_word(aig, "pulse", scaled);
+  // One-hot channel enables, gated by the guard comparator.
+  for (unsigned i = 0; i < 16; ++i) {
+    epfl::Word match(4);
+    for (unsigned b = 0; b < 4; ++b) {
+      match[b] = ((i >> b) & 1u) != 0 ? channel[b]
+                                      : logic::lit_not(channel[b]);
+    }
+    const auto sel = epfl::and_reduce(aig, match);
+    aig.add_po(aig.land(sel, logic::lit_not(over)),
+               "en[" + std::to_string(i) + "]");
+  }
+  aig.add_po(over, "guard_trip");
+  return aig;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Cryogenic qubit-controller datapath @ 10 K ===\n\n");
+  const auto design = build_pulse_sequencer();
+  std::printf("datapath: %u AND nodes, %u inputs, %u outputs\n\n",
+              design.num_ands(), design.num_pis(), design.num_pos());
+
+  std::printf("characterizing cell library at 10 K (takes a moment)...\n");
+  const auto library = cells::characterize(cells::mini_catalog(), 10.0, {});
+  const map::CellMatcher matcher{library};
+
+  constexpr double kClock = 1e-9;    // 1 GHz pulse clock
+  constexpr double kBudget = 100e-3; // the paper's 100 mW headroom
+  // A single sequencer is a tiny slice of a controller; scale to a
+  // hypothetical 256-channel controller to compare against the budget.
+  constexpr double kInstances = 256.0;
+
+  for (const auto priority :
+       {opt::CostPriority::kBaselinePowerAware,
+        opt::CostPriority::kPowerAreaDelay,
+        opt::CostPriority::kPowerDelayArea}) {
+    core::FlowOptions flow;
+    flow.priority = priority;
+    const auto result = core::synthesize(design, matcher, flow);
+    sta::StaOptions sta_options;
+    sta_options.clock_period = kClock;
+    const auto signoff = sta::analyze(result.netlist, sta_options);
+    const double controller_power = signoff.power.total() * kInstances;
+    std::printf(
+        "%-22s: %4zu gates, %7.2f um^2, crit %6.1f ps, "
+        "P=%8.2f uW  -> controller %6.2f mW (%5.1f %% of budget)%s\n",
+        opt::to_string(priority).c_str(), result.netlist.gate_count(),
+        result.netlist.total_area(), signoff.critical_delay * 1e12,
+        signoff.power.total() * 1e6, controller_power * 1e3,
+        100.0 * controller_power / kBudget,
+        signoff.critical_delay < kClock ? "" : "  [TIMING VIOLATION]");
+  }
+  std::printf(
+      "\nEvery microwatt of dissipation at the 10 K stage is heat the "
+      "refrigerator must pump; power-first synthesis buys headroom.\n");
+  return 0;
+}

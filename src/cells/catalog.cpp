@@ -1,0 +1,686 @@
+#include "cells/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "liberty/function.hpp"
+#include "logic/tt.hpp"
+
+namespace cryo::cells {
+
+PdnExpr PdnExpr::in(int index) {
+  PdnExpr e;
+  e.kind = Kind::kInput;
+  e.input = index;
+  return e;
+}
+
+PdnExpr PdnExpr::series(std::vector<PdnExpr> parts) {
+  PdnExpr e;
+  e.kind = Kind::kSeries;
+  e.children = std::move(parts);
+  return e;
+}
+
+PdnExpr PdnExpr::parallel(std::vector<PdnExpr> parts) {
+  PdnExpr e;
+  e.kind = Kind::kParallel;
+  e.children = std::move(parts);
+  return e;
+}
+
+unsigned PdnExpr::depth() const {
+  switch (kind) {
+    case Kind::kInput:
+      return 1;
+    case Kind::kSeries: {
+      unsigned d = 0;
+      for (const auto& c : children) {
+        d += c.depth();
+      }
+      return d;
+    }
+    case Kind::kParallel: {
+      unsigned d = 0;
+      for (const auto& c : children) {
+        d = std::max(d, c.depth());
+      }
+      return d;
+    }
+  }
+  return 1;
+}
+
+unsigned PdnExpr::num_devices() const {
+  if (kind == Kind::kInput) {
+    return 1;
+  }
+  unsigned n = 0;
+  for (const auto& c : children) {
+    n += c.num_devices();
+  }
+  return n;
+}
+
+bool PdnExpr::conducts(unsigned minterm) const {
+  switch (kind) {
+    case Kind::kInput:
+      return ((minterm >> input) & 1u) != 0;
+    case Kind::kSeries:
+      for (const auto& c : children) {
+        if (!c.conducts(minterm)) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::kParallel:
+      for (const auto& c : children) {
+        if (c.conducts(minterm)) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+std::uint64_t CellSpec::truth_table() const {
+  if (inputs.size() > 6) {
+    throw std::logic_error{"CellSpec::truth_table: too many inputs"};
+  }
+  // Evaluate stages in order over every input minterm.
+  std::uint64_t out_tt = 0;
+  for (unsigned m = 0; m < (1u << inputs.size()); ++m) {
+    // Node values: cell inputs then internal stage outputs.
+    std::vector<std::pair<std::string, bool>> values;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      values.emplace_back(inputs[i], ((m >> i) & 1u) != 0);
+    }
+    auto value_of = [&](const std::string& name) {
+      for (const auto& [n, v] : values) {
+        if (n == name) {
+          return v;
+        }
+      }
+      throw std::logic_error{"CellSpec: undefined stage input " + name};
+    };
+    bool out_value = false;
+    for (const auto& stage : stages) {
+      unsigned stage_minterm = 0;
+      for (std::size_t i = 0; i < stage.inputs.size(); ++i) {
+        if (value_of(stage.inputs[i])) {
+          stage_minterm |= 1u << i;
+        }
+      }
+      // Static CMOS stage: PDN conducting pulls the output low.
+      out_value = !stage.pdn.conducts(stage_minterm);
+      values.emplace_back(stage.out, out_value);
+    }
+    if (out_value) {
+      out_tt |= 1ull << m;
+    }
+  }
+  return out_tt;
+}
+
+std::string CellSpec::function_string() const {
+  const std::uint64_t tt = truth_table();
+  const auto n = static_cast<unsigned>(inputs.size());
+  if (tt == 0) {
+    return "0";
+  }
+  if (tt == logic::tt6_mask(n)) {
+    return "1";
+  }
+  const auto cubes =
+      logic::isop(logic::TtVec::from_tt6(tt, n), logic::TtVec::zeros(n));
+  std::string expr;
+  for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
+    if (ci != 0) {
+      expr += " | ";
+    }
+    std::string term;
+    for (unsigned v = 0; v < n; ++v) {
+      if ((cubes[ci].pos >> v) & 1u) {
+        term += (term.empty() ? "" : "&") + inputs[v];
+      } else if ((cubes[ci].neg >> v) & 1u) {
+        term += (term.empty() ? "" : "&") + ("!" + inputs[v]);
+      }
+    }
+    expr += "(" + term + ")";
+  }
+  return expr;
+}
+
+unsigned CellSpec::total_fins() const {
+  unsigned fins = 0;
+  for (const auto& stage : stages) {
+    fins += stage.pdn.num_devices() *
+            static_cast<unsigned>(stage.nfins_n + stage.nfins_p);
+  }
+  return fins;
+}
+
+namespace {
+
+using K = PdnExpr;
+
+/// Finish a cell: compute area from fin count.
+CellSpec finalize(CellSpec spec) {
+  spec.area = 0.012 * static_cast<double>(spec.total_fins());
+  return spec;
+}
+
+/// Single-stage cell (inverting function).
+CellSpec single_stage(std::string name, std::vector<std::string> inputs,
+                      PdnExpr pdn, int drive) {
+  CellSpec spec;
+  spec.name = std::move(name);
+  spec.inputs = inputs;
+  StageSpec stage;
+  stage.out = "Y";
+  stage.inputs = std::move(inputs);
+  const unsigned stack = pdn.depth();
+  stage.pdn = std::move(pdn);
+  stage.nfins_n = static_cast<int>((stack >= 3 ? 3 : 2) * drive);
+  stage.nfins_p = 3 * drive;
+  spec.stages.push_back(std::move(stage));
+  return finalize(std::move(spec));
+}
+
+/// Two-stage cell: an inverting first stage followed by an output
+/// inverter (how AND/OR/AO/OA/BUF cells are built).
+CellSpec two_stage(std::string name, std::vector<std::string> inputs,
+                   PdnExpr pdn, int drive) {
+  CellSpec spec;
+  spec.name = std::move(name);
+  spec.inputs = inputs;
+  StageSpec first;
+  first.out = "n1";
+  first.inputs = std::move(inputs);
+  const unsigned stack = pdn.depth();
+  first.pdn = std::move(pdn);
+  first.nfins_n = stack >= 3 ? 3 : 2;
+  first.nfins_p = 3;
+  StageSpec out;
+  out.out = "Y";
+  out.inputs = {"n1"};
+  out.pdn = K::in(0);
+  out.nfins_n = 2 * drive;
+  out.nfins_p = 3 * drive;
+  spec.stages.push_back(std::move(first));
+  spec.stages.push_back(std::move(out));
+  return finalize(std::move(spec));
+}
+
+/// Input-inverter helper: adds INV stages for selected inputs feeding a
+/// core stage (XOR/XNOR/MUX/MAJ compound structures).
+struct CompoundBuilder {
+  CellSpec spec;
+  int next_internal = 0;
+
+  explicit CompoundBuilder(std::string name, std::vector<std::string> inputs) {
+    spec.name = std::move(name);
+    spec.inputs = std::move(inputs);
+  }
+
+  std::string invert(const std::string& node) {
+    const std::string out = "n" + std::to_string(next_internal++);
+    StageSpec stage;
+    stage.out = out;
+    stage.inputs = {node};
+    stage.pdn = K::in(0);
+    stage.nfins_n = 2;
+    stage.nfins_p = 3;
+    spec.stages.push_back(std::move(stage));
+    return out;
+  }
+
+  void stage(const std::string& out, std::vector<std::string> inputs,
+             PdnExpr pdn, int drive) {
+    StageSpec stage;
+    stage.out = out;
+    stage.inputs = std::move(inputs);
+    const unsigned stack = pdn.depth();
+    stage.pdn = std::move(pdn);
+    stage.nfins_n = static_cast<int>((stack >= 3 ? 3 : 2) * drive);
+    stage.nfins_p = 3 * drive;
+    spec.stages.push_back(std::move(stage));
+  }
+
+  CellSpec build() { return finalize(std::move(spec)); }
+};
+
+std::string drive_suffix(int drive) { return "_X" + std::to_string(drive); }
+
+CellSpec make_inv(int drive) {
+  return single_stage("INV" + drive_suffix(drive), {"A"}, K::in(0), drive);
+}
+
+CellSpec make_buf(int drive) {
+  return two_stage("BUF" + drive_suffix(drive), {"A"}, K::in(0), drive);
+}
+
+CellSpec make_nand(unsigned n, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> parts;
+  for (unsigned i = 0; i < n; ++i) {
+    inputs.push_back(std::string(1, static_cast<char>('A' + i)));
+    parts.push_back(K::in(static_cast<int>(i)));
+  }
+  return single_stage("NAND" + std::to_string(n) + drive_suffix(drive),
+                      std::move(inputs), K::series(std::move(parts)), drive);
+}
+
+CellSpec make_nor(unsigned n, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> parts;
+  for (unsigned i = 0; i < n; ++i) {
+    inputs.push_back(std::string(1, static_cast<char>('A' + i)));
+    parts.push_back(K::in(static_cast<int>(i)));
+  }
+  return single_stage("NOR" + std::to_string(n) + drive_suffix(drive),
+                      std::move(inputs), K::parallel(std::move(parts)), drive);
+}
+
+CellSpec make_and(unsigned n, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> parts;
+  for (unsigned i = 0; i < n; ++i) {
+    inputs.push_back(std::string(1, static_cast<char>('A' + i)));
+    parts.push_back(K::in(static_cast<int>(i)));
+  }
+  return two_stage("AND" + std::to_string(n) + drive_suffix(drive),
+                   std::move(inputs), K::series(std::move(parts)), drive);
+}
+
+CellSpec make_or(unsigned n, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> parts;
+  for (unsigned i = 0; i < n; ++i) {
+    inputs.push_back(std::string(1, static_cast<char>('A' + i)));
+    parts.push_back(K::in(static_cast<int>(i)));
+  }
+  return two_stage("OR" + std::to_string(n) + drive_suffix(drive),
+                   std::move(inputs), K::parallel(std::move(parts)), drive);
+}
+
+/// AOI/OAI family. groups = sizes of the AND (or OR) groups,
+/// e.g. AOI221 -> {2, 2, 1}.
+CellSpec make_aoi(const std::vector<unsigned>& groups, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> branches;
+  std::string digits;
+  int idx = 0;
+  int group_idx = 0;
+  for (unsigned g : groups) {
+    digits += std::to_string(g);
+    std::vector<PdnExpr> serial;
+    for (unsigned i = 0; i < g; ++i) {
+      inputs.push_back(std::string(1, static_cast<char>('A' + group_idx)) +
+                       std::to_string(i + 1));
+      serial.push_back(K::in(idx));
+      ++idx;
+    }
+    ++group_idx;
+    branches.push_back(g == 1 ? serial.front() : K::series(std::move(serial)));
+  }
+  return single_stage("AOI" + digits + drive_suffix(drive), std::move(inputs),
+                      K::parallel(std::move(branches)), drive);
+}
+
+CellSpec make_oai(const std::vector<unsigned>& groups, int drive) {
+  std::vector<std::string> inputs;
+  std::vector<PdnExpr> stacks;
+  std::string digits;
+  int idx = 0;
+  int group_idx = 0;
+  for (unsigned g : groups) {
+    digits += std::to_string(g);
+    std::vector<PdnExpr> par;
+    for (unsigned i = 0; i < g; ++i) {
+      inputs.push_back(std::string(1, static_cast<char>('A' + group_idx)) +
+                       std::to_string(i + 1));
+      par.push_back(K::in(idx));
+      ++idx;
+    }
+    ++group_idx;
+    stacks.push_back(g == 1 ? par.front() : K::parallel(std::move(par)));
+  }
+  return single_stage("OAI" + digits + drive_suffix(drive), std::move(inputs),
+                      K::series(std::move(stacks)), drive);
+}
+
+/// Non-inverting AO/OA variants (AOI/OAI + output inverter).
+CellSpec make_ao(const std::vector<unsigned>& groups, int drive) {
+  CellSpec base = make_aoi(groups, 1);
+  CompoundBuilder b{"AO", base.inputs};
+  std::string digits;
+  for (unsigned g : groups) {
+    digits += std::to_string(g);
+  }
+  b.spec.name = "AO" + digits + drive_suffix(drive);
+  b.stage("n9", base.inputs, base.stages[0].pdn, 1);
+  b.stage("Y", {"n9"}, K::in(0), drive);
+  return b.build();
+}
+
+CellSpec make_oa(const std::vector<unsigned>& groups, int drive) {
+  CellSpec base = make_oai(groups, 1);
+  CompoundBuilder b{"OA", base.inputs};
+  std::string digits;
+  for (unsigned g : groups) {
+    digits += std::to_string(g);
+  }
+  b.spec.name = "OA" + digits + drive_suffix(drive);
+  b.stage("n9", base.inputs, base.stages[0].pdn, 1);
+  b.stage("Y", {"n9"}, K::in(0), drive);
+  return b.build();
+}
+
+/// XOR2 as AOI structure with input inverters:
+/// Y = A^B = !(A&B | !A&!B).
+CellSpec make_xor2(int drive) {
+  CompoundBuilder b{"XOR2" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  const std::string nb = b.invert("B");
+  b.stage("Y", {"A", "B", na, nb},
+          K::parallel({K::series({K::in(0), K::in(1)}),
+                       K::series({K::in(2), K::in(3)})}),
+          drive);
+  return b.build();
+}
+
+CellSpec make_xnor2(int drive) {
+  CompoundBuilder b{"XNOR2" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  const std::string nb = b.invert("B");
+  b.stage("Y", {"A", "B", na, nb},
+          K::parallel({K::series({K::in(0), K::in(3)}),
+                       K::series({K::in(2), K::in(1)})}),
+          drive);
+  return b.build();
+}
+
+/// XOR3 / XNOR3 as two cascaded XOR structures.
+CellSpec make_xor3(int drive, bool negate) {
+  CompoundBuilder b{(negate ? std::string{"XNOR3"} : std::string{"XOR3"}) +
+                        drive_suffix(drive),
+                    {"A", "B", "C"}};
+  const std::string na = b.invert("A");
+  const std::string nb = b.invert("B");
+  // x = !(A^B)
+  b.stage("x", {"A", "B", na, nb},
+          K::parallel({K::series({K::in(0), K::in(1)}),
+                       K::series({K::in(2), K::in(3)})}),
+          1);
+  // Here x = A^B (the stage above inverts its own PDN), nx = !(A^B).
+  const std::string nx = b.invert("x");
+  const std::string nc = b.invert("C");
+  if (negate) {
+    // XNOR3 = !(x ^ C): PDN must conduct exactly on x ^ C.
+    b.stage("Y", {"x", nc, nx, "C"},
+            K::parallel({K::series({K::in(0), K::in(1)}),
+                         K::series({K::in(2), K::in(3)})}),
+            drive);
+  } else {
+    // XOR3 = x ^ C = !(PDN) with PDN conducting on !(x ^ C).
+    b.stage("Y", {"x", "C", nx, nc},
+            K::parallel({K::series({K::in(0), K::in(1)}),
+                         K::series({K::in(2), K::in(3)})}),
+            drive);
+  }
+  return b.build();
+}
+
+/// MUX2: Y = S ? B : A, built as !(S&!B | !S&!A) ... via AOI over
+/// inverted data inputs.
+CellSpec make_mux2(int drive) {
+  CompoundBuilder b{"MUX2" + drive_suffix(drive), {"A", "B", "S"}};
+  const std::string na = b.invert("A");
+  const std::string nb = b.invert("B");
+  const std::string ns = b.invert("S");
+  b.stage("Y", {"S", nb, ns, na},
+          K::parallel({K::series({K::in(0), K::in(1)}),
+                       K::series({K::in(2), K::in(3)})}),
+          drive);
+  return b.build();
+}
+
+/// MAJ3 (carry): Y = AB | AC | BC, as inverted-majority AOI + INV.
+CellSpec make_maj3(int drive) {
+  CompoundBuilder b{"MAJ3" + drive_suffix(drive), {"A", "B", "C"}};
+  b.stage("nmaj", {"A", "B", "C"},
+          K::parallel({K::series({K::in(0), K::in(1)}),
+                       K::series({K::in(0), K::in(2)}),
+                       K::series({K::in(1), K::in(2)})}),
+          1);
+  b.stage("Y", {"nmaj"}, K::in(0), drive);
+  return b.build();
+}
+
+/// B-variants: one inverted input.
+CellSpec make_nand2b(int drive) {  // Y = !(!A & B)
+  CompoundBuilder b{"NAND2B" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  b.stage("Y", {na, "B"}, K::series({K::in(0), K::in(1)}), drive);
+  return b.build();
+}
+
+CellSpec make_nor2b(int drive) {  // Y = !(!A | B)
+  CompoundBuilder b{"NOR2B" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  b.stage("Y", {na, "B"}, K::parallel({K::in(0), K::in(1)}), drive);
+  return b.build();
+}
+
+CellSpec make_tie(bool high) {
+  // TIE cells are modelled with an internally tied input pin A (held at
+  // ground): TIEHI is an inverter of it (Y = !A -> 1), TIELO a buffer
+  // (Y = A -> 0). The netlister instantiates them with no fanins and the
+  // evaluators read the function's minterm 0, which yields the right
+  // constant for both.
+  CellSpec spec;
+  spec.name = high ? "TIEHI" : "TIELO";
+  spec.inputs = {"A"};
+  StageSpec s;
+  s.out = high ? "Y" : "n1";
+  s.inputs = {"A"};
+  s.pdn = K::in(0);
+  spec.stages.push_back(std::move(s));
+  if (!high) {
+    StageSpec s2;
+    s2.out = "Y";
+    s2.inputs = {"n1"};
+    s2.pdn = K::in(0);
+    spec.stages.push_back(std::move(s2));
+  }
+  return finalize(std::move(spec));
+}
+
+/// D flip-flop family (master-slave, transmission-gate based). The
+/// schematic is assembled directly by the characterizer; the spec here
+/// carries the interface and sizing only.
+CellSpec make_dff(const std::string& name, int drive, bool latch) {
+  CellSpec spec;
+  spec.name = name + drive_suffix(drive);
+  spec.inputs = {"D", "CK"};
+  spec.output = "Q";
+  spec.sequential = true;
+  spec.level_sensitive = latch;
+  // Output driver sizing recorded via a nominal stage (used for area and
+  // input-cap bookkeeping; the schematic is built by the characterizer).
+  StageSpec out;
+  out.out = "Q";
+  out.inputs = {"D"};
+  out.pdn = K::in(0);
+  out.nfins_n = 2 * drive;
+  out.nfins_p = 3 * drive;
+  spec.stages.push_back(std::move(out));
+  spec.area = 0.012 * (20.0 + 5.0 * drive);
+  return spec;
+}
+
+}  // namespace
+
+namespace {
+
+/// Clock buffer: same topology as BUF, balanced sizing, own name.
+CellSpec make_clkbuf(int drive) {
+  CellSpec spec = make_buf(drive);
+  spec.name = "CLKBUF" + drive_suffix(drive);
+  return spec;
+}
+
+/// Delay cell: four weak inverter stages.
+CellSpec make_delay(int taps) {
+  CompoundBuilder b{"DLY" + std::to_string(taps), {"A"}};
+  std::string node = "A";
+  for (int i = 0; i < 2 * taps - 1; ++i) {
+    node = b.invert(node);
+  }
+  b.stage("Y", {node}, K::in(0), 1);
+  return b.build();
+}
+
+/// Non-inverting B-variants: AND2B = !A & B, OR2B = !A | B.
+CellSpec make_and2b(int drive) {
+  CompoundBuilder b{"AND2B" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  b.stage("n5", {na, "B"}, K::series({K::in(0), K::in(1)}), 1);
+  b.stage("Y", {"n5"}, K::in(0), drive);
+  return b.build();
+}
+
+CellSpec make_or2b(int drive) {
+  CompoundBuilder b{"OR2B" + drive_suffix(drive), {"A", "B"}};
+  const std::string na = b.invert("A");
+  b.stage("n5", {na, "B"}, K::parallel({K::in(0), K::in(1)}), 1);
+  b.stage("Y", {"n5"}, K::in(0), drive);
+  return b.build();
+}
+
+/// Three-input B-variants: NAND3B = !(!A & B & C), NOR3B = !(!A | B | C).
+CellSpec make_nand3b(int drive) {
+  CompoundBuilder b{"NAND3B" + drive_suffix(drive), {"A", "B", "C"}};
+  const std::string na = b.invert("A");
+  b.stage("Y", {na, "B", "C"},
+          K::series({K::in(0), K::in(1), K::in(2)}), drive);
+  return b.build();
+}
+
+CellSpec make_nor3b(int drive) {
+  CompoundBuilder b{"NOR3B" + drive_suffix(drive), {"A", "B", "C"}};
+  const std::string na = b.invert("A");
+  b.stage("Y", {na, "B", "C"},
+          K::parallel({K::in(0), K::in(1), K::in(2)}), drive);
+  return b.build();
+}
+
+/// Inverted-output 2:1 mux.
+CellSpec make_mux2n(int drive) {
+  CellSpec base = make_mux2(1);
+  base.name = "MUX2N" + drive_suffix(drive);
+  StageSpec out;
+  out.out = "YN";
+  out.inputs = {"Y"};
+  out.pdn = K::in(0);
+  out.nfins_n = 2 * drive;
+  out.nfins_p = 3 * drive;
+  base.stages.push_back(std::move(out));
+  base.output = "YN";
+  return finalize(std::move(base));
+}
+
+}  // namespace
+
+std::vector<CellSpec> standard_catalog() {
+  std::vector<CellSpec> cells;
+
+  for (int drive : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    cells.push_back(make_inv(drive));
+  }
+  for (int drive : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    cells.push_back(make_buf(drive));
+  }
+  for (int drive : {2, 4, 8, 16}) {
+    cells.push_back(make_clkbuf(drive));
+  }
+  for (int taps : {1, 2, 3, 4}) {
+    cells.push_back(make_delay(taps));
+  }
+  for (unsigned n : {2u, 3u, 4u}) {
+    for (int drive : {1, 2, 3, 4}) {
+      cells.push_back(make_nand(n, drive));
+      cells.push_back(make_nor(n, drive));
+    }
+    for (int drive : {1, 2, 4}) {
+      cells.push_back(make_and(n, drive));
+      cells.push_back(make_or(n, drive));
+    }
+  }
+  // 5-input simple gates.
+  for (int drive : {1, 2}) {
+    cells.push_back(make_nand(5, drive));
+    cells.push_back(make_nor(5, drive));
+    cells.push_back(make_and(5, drive));
+    cells.push_back(make_or(5, drive));
+  }
+
+  const std::vector<std::vector<unsigned>> aoi_groups = {
+      {2, 1}, {2, 2}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {3, 1}, {3, 2}, {3, 3}};
+  for (const auto& groups : aoi_groups) {
+    for (int drive : {1, 2, 4}) {
+      cells.push_back(make_aoi(groups, drive));
+      cells.push_back(make_oai(groups, drive));
+    }
+  }
+  for (const auto& groups : std::vector<std::vector<unsigned>>{
+           {2, 1}, {2, 2}, {2, 2, 2}, {3, 1}}) {
+    for (int drive : {1, 2}) {
+      cells.push_back(make_ao(groups, drive));
+      cells.push_back(make_oa(groups, drive));
+    }
+  }
+
+  for (int drive : {1, 2, 4}) {
+    cells.push_back(make_xor2(drive));
+    cells.push_back(make_xnor2(drive));
+  }
+  for (int drive : {1, 2, 4}) {
+    cells.push_back(make_xor3(drive, false));
+    cells.push_back(make_xor3(drive, true));
+    cells.push_back(make_mux2(drive));
+    cells.push_back(make_maj3(drive));
+  }
+  for (int drive : {1, 2}) {
+    cells.push_back(make_mux2n(drive));
+    cells.push_back(make_nand2b(drive));
+    cells.push_back(make_nor2b(drive));
+    cells.push_back(make_and2b(drive));
+    cells.push_back(make_or2b(drive));
+    cells.push_back(make_nand3b(drive));
+    cells.push_back(make_nor3b(drive));
+  }
+
+  cells.push_back(make_tie(true));
+  cells.push_back(make_tie(false));
+
+  for (int drive : {1, 2, 4, 8}) {
+    cells.push_back(make_dff("DFF", drive, false));
+  }
+  for (int drive : {1, 2, 4}) {
+    cells.push_back(make_dff("DLATCH", drive, true));
+  }
+  return cells;
+}
+
+std::vector<CellSpec> mini_catalog() {
+  return {
+      make_inv(1),    make_inv(2),   make_buf(1),         make_nand(2, 1),
+      make_nor(2, 1), make_and(2, 1), make_aoi({2, 1}, 1), make_oai({2, 1}, 1),
+      make_xor2(1),   make_mux2(1),  make_maj3(1),        make_nand(3, 1),
+  };
+}
+
+}  // namespace cryo::cells

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cryo::cells {
+
+/// Pull-down network expression of one static-CMOS stage: AND = series
+/// transistors, OR = parallel branches. The pull-up network is the dual.
+struct PdnExpr {
+  enum class Kind { kInput, kSeries, kParallel };
+  Kind kind = Kind::kInput;
+  int input = -1;  ///< stage-input index for kInput
+  std::vector<PdnExpr> children;
+
+  static PdnExpr in(int index);
+  static PdnExpr series(std::vector<PdnExpr> parts);
+  static PdnExpr parallel(std::vector<PdnExpr> parts);
+
+  /// Max series stack depth (for fin sizing).
+  unsigned depth() const;
+  unsigned num_devices() const;
+  /// Truth value given stage-input values (bit i of `minterm`).
+  bool conducts(unsigned minterm) const;
+};
+
+/// One complementary static-CMOS stage inside a cell.
+struct StageSpec {
+  std::string out;                  ///< output node name
+  std::vector<std::string> inputs;  ///< cell pins or internal node names
+  PdnExpr pdn;
+  int nfins_n = 2;  ///< NMOS fins per device
+  int nfins_p = 3;  ///< PMOS fins per device
+};
+
+/// A standard-cell specification: schematic + interface + function.
+struct CellSpec {
+  std::string name;
+  std::vector<std::string> inputs;  ///< ordered cell input pins
+  std::string output = "Y";
+  std::vector<StageSpec> stages;    ///< topologically ordered
+  bool sequential = false;          ///< D-flip-flop / latch family
+  bool level_sensitive = false;     ///< latch (sequential only)
+  double area = 0.0;                ///< [um^2], derived from fin count
+
+  /// Truth table of the output over `inputs` (combinational cells,
+  /// <= 6 inputs).
+  std::uint64_t truth_table() const;
+  /// Liberty function string equivalent to the truth table.
+  std::string function_string() const;
+  unsigned total_fins() const;
+};
+
+/// The full cryoeda standard-cell catalog (~200 combinational and
+/// sequential cells across drive strengths), mirroring the breadth of the
+/// ASAP7 cell set the paper characterizes.
+std::vector<CellSpec> standard_catalog();
+
+/// A small catalog (a dozen cells) for fast tests.
+std::vector<CellSpec> mini_catalog();
+
+}  // namespace cryo::cells

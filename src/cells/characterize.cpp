@@ -1,0 +1,568 @@
+#include "cells/characterize.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+
+#include "logic/tt.hpp"
+#include "spice/measure.hpp"
+#include "spice/simulator.hpp"
+
+namespace cryo::cells {
+namespace {
+
+using spice::Circuit;
+using spice::NodeId;
+
+constexpr double kRampStart = 30e-12;
+
+/// Emit the transistors of a PDN/PUN expression between two nodes.
+/// `pull_down` selects NMOS (series stays series) vs the dual PUN (PMOS,
+/// series<->parallel swapped).
+void emit_network(Circuit& ckt, const PdnExpr& expr,
+                  const std::vector<NodeId>& stage_inputs, NodeId from,
+                  NodeId to, bool pull_down, int nfins,
+                  const device::FinFetParams& params, int& scratch) {
+  using Kind = PdnExpr::Kind;
+  const Kind series_kind = pull_down ? Kind::kSeries : Kind::kParallel;
+  if (expr.kind == Kind::kInput) {
+    // drain = `from` (output side), source = `to` (rail side).
+    ckt.add_fet(params, stage_inputs[static_cast<std::size_t>(expr.input)],
+                from, to, nfins);
+    return;
+  }
+  if (expr.kind == series_kind) {
+    NodeId prev = from;
+    for (std::size_t i = 0; i < expr.children.size(); ++i) {
+      const bool last = i + 1 == expr.children.size();
+      const NodeId next =
+          last ? to
+               : ckt.add_node("x" + std::to_string(scratch++));
+      if (!last) {
+        // Diffusion parasitic of the stack-intermediate node.
+        const device::FinFetModel model{params, 300.0};
+        ckt.add_cap(next, spice::kGround, model.cjunction(nfins));
+      }
+      emit_network(ckt, expr.children[i], stage_inputs, prev, next, pull_down,
+                   nfins, params, scratch);
+      prev = next;
+    }
+    return;
+  }
+  for (const auto& child : expr.children) {
+    emit_network(ckt, child, stage_inputs, from, to, pull_down, nfins, params,
+                 scratch);
+  }
+}
+
+/// Netlist of a combinational cell. Returns the output node.
+NodeId build_cell_circuit(Circuit& ckt, const CellSpec& spec, NodeId vdd,
+                          double temperature_k) {
+  const auto nparams = device::nominal_nfet_5nm();
+  const auto pparams = device::nominal_pfet_5nm();
+  const device::FinFetModel nmodel{nparams, temperature_k};
+  const device::FinFetModel pmodel{pparams, temperature_k};
+
+  int scratch = 0;
+  NodeId out = spice::kGround;
+  for (const auto& stage : spec.stages) {
+    std::vector<NodeId> stage_inputs;
+    for (const auto& name : stage.inputs) {
+      stage_inputs.push_back(ckt.add_node(name));
+    }
+    const NodeId stage_out = ckt.add_node(stage.out);
+    emit_network(ckt, stage.pdn, stage_inputs, stage_out, spice::kGround,
+                 true, stage.nfins_n, nparams, scratch);
+    emit_network(ckt, stage.pdn, stage_inputs, stage_out, vdd, false,
+                 stage.nfins_p, pparams, scratch);
+    // Lumped parasitics: gate caps on the stage inputs, junction caps on
+    // the stage output (drain diffusions of both networks).
+    const unsigned devices = stage.pdn.num_devices();
+    for (const NodeId in : stage_inputs) {
+      ckt.add_cap(in, spice::kGround,
+                  (nmodel.cgg(stage.nfins_n) + pmodel.cgg(stage.nfins_p)));
+    }
+    ckt.add_cap(stage_out, spice::kGround,
+                static_cast<double>(devices) *
+                    (nmodel.cjunction(stage.nfins_n) +
+                     pmodel.cjunction(stage.nfins_p)));
+    out = stage_out;
+  }
+  return out;
+}
+
+/// Input capacitance of a pin: sum of gate caps of devices it drives.
+double pin_capacitance(const CellSpec& spec, const std::string& pin,
+                       double temperature_k) {
+  const device::FinFetModel nmodel{device::nominal_nfet_5nm(), temperature_k};
+  const device::FinFetModel pmodel{device::nominal_pfet_5nm(), temperature_k};
+  double cap = 0.0;
+  for (const auto& stage : spec.stages) {
+    // Count how many devices in the PDN are driven by this pin; PUN has
+    // the same count.
+    struct Counter {
+      static unsigned count(const PdnExpr& e, int idx) {
+        if (e.kind == PdnExpr::Kind::kInput) {
+          return e.input == idx ? 1u : 0u;
+        }
+        unsigned n = 0;
+        for (const auto& c : e.children) {
+          n += count(c, idx);
+        }
+        return n;
+      }
+    };
+    for (std::size_t i = 0; i < stage.inputs.size(); ++i) {
+      if (stage.inputs[i] == pin) {
+        const unsigned n = Counter::count(stage.pdn, static_cast<int>(i));
+        cap += n * (nmodel.cgg(stage.nfins_n) + pmodel.cgg(stage.nfins_p));
+      }
+    }
+  }
+  return cap;
+}
+
+/// Find an assignment of the other inputs that sensitizes `pin` (output
+/// differs between pin=0 and pin=1). Returns the full minterm with pin=0,
+/// or nullopt if the pin is not observable.
+std::optional<unsigned> sensitize(std::uint64_t tt, unsigned n, unsigned pin) {
+  for (unsigned others = 0; others < (1u << n); ++others) {
+    if ((others >> pin) & 1u) {
+      continue;
+    }
+    const unsigned with_pin = others | (1u << pin);
+    if (logic::tt6_bit(tt, others) != logic::tt6_bit(tt, with_pin)) {
+      return others;
+    }
+  }
+  return std::nullopt;
+}
+
+struct ArcPoint {
+  double delay = 0.0;
+  double out_slew = 0.0;
+  double energy = 0.0;
+};
+
+/// One transient: toggle `pin` with the given slew while the others hold
+/// `others`; measure delay/slew/energy at the output.
+ArcPoint measure_point(const CellSpec& spec, double temperature_k,
+                       const CharOptions& options, unsigned pin,
+                       unsigned others, bool input_rising, double slew,
+                       double load, double leakage_power) {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("VDD");
+  // Ensure input pins exist before the cell body references them.
+  std::vector<NodeId> pins;
+  for (const auto& name : spec.inputs) {
+    pins.push_back(ckt.add_node(name));
+  }
+  const NodeId out = build_cell_circuit(ckt, spec, vdd, temperature_k);
+  ckt.add_cap(out, spice::kGround, load);
+
+  ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
+  const double ramp = slew / 0.8;  // slew is 10-90% of the full swing
+  for (unsigned i = 0; i < spec.inputs.size(); ++i) {
+    if (i == pin) {
+      const double v0 = input_rising ? 0.0 : options.vdd;
+      const double v1 = options.vdd - v0;
+      ckt.set_source(pins[i], spice::Pwl::ramp(v0, v1, kRampStart, ramp));
+    } else {
+      const bool high = ((others >> i) & 1u) != 0;
+      ckt.set_source(pins[i],
+                     spice::Pwl::constant(high ? options.vdd : 0.0));
+    }
+  }
+
+  spice::Simulator sim{ckt, temperature_k};
+  spice::TransientOptions topt;
+  topt.steps = options.transient_steps;
+  topt.t_stop = kRampStart + ramp + 250e-12;
+
+  const double v_half = options.vdd / 2.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto res = sim.transient(topt, {pins[pin], out});
+    const auto& tout = res.trace(out).values;
+    const double v_final = tout.back();
+    const bool out_rising = v_final > v_half;
+    const auto t_in = spice::crossing_time(res.times, res.trace(pins[pin]).values,
+                                           v_half, input_rising);
+    const auto t_out =
+        spice::crossing_time(res.times, tout, v_half, out_rising);
+    const auto oslew = spice::transition_time(
+        res.times, tout, out_rising ? 0.0 : options.vdd,
+        out_rising ? options.vdd : 0.0);
+    const bool is_settled = spice::settled(
+        tout, out_rising ? options.vdd : 0.0, 0.02 * options.vdd);
+    if (!t_out || !oslew || !is_settled) {
+      topt.t_stop *= 2.0;
+      topt.steps *= 2;
+      continue;
+    }
+    ArcPoint point;
+    point.delay = *t_out - *t_in;
+    point.out_slew = *oslew;
+    double energy = res.source_energy.at(vdd);
+    // Remove the leakage baseline over the run.
+    energy -= leakage_power * topt.t_stop;
+    if (out_rising) {
+      // Exclude the external-load energy (PrimeTime adds net switching
+      // power separately).
+      energy -= load * options.vdd * options.vdd;
+    }
+    point.energy = std::max(energy, 0.0);
+    return point;
+  }
+  throw std::runtime_error{"characterize: output never settled for cell " +
+                           spec.name};
+}
+
+/// Average leakage over all input states.
+double measure_leakage(const CellSpec& spec, double temperature_k,
+                       const CharOptions& options) {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("VDD");
+  std::vector<NodeId> pins;
+  for (const auto& name : spec.inputs) {
+    pins.push_back(ckt.add_node(name));
+  }
+  build_cell_circuit(ckt, spec, vdd, temperature_k);
+  ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
+  const auto n = static_cast<unsigned>(spec.inputs.size());
+  double total = 0.0;
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    for (unsigned i = 0; i < n; ++i) {
+      ckt.set_source(pins[i], spice::Pwl::constant(
+                                  ((m >> i) & 1u) != 0 ? options.vdd : 0.0));
+    }
+    spice::Simulator sim{ckt, temperature_k};
+    const auto op = sim.dc();
+    total += sim.source_current(op, vdd) * options.vdd;
+  }
+  return total / static_cast<double>(1u << n);
+}
+
+liberty::NldmTable make_table(const CharOptions& options,
+                              const std::vector<double>& values) {
+  return liberty::NldmTable{options.slews, options.loads, values};
+}
+
+/// Characterize one combinational cell.
+liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
+                                const CharOptions& options) {
+  liberty::Cell cell;
+  cell.name = spec.name;
+  cell.area = spec.area;
+  cell.leakage_power = measure_leakage(spec, temperature_k, options);
+
+  const auto n = static_cast<unsigned>(spec.inputs.size());
+  const std::uint64_t tt = spec.truth_table();
+
+  for (const auto& pin_name : spec.inputs) {
+    liberty::Pin pin;
+    pin.name = pin_name;
+    pin.capacitance = pin_capacitance(spec, pin_name, temperature_k);
+    cell.pins.push_back(pin);
+  }
+  liberty::Pin out;
+  out.name = spec.output;
+  out.is_output = true;
+  out.function = spec.function_string();
+  cell.pins.push_back(out);
+
+  for (unsigned pin = 0; pin < n; ++pin) {
+    const auto others = sensitize(tt, n, pin);
+    if (!others) {
+      continue;  // unobservable pin (e.g. TIE cells)
+    }
+    // Determine unateness at this sensitization.
+    const bool out_at_pin1 = logic::tt6_bit(tt, *others | (1u << pin));
+    const bool positive = out_at_pin1;  // pin=1 -> out=1 means positive
+
+    liberty::TimingArc arc;
+    arc.related_pin = spec.inputs[pin];
+    // A pin may be positive in one assignment and negative in another
+    // (XOR): report non-unate in that case.
+    bool pos_seen = false;
+    bool neg_seen = false;
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      if ((m >> pin) & 1u) {
+        continue;
+      }
+      const bool f0 = logic::tt6_bit(tt, m);
+      const bool f1 = logic::tt6_bit(tt, m | (1u << pin));
+      if (f0 != f1) {
+        (f1 ? pos_seen : neg_seen) = true;
+      }
+    }
+    arc.sense = pos_seen && neg_seen
+                    ? liberty::ArcSense::kNonUnate
+                    : (pos_seen ? liberty::ArcSense::kPositive
+                                : liberty::ArcSense::kNegative);
+
+    liberty::PowerArc parc;
+    parc.related_pin = arc.related_pin;
+
+    std::vector<double> rise_delay;
+    std::vector<double> fall_delay;
+    std::vector<double> rise_slew;
+    std::vector<double> fall_slew;
+    std::vector<double> rise_energy;
+    std::vector<double> fall_energy;
+    for (const double slew : options.slews) {
+      for (const double load : options.loads) {
+        // Input edge that makes the output rise:
+        const bool in_rising_for_rise = positive;
+        const ArcPoint rise = measure_point(
+            spec, temperature_k, options, pin, *others, in_rising_for_rise,
+            slew, load, cell.leakage_power);
+        const ArcPoint fall = measure_point(
+            spec, temperature_k, options, pin, *others, !in_rising_for_rise,
+            slew, load, cell.leakage_power);
+        rise_delay.push_back(rise.delay);
+        rise_slew.push_back(rise.out_slew);
+        rise_energy.push_back(rise.energy);
+        fall_delay.push_back(fall.delay);
+        fall_slew.push_back(fall.out_slew);
+        fall_energy.push_back(fall.energy);
+      }
+    }
+    arc.cell_rise = make_table(options, rise_delay);
+    arc.cell_fall = make_table(options, fall_delay);
+    arc.rise_transition = make_table(options, rise_slew);
+    arc.fall_transition = make_table(options, fall_slew);
+    parc.rise_power = make_table(options, rise_energy);
+    parc.fall_power = make_table(options, fall_energy);
+    cell.arcs.push_back(std::move(arc));
+    cell.power_arcs.push_back(std::move(parc));
+  }
+  return cell;
+}
+
+// ------------------------------------------------------- sequential -----
+
+/// Master-slave DFF schematic (transmission-gate based). Returns Q.
+NodeId build_dff_circuit(Circuit& ckt, const CellSpec& /*spec*/, NodeId vdd,
+                         double temperature_k, bool latch) {
+  const auto np = device::nominal_nfet_5nm();
+  const auto pp = device::nominal_pfet_5nm();
+  const device::FinFetModel nmodel{np, temperature_k};
+  const device::FinFetModel pmodel{pp, temperature_k};
+
+  const NodeId d = ckt.add_node("D");
+  const NodeId ck = ckt.add_node("CK");
+
+  auto inverter = [&](NodeId in, const std::string& out_name, int drive) {
+    const NodeId out = ckt.add_node(out_name);
+    ckt.add_fet(np, in, out, spice::kGround, 2 * drive);
+    ckt.add_fet(pp, in, out, vdd, 3 * drive);
+    ckt.add_cap(out, spice::kGround,
+                nmodel.cjunction(2 * drive) + pmodel.cjunction(3 * drive));
+    ckt.add_cap(in, spice::kGround,
+                nmodel.cgg(2 * drive) + pmodel.cgg(3 * drive));
+    return out;
+  };
+  auto tgate = [&](NodeId in, NodeId out, NodeId en_n, NodeId en_p) {
+    // NMOS gated by en_n, PMOS gated by en_p (complement).
+    ckt.add_fet(np, en_n, out, in, 2);
+    ckt.add_fet(pp, en_p, out, in, 2);
+    ckt.add_cap(out, spice::kGround,
+                nmodel.cjunction(2) + pmodel.cjunction(2));
+  };
+
+  const NodeId ckb = inverter(ck, "ckb", 1);
+  const NodeId ckbb = inverter(ckb, "ckbb", 1);
+
+  // Master: transparent while CK = 0 (or while CK = 1 for a latch).
+  const NodeId m1 = ckt.add_node("m1");
+  if (latch) {
+    tgate(d, m1, ckbb, ckb);  // transparent when CK = 1
+  } else {
+    tgate(d, m1, ckb, ckbb);  // transparent when CK = 0
+  }
+  const NodeId m2 = inverter(m1, "m2", 1);
+  const NodeId m3 = inverter(m2, "m3", 1);
+  if (latch) {
+    tgate(m3, m1, ckb, ckbb);  // hold when CK = 0
+  } else {
+    tgate(m3, m1, ckbb, ckb);  // hold when CK = 1
+  }
+
+  if (latch) {
+    return inverter(m2, "Q", 2);
+  }
+
+  // Slave: transparent while CK = 1.
+  const NodeId s1 = ckt.add_node("s1");
+  tgate(m2, s1, ckbb, ckb);
+  const NodeId s2 = inverter(s1, "s2", 1);
+  const NodeId s3 = inverter(s2, "s3", 1);
+  tgate(s3, s1, ckb, ckbb);
+  return inverter(s2, "Q", 2);
+}
+
+liberty::Cell characterize_sequential(const CellSpec& spec,
+                                      double temperature_k,
+                                      const CharOptions& options) {
+  liberty::Cell cell;
+  cell.name = spec.name;
+  cell.area = spec.area;
+  cell.is_sequential = true;
+  cell.next_state = "D";
+  cell.clocked_on = spec.level_sensitive ? "CK" : "CK";
+
+  // Leakage: average over the four (D, CK) static states.
+  {
+    double total = 0.0;
+    for (unsigned m = 0; m < 4; ++m) {
+      Circuit ckt;
+      const NodeId vdd = ckt.add_node("VDD");
+      build_dff_circuit(ckt, spec, vdd, temperature_k, spec.level_sensitive);
+      ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
+      ckt.set_source(ckt.node("D"),
+                     spice::Pwl::constant((m & 1u) != 0 ? options.vdd : 0.0));
+      ckt.set_source(ckt.node("CK"),
+                     spice::Pwl::constant((m & 2u) != 0 ? options.vdd : 0.0));
+      spice::Simulator sim{ckt, temperature_k};
+      const auto op = sim.dc();
+      total += sim.source_current(op, vdd) * options.vdd;
+    }
+    cell.leakage_power = total / 4.0;
+  }
+
+  // Pins: D and CK input caps from the first transmission gate / clock
+  // inverter gate loads.
+  {
+    const device::FinFetModel nmodel{device::nominal_nfet_5nm(),
+                                     temperature_k};
+    const device::FinFetModel pmodel{device::nominal_pfet_5nm(),
+                                     temperature_k};
+    liberty::Pin dpin;
+    dpin.name = "D";
+    dpin.capacitance = nmodel.cgg(2) + pmodel.cgg(2);
+    liberty::Pin ckpin;
+    ckpin.name = "CK";
+    ckpin.capacitance = nmodel.cgg(2) + pmodel.cgg(3);
+    liberty::Pin q;
+    q.name = "Q";
+    q.is_output = true;
+    q.function = "IQ";
+    cell.pins = {dpin, ckpin, q};
+  }
+
+  // CK -> Q arc over the slew/load grid (D held at 1 for rise, 0 for
+  // fall; the D value is latched while CK is low, then CK rises).
+  liberty::TimingArc arc;
+  arc.related_pin = "CK";
+  arc.sense = liberty::ArcSense::kNonUnate;
+  liberty::PowerArc parc;
+  parc.related_pin = "CK";
+  std::vector<double> rise_delay;
+  std::vector<double> fall_delay;
+  std::vector<double> rise_slew;
+  std::vector<double> fall_slew;
+  std::vector<double> rise_energy;
+  std::vector<double> fall_energy;
+  for (const double slew : options.slews) {
+    for (const double load : options.loads) {
+      for (const bool d_high : {true, false}) {
+        Circuit ckt;
+        const NodeId vdd = ckt.add_node("VDD");
+        const NodeId q = build_dff_circuit(ckt, spec, vdd, temperature_k,
+                                           spec.level_sensitive);
+        ckt.add_cap(q, spice::kGround, load);
+        ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
+        ckt.set_source(ckt.node("D"),
+                       spice::Pwl::constant(d_high ? options.vdd : 0.0));
+        const double ramp = slew / 0.8;
+        ckt.set_source(ckt.node("CK"),
+                       spice::Pwl::ramp(0.0, options.vdd, kRampStart, ramp));
+        spice::Simulator sim{ckt, temperature_k};
+        spice::TransientOptions topt;
+        topt.steps = options.transient_steps;
+        topt.t_stop = kRampStart + ramp + 400e-12;
+        const auto res = sim.transient(topt, {ckt.node("CK"), q});
+        const double v_half = options.vdd / 2.0;
+        const auto t_ck = spice::crossing_time(
+            res.times, res.trace(ckt.node("CK")).values, v_half, true);
+        const auto t_q =
+            spice::crossing_time(res.times, res.trace(q).values, v_half,
+                                 d_high);
+        const double delay = (t_ck && t_q) ? *t_q - *t_ck : 100e-12;
+        const auto oslew = spice::transition_time(
+            res.times, res.trace(q).values, d_high ? 0.0 : options.vdd,
+            d_high ? options.vdd : 0.0);
+        double energy = res.source_energy.at(vdd) -
+                        cell.leakage_power * topt.t_stop;
+        if (d_high) {
+          energy -= load * options.vdd * options.vdd;
+        }
+        energy = std::max(energy, 0.0);
+        if (d_high) {
+          rise_delay.push_back(delay);
+          rise_slew.push_back(oslew.value_or(20e-12));
+          rise_energy.push_back(energy);
+        } else {
+          fall_delay.push_back(delay);
+          fall_slew.push_back(oslew.value_or(20e-12));
+          fall_energy.push_back(energy);
+        }
+      }
+    }
+  }
+  arc.cell_rise = make_table(options, rise_delay);
+  arc.cell_fall = make_table(options, fall_delay);
+  arc.rise_transition = make_table(options, rise_slew);
+  arc.fall_transition = make_table(options, fall_slew);
+  parc.rise_power = make_table(options, rise_energy);
+  parc.fall_power = make_table(options, fall_energy);
+  cell.arcs.push_back(std::move(arc));
+  cell.power_arcs.push_back(std::move(parc));
+  return cell;
+}
+
+}  // namespace
+
+liberty::Library characterize(const std::vector<CellSpec>& catalog,
+                              double temperature_k,
+                              const CharOptions& options) {
+  liberty::Library lib;
+  lib.name = "cryoeda_" + std::to_string(static_cast<int>(temperature_k)) + "K";
+  lib.temperature_k = temperature_k;
+  lib.voltage = options.vdd;
+  for (const auto& spec : catalog) {
+    if (spec.sequential) {
+      if (options.include_sequential) {
+        lib.cells.push_back(
+            characterize_sequential(spec, temperature_k, options));
+      }
+      continue;
+    }
+    lib.cells.push_back(characterize_cell(spec, temperature_k, options));
+    if (options.verbose) {
+      std::fprintf(stderr, "characterized %s (%zu/%zu)\n",
+                   spec.name.c_str(), lib.cells.size(), catalog.size());
+    }
+  }
+  return lib;
+}
+
+liberty::Library load_or_characterize(const std::string& cache_path,
+                                      const std::vector<CellSpec>& catalog,
+                                      double temperature_k,
+                                      const CharOptions& options) {
+  if (std::filesystem::exists(cache_path)) {
+    liberty::Library lib = liberty::read_liberty(cache_path);
+    if (std::fabs(lib.temperature_k - temperature_k) < 1e-6 &&
+        lib.cells.size() >= catalog.size() / 2) {
+      return lib;
+    }
+  }
+  liberty::Library lib = characterize(catalog, temperature_k, options);
+  liberty::write_liberty(lib, cache_path);
+  return lib;
+}
+
+}  // namespace cryo::cells

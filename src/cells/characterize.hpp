@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "cells/catalog.hpp"
+#include "liberty/library.hpp"
+
+namespace cryo::cells {
+
+/// Characterization options. Defaults reproduce the paper's setup: a
+/// 7x7 grid of input slews and output loads per arc, at Vdd = 0.7 V.
+struct CharOptions {
+  double vdd = 0.7;
+  std::vector<double> slews = {2e-12,  4e-12,  8e-12, 16e-12,
+                               24e-12, 40e-12, 64e-12};
+  std::vector<double> loads = {1e-16, 2e-16, 4e-16, 8e-16,
+                               1.6e-15, 3.2e-15, 6.4e-15};
+  int transient_steps = 200;
+  bool include_sequential = true;
+  bool verbose = false;
+};
+
+/// Characterize a cell catalog at the given temperature into a liberty
+/// library: for every timing arc, SPICE transients over the slew/load
+/// grid measure propagation delay, output slew, and internal (switching)
+/// energy; DC analyses over all input states measure leakage.
+liberty::Library characterize(const std::vector<CellSpec>& catalog,
+                              double temperature_k,
+                              const CharOptions& options = {});
+
+/// Cached characterization: parse `cache_path` if it exists (and matches
+/// the temperature), otherwise characterize and write it.
+liberty::Library load_or_characterize(const std::string& cache_path,
+                                      const std::vector<CellSpec>& catalog,
+                                      double temperature_k,
+                                      const CharOptions& options = {});
+
+}  // namespace cryo::cells

@@ -1,0 +1,92 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cryo::core {
+
+double CircuitComparison::power_saving_pad() const {
+  return 1.0 - pad.total_power / baseline.total_power;
+}
+double CircuitComparison::power_saving_pda() const {
+  return 1.0 - pda.total_power / baseline.total_power;
+}
+double CircuitComparison::delay_overhead_pad() const {
+  return pad.delay / baseline.delay - 1.0;
+}
+double CircuitComparison::delay_overhead_pda() const {
+  return pda.delay / baseline.delay - 1.0;
+}
+
+namespace {
+
+ScenarioResult run_scenario(const logic::Aig& aig,
+                            const map::CellMatcher& matcher,
+                            const ExperimentOptions& options,
+                            opt::CostPriority priority) {
+  FlowOptions flow = options.flow;
+  flow.priority = priority;
+  const FlowResult result = synthesize(aig, matcher, flow);
+  const sta::StaResult signoff = sta::analyze(result.netlist, options.sta);
+  ScenarioResult out;
+  out.priority = priority;
+  out.power = signoff.power;
+  out.total_power = signoff.power.total();
+  out.delay = signoff.critical_delay;
+  out.area = result.netlist.total_area();
+  out.gates = result.netlist.gate_count();
+  return out;
+}
+
+/// Rescale the dynamic power categories of a scenario from the analysis
+/// clock to the normalized clock (dynamic power is proportional to the
+/// clock frequency; leakage is clock-independent).
+void renormalize(ScenarioResult& s, double analysis_clock,
+                 double normalized_clock) {
+  const double scale = analysis_clock / normalized_clock;
+  s.power.internal *= scale;
+  s.power.switching *= scale;
+  s.total_power = s.power.total();
+}
+
+}  // namespace
+
+CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
+                                  const map::CellMatcher& matcher,
+                                  const ExperimentOptions& options) {
+  CircuitComparison cmp;
+  cmp.circuit = benchmark.name;
+  cmp.baseline = run_scenario(benchmark.aig, matcher, options,
+                              opt::CostPriority::kBaselinePowerAware);
+  cmp.pad = run_scenario(benchmark.aig, matcher, options,
+                         opt::CostPriority::kPowerAreaDelay);
+  cmp.pda = run_scenario(benchmark.aig, matcher, options,
+                         opt::CostPriority::kPowerDelayArea);
+
+  // Footnote 1: every variant's power is reported at the clock period of
+  // the slowest variant of the same circuit, so faster variants are not
+  // penalized with proportionally higher clock power.
+  cmp.clock_period =
+      std::max({cmp.baseline.delay, cmp.pad.delay, cmp.pda.delay});
+  renormalize(cmp.baseline, options.sta.clock_period, cmp.clock_period);
+  renormalize(cmp.pad, options.sta.clock_period, cmp.clock_period);
+  renormalize(cmp.pda, options.sta.clock_period, cmp.clock_period);
+  return cmp;
+}
+
+std::vector<CircuitComparison> run_synthesis_comparison(
+    const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
+    const ExperimentOptions& options) {
+  std::vector<CircuitComparison> rows;
+  rows.reserve(suite.size());
+  for (const auto& benchmark : suite) {
+    if (options.verbose) {
+      std::fprintf(stderr, "synthesizing %s (%u ANDs)...\n",
+                   benchmark.name.c_str(), benchmark.aig.num_ands());
+    }
+    rows.push_back(compare_circuit(benchmark, matcher, options));
+  }
+  return rows;
+}
+
+}  // namespace cryo::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "epfl/benchmarks.hpp"
+
+namespace cryo::core {
+
+/// Signoff figures of one synthesis scenario on one circuit.
+struct ScenarioResult {
+  opt::CostPriority priority{};
+  double total_power = 0.0;  ///< [W], at the normalized clock
+  sta::PowerReport power;
+  double delay = 0.0;        ///< critical path [s]
+  double area = 0.0;         ///< [um^2]
+  std::size_t gates = 0;
+};
+
+/// Paper Fig. 3 rows: baseline vs the two proposed priority lists.
+struct CircuitComparison {
+  std::string circuit;
+  ScenarioResult baseline;
+  ScenarioResult pad;  ///< power -> area -> delay
+  ScenarioResult pda;  ///< power -> delay -> area
+  double clock_period = 0.0;  ///< normalized clock (slowest variant)
+
+  double power_saving_pad() const;  ///< positive = proposed saves power
+  double power_saving_pda() const;
+  double delay_overhead_pad() const;  ///< positive = proposed is slower
+  double delay_overhead_pda() const;
+};
+
+/// Options of the comparison experiment.
+struct ExperimentOptions {
+  FlowOptions flow;                  ///< shared flow knobs
+  sta::StaOptions sta;               ///< signoff corner
+  bool verbose = false;
+};
+
+/// Run the three scenarios of paper §V-B on one circuit, normalizing the
+/// power clock to the slowest variant (footnote 1 of the paper).
+CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
+                                  const map::CellMatcher& matcher,
+                                  const ExperimentOptions& options);
+
+/// Run the full suite; returns one comparison row per circuit.
+std::vector<CircuitComparison> run_synthesis_comparison(
+    const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
+    const ExperimentOptions& options);
+
+}  // namespace cryo::core

@@ -1,0 +1,61 @@
+#include "core/flow.hpp"
+
+#include "opt/lut_map.hpp"
+#include "opt/passes.hpp"
+#include "sat/sweep.hpp"
+
+namespace cryo::core {
+
+FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
+                      const FlowOptions& options) {
+  FlowResult result;
+  result.initial_ands = input.num_ands();
+
+  // (1) Technology-independent compression.
+  logic::Aig compact = opt::compress2rs(input);
+  result.after_c2rs = compact.num_ands();
+
+  // (2) Power-aware optimization with structural choices.
+  const std::vector<std::vector<logic::Lit>>* choices = nullptr;
+  sat::SweepResult sweep;
+  if (options.use_choices) {
+    sat::SweepOptions sopt;
+    sopt.seed = options.seed;
+    sweep = sat::sat_sweep(compact, sopt);
+    choices = &sweep.choices;
+  }
+  const logic::Aig& choice_aig = options.use_choices ? sweep.aig : compact;
+
+  opt::LutMapOptions lopt;
+  lopt.k = options.lut_k;
+  lopt.priority = options.priority;
+  lopt.epsilon = options.epsilon;
+  lopt.input_activity = options.input_activity;
+  lopt.seed = options.seed;
+  opt::LutMapping luts = opt::lut_map(choice_aig, lopt, choices);
+  if (options.use_mfs) {
+    opt::MfsOptions mopt;
+    mopt.seed = options.seed;
+    (void)opt::mfs(luts, mopt);
+  }
+  logic::Aig optimized = opt::luts_to_aig(luts);
+  // Keep the better of the two stages (the LUT round-trip occasionally
+  // inflates small networks; ABC scripts guard similarly).
+  if (optimized.num_ands() > compact.num_ands()) {
+    optimized = std::move(compact);
+  }
+  result.after_power_stage = optimized.num_ands();
+
+  // (3) Cryogenic-aware technology mapping.
+  map::TechMapOptions topt;
+  topt.priority = options.priority;
+  topt.epsilon = options.epsilon;
+  topt.input_activity = options.input_activity;
+  topt.clock_estimate = options.clock_estimate;
+  topt.seed = options.seed;
+  result.netlist = map::tech_map(optimized, matcher, topt);
+  result.optimized = std::move(optimized);
+  return result;
+}
+
+}  // namespace cryo::core

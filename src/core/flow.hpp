@@ -1,0 +1,42 @@
+#pragma once
+
+#include "logic/aig.hpp"
+#include "map/mapper.hpp"
+#include "opt/cost.hpp"
+#include "sta/sta.hpp"
+
+namespace cryo::core {
+
+/// Options of the three-stage cryogenic-aware synthesis pipeline
+/// (paper §V-B).
+struct FlowOptions {
+  opt::CostPriority priority = opt::CostPriority::kBaselinePowerAware;
+  double epsilon = 0.02;
+  double input_activity = 0.2;
+  bool use_choices = true;       ///< SAT-sweep structural choices (dch)
+  bool use_mfs = true;           ///< SAT-based don't-care resub (mfs)
+  unsigned lut_k = 6;            ///< k of the power-aware LUT stage (if)
+  double clock_estimate = 1e-9;  ///< leakage-vs-dynamic weighting in costs
+  std::uint64_t seed = 29;
+};
+
+/// Result of a full synthesis run.
+struct FlowResult {
+  logic::Aig optimized;   ///< AIG after stages (1) and (2)
+  map::Netlist netlist;   ///< after stage (3)
+  unsigned initial_ands = 0;
+  unsigned after_c2rs = 0;
+  unsigned after_power_stage = 0;
+};
+
+/// The three-stage pipeline:
+///  (1) technology-independent AIG compression (`c2rs`);
+///  (2) power-aware optimization: SAT-sweep choices (`dch`), k-LUT
+///      mapping with the configured cost priority (`if`), SAT-based
+///      don't-care minimization (`mfs`), re-strash;
+///  (3) cryogenic-aware technology mapping (`map`) with the configured
+///      priority list.
+FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
+                      const FlowOptions& options = {});
+
+}  // namespace cryo::core

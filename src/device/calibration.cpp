@@ -1,0 +1,138 @@
+#include "device/calibration.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/optimize.hpp"
+
+namespace cryo::device {
+namespace {
+
+/// Current below which a sample is treated as noise-floor-limited.
+constexpr double kFitFloor = 1e-14;
+
+/// Map a parameter vector (as scale factors on the initial guess) onto a
+/// parameter struct. Fitting multiplicative factors keeps the optimizer
+/// well-conditioned despite parameters spanning 10 orders of magnitude.
+FinFetParams apply_factors(const FinFetParams& base,
+                           const std::vector<double>& f) {
+  FinFetParams p = base;
+  p.vth300 = base.vth300 * f[0];
+  p.ideality = base.ideality * f[1];
+  p.band_tail_v = base.band_tail_v * f[2];
+  p.mu0 = base.mu0 * f[3];
+  p.theta = base.theta * f[4];
+  p.kvt = base.kvt * f[5];
+  p.lambda = base.lambda * f[6];
+  p.i_floor_per_fin = base.i_floor_per_fin * f[7];
+  return p;
+}
+
+double log_current(double i) {
+  return std::log10(std::max(std::fabs(i), kFitFloor));
+}
+
+/// Sum of squared log residuals; groups points by temperature so each
+/// FinFetModel (with its per-T precomputation) is built once per group.
+double objective(const FinFetParams& params, const MeasurementSet& meas) {
+  std::map<double, std::vector<const MeasurementPoint*>> by_temp;
+  for (const auto& pt : meas.points) {
+    by_temp[pt.temperature_k].push_back(&pt);
+  }
+  double sum = 0.0;
+  for (const auto& [temp, pts] : by_temp) {
+    const FinFetModel model{params, temp};
+    for (const auto* pt : pts) {
+      const double sim = model.ids(pt->vgs, pt->vds, meas.nfins);
+      const double r = log_current(sim) - log_current(pt->ids);
+      sum += r * r;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+CalibrationResult calibrate(const MeasurementSet& measurements,
+                            const FinFetParams& initial_guess,
+                            int max_evaluations) {
+  if (measurements.points.empty()) {
+    throw std::invalid_argument{"calibrate: empty measurement set"};
+  }
+
+  auto fun = [&](const std::vector<double>& factors) {
+    for (double f : factors) {
+      if (f <= 0.05 || f >= 20.0) {
+        return 1e300;  // reject unphysical excursions
+      }
+    }
+    return objective(apply_factors(initial_guess, factors), measurements);
+  };
+
+  util::NelderMeadOptions options;
+  options.max_evaluations = max_evaluations;
+  options.initial_step = 0.08;
+  const auto fit =
+      util::nelder_mead(fun, std::vector<double>(8, 1.0), options);
+
+  CalibrationResult result;
+  result.params = apply_factors(initial_guess, fit.x);
+  result.evaluations = fit.evaluations;
+
+  // Residual statistics of the final fit.
+  double sum = 0.0;
+  double worst = 0.0;
+  std::map<double, FinFetModel> models;
+  for (const auto& pt : measurements.points) {
+    auto it = models.find(pt.temperature_k);
+    if (it == models.end()) {
+      it = models.emplace(pt.temperature_k,
+                          FinFetModel{result.params, pt.temperature_k})
+               .first;
+    }
+    const double sim = it->second.ids(pt.vgs, pt.vds, measurements.nfins);
+    const double r = std::fabs(log_current(sim) - log_current(pt.ids));
+    sum += r * r;
+    worst = std::max(worst, r);
+  }
+  result.rms_log_error =
+      std::sqrt(sum / static_cast<double>(measurements.points.size()));
+  result.max_log_error = worst;
+  return result;
+}
+
+std::vector<CurveError> curve_errors(const FinFetParams& params,
+                                     const MeasurementSet& measurements) {
+  std::map<std::pair<double, double>, std::vector<const MeasurementPoint*>>
+      curves;
+  for (const auto& pt : measurements.points) {
+    curves[{pt.temperature_k, pt.vds}].push_back(&pt);
+  }
+  std::vector<CurveError> errors;
+  for (const auto& [key, pts] : curves) {
+    const FinFetModel model{params, key.first};
+    CurveError err;
+    err.temperature_k = key.first;
+    err.vds = key.second;
+    double sum = 0.0;
+    double rel_sum = 0.0;
+    int rel_count = 0;
+    for (const auto* pt : pts) {
+      const double sim = model.ids(pt->vgs, pt->vds, measurements.nfins);
+      const double r = log_current(sim) - log_current(pt->ids);
+      sum += r * r;
+      if (std::fabs(pt->ids) > 100.0 * kFitFloor) {
+        rel_sum += std::fabs(sim - pt->ids) / std::fabs(pt->ids);
+        ++rel_count;
+      }
+    }
+    err.rms_log_error = std::sqrt(sum / static_cast<double>(pts.size()));
+    err.mean_rel_error =
+        rel_count > 0 ? rel_sum / static_cast<double>(rel_count) : 0.0;
+    errors.push_back(err);
+  }
+  return errors;
+}
+
+}  // namespace cryo::device

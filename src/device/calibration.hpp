@@ -1,0 +1,40 @@
+#pragma once
+
+#include "device/measurement.hpp"
+
+namespace cryo::device {
+
+/// Result of calibrating the compact model against measurements.
+struct CalibrationResult {
+  FinFetParams params;        ///< extracted parameter set
+  double rms_log_error = 0.0; ///< RMS of log10(I) residuals over all points
+  double max_log_error = 0.0; ///< worst-case log10(I) residual
+  int evaluations = 0;        ///< optimizer objective evaluations
+};
+
+/// Figure-of-merit comparison between model and measurement on one curve.
+struct CurveError {
+  double temperature_k = 0.0;
+  double vds = 0.0;
+  double rms_log_error = 0.0;
+  double mean_rel_error = 0.0;  ///< mean |I_model - I_meas| / I_meas (above floor)
+};
+
+/// Fit the cryogenic-aware FinFET model to a measurement set.
+///
+/// This is the reproduction of the paper's §II-C: parameter extraction of
+/// the cryogenic BSIM-CMG against the 5 nm FinFET data over the *entire*
+/// temperature range (300 K → 10 K) simultaneously. The objective is the
+/// sum of squared log10-current residuals (log scale so subthreshold and
+/// ON-current regions carry comparable weight), minimized with
+/// Nelder–Mead over {Vth300, n, Wt, mu0, theta, kvt, lambda, Ifloor}.
+CalibrationResult calibrate(const MeasurementSet& measurements,
+                            const FinFetParams& initial_guess,
+                            int max_evaluations = 6000);
+
+/// Per-curve (T, Vds) error report for a given parameter set — the data
+/// behind the "lines vs dots" agreement of paper Fig. 1(b,c).
+std::vector<CurveError> curve_errors(const FinFetParams& params,
+                                     const MeasurementSet& measurements);
+
+}  // namespace cryo::device

@@ -1,0 +1,141 @@
+#include "device/finfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::device {
+namespace {
+
+/// Numerically safe softplus: ln(1 + e^x).
+double softplus(double x) {
+  if (x > 30.0) {
+    return x;
+  }
+  if (x < -30.0) {
+    return std::exp(x);
+  }
+  return std::log1p(std::exp(x));
+}
+
+/// Logistic sigmoid, the derivative of softplus.
+double sigmoid(double x) {
+  if (x > 30.0) {
+    return 1.0;
+  }
+  if (x < -30.0) {
+    return std::exp(x);
+  }
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+FinFetParams nominal_nfet_5nm() {
+  FinFetParams p;
+  p.polarity = Polarity::kN;
+  p.name = "nfet_5nm";
+  return p;  // struct defaults are the calibrated n-FET values
+}
+
+FinFetParams nominal_pfet_5nm() {
+  FinFetParams p;
+  p.polarity = Polarity::kP;
+  p.name = "pfet_5nm";
+  p.vth300 = 0.205;
+  p.ideality = 1.16;
+  p.band_tail_v = 6.0e-3;
+  p.kvt = 0.60e-3;
+  p.mu0 = 0.01220;  // weaker hole transport
+  p.theta = 2.6;
+  p.cov_per_fin = 5.5e-17;
+  p.i_floor_per_fin = 1.8e-13;
+  return p;
+}
+
+FinFetModel::FinFetModel(const FinFetParams& params, double temperature_k)
+    : params_{params}, temperature_{temperature_k} {
+  if (temperature_k <= 0.0 || temperature_k > 500.0) {
+    throw std::invalid_argument{"FinFetModel: temperature out of range"};
+  }
+  vth_ = params_.vth300 +
+         vth_shift(temperature_k, params_.kvt, params_.beta_vth);
+  const double veff =
+      effective_thermal_voltage(temperature_k, params_.band_tail_v);
+  vte_ = params_.ideality * veff;
+  const double mu =
+      params_.mu0 * mobility_factor(temperature_k, params_.mu_r_inf);
+  is_ = 2.0 * params_.ideality * mu * params_.cox *
+        (params_.w_fin / params_.l_eff) * vte_ * vte_;
+  theta_t_ = params_.theta / vsat_factor(temperature_k, params_.vsat_gain);
+  cap_mult_ = cap_factor(temperature_k, params_.cap_coeff);
+}
+
+FinFetOp FinFetModel::evaluate(double vgs, double vds, int nfins) const {
+  // EKV-flavoured unified charge-control model:
+  //   F  = qf^2 - qr^2,  qf/qr = softplus of forward/reverse pinch-off
+  //   I  = Is * F / (1 + theta * Vov) * (1 + lambda * Vds) + floor
+  const double inv2vte = 1.0 / (2.0 * vte_);
+  const double xf = (vgs - vth_) * inv2vte;
+  const double xr = (vgs - vth_ - params_.ideality * vds) * inv2vte;
+  const double qf = softplus(xf);
+  const double qr = softplus(xr);
+  const double sf = sigmoid(xf);
+  const double sr = sigmoid(xr);
+
+  const double f = qf * qf - qr * qr;
+  const double df_dvgs = (qf * sf - qr * sr) / vte_;
+  const double df_dvds = qr * sr * params_.ideality / vte_;
+
+  const double denom = 1.0 + theta_t_ * 2.0 * vte_ * qf;
+  const double ddenom_dvgs = theta_t_ * sf;
+
+  const double clm = 1.0 + params_.lambda * vds;
+
+  const double scale = is_ * static_cast<double>(nfins);
+  FinFetOp op;
+  op.ids = scale * f / denom * clm;
+  op.gm = scale * clm * (df_dvgs * denom - f * ddenom_dvgs) / (denom * denom);
+  op.gds = scale * (df_dvds * clm + f * params_.lambda) / denom;
+
+  // Temperature-independent leakage floor (gate tunnelling + junction),
+  // smooth and odd in Vds so it vanishes at Vds = 0.
+  const double floor_scale =
+      params_.i_floor_per_fin * static_cast<double>(nfins);
+  const double vref = 0.05;
+  const double t = std::tanh(vds / vref);
+  op.ids += floor_scale * t;
+  op.gds += floor_scale * (1.0 - t * t) / vref;
+  return op;
+}
+
+double FinFetModel::cgg(int nfins) const {
+  const double intrinsic = params_.cox * params_.w_fin * params_.l_eff;
+  return (intrinsic + params_.cov_per_fin) * cap_mult_ *
+         static_cast<double>(nfins);
+}
+
+double FinFetModel::cjunction(int nfins) const {
+  return params_.cj_per_fin * static_cast<double>(nfins);
+}
+
+double FinFetModel::subthreshold_slope() const {
+  return device::subthreshold_slope(temperature_, params_.ideality,
+                                    params_.band_tail_v);
+}
+
+double FinFetModel::extract_vth_constant_current(double vds,
+                                                 double icrit) const {
+  double lo = -0.2;
+  double hi = 1.2;
+  if (ids(lo, vds) > icrit || ids(hi, vds) < icrit) {
+    throw std::invalid_argument{
+        "extract_vth_constant_current: icrit outside sweep range"};
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (ids(mid, vds) < icrit ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace cryo::device

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <string>
+
+#include "device/physics.hpp"
+
+namespace cryo::device {
+
+/// Transistor polarity.
+enum class Polarity { kN, kP };
+
+/// Compact-model parameters of one FinFET flavour.
+///
+/// This is a deliberately small, physics-transparent parameter set in the
+/// spirit of BSIM-CMG's core: enough to reproduce I_DS(V_GS, V_DS, T) with
+/// correct cryogenic trends (band-tail subthreshold floor, Vth rise,
+/// mobility improvement, leakage collapse) while staying cheap enough to
+/// evaluate millions of times inside the characterization loop.
+struct FinFetParams {
+  Polarity polarity = Polarity::kN;
+  std::string name = "nfet";
+
+  // --- geometry (per fin) ---
+  double l_eff = 20e-9;    ///< effective channel length [m]
+  double w_fin = 106e-9;   ///< effective per-fin width (2*Hfin + Tfin) [m]
+
+  // --- electrostatics ---
+  double vth300 = 0.185;   ///< threshold voltage at 300 K [V]
+  double ideality = 1.12;  ///< subthreshold ideality factor n
+  double band_tail_v = 5.5e-3;  ///< band-tail width Wt [V] (sets cryo SS floor)
+  double kvt = 0.55e-3;    ///< linear Vth tempco [V/K]
+  double beta_vth = 0.35;  ///< Vth(T) saturation coefficient
+
+  // --- transport ---
+  double mu0 = 0.01626;    ///< phonon-limited mobility scale [m^2/Vs]
+  double mu_r_inf = 0.5857;  ///< low-T mobility saturation ratio
+  double theta = 3.0;      ///< mobility degradation / vsat lumped [1/V]
+  double vsat_gain = 0.15; ///< cryogenic saturation-velocity gain
+  double lambda = 0.05;    ///< channel-length modulation [1/V]
+
+  // --- parasitics ---
+  double cox = 0.04;          ///< gate-oxide capacitance [F/m^2]
+  double cov_per_fin = 5e-17; ///< overlap/fringe gate capacitance [F]
+  double cj_per_fin = 3e-17;  ///< drain/source junction capacitance [F]
+  double i_floor_per_fin = 2.5e-13;  ///< T-independent leakage floor [A]
+  double cap_coeff = 0.06;    ///< cryogenic gate-capacitance reduction
+};
+
+/// Calibrated default parameter sets for the 5 nm-class technology.
+FinFetParams nominal_nfet_5nm();
+FinFetParams nominal_pfet_5nm();
+
+/// Operating-point evaluation result (all in the positive n-convention).
+struct FinFetOp {
+  double ids = 0.0;  ///< drain current [A]
+  double gm = 0.0;   ///< dIds/dVgs [S]
+  double gds = 0.0;  ///< dIds/dVds [S]
+};
+
+/// The cryogenic-aware FinFET compact model.
+///
+/// Works in the positive ("electron") convention: for p-type devices the
+/// caller passes source-referred magnitudes (V_SG, V_SD). Temperature is
+/// bound at construction so per-temperature derived quantities are
+/// precomputed once and the hot `evaluate` path stays branch-light.
+class FinFetModel {
+public:
+  FinFetModel(const FinFetParams& params, double temperature_k);
+
+  /// Drain current and small-signal derivatives at (vgs, vds).
+  /// `nfins` scales current linearly. Smooth (C^1) in both voltages,
+  /// defined for all real inputs — required by the Newton solver.
+  FinFetOp evaluate(double vgs, double vds, int nfins = 1) const;
+
+  /// Drain current only.
+  double ids(double vgs, double vds, int nfins = 1) const {
+    return evaluate(vgs, vds, nfins).ids;
+  }
+
+  /// OFF-state leakage current at Vgs = 0, Vds = vdd [A].
+  double ioff(double vdd, int nfins = 1) const { return ids(0.0, vdd, nfins); }
+
+  /// ON current at Vgs = Vds = vdd [A].
+  double ion(double vdd, int nfins = 1) const { return ids(vdd, vdd, nfins); }
+
+  /// Total lumped gate capacitance [F].
+  double cgg(int nfins = 1) const;
+
+  /// Lumped drain (or source) junction capacitance [F].
+  double cjunction(int nfins = 1) const;
+
+  /// Threshold voltage at this temperature [V].
+  double vth() const { return vth_; }
+
+  /// Subthreshold slope at this temperature [V/decade].
+  double subthreshold_slope() const;
+
+  /// Extract Vth by the constant-current method: the Vgs at which
+  /// Ids(Vgs, vds) per fin crosses `icrit` (bisection on the smooth model).
+  double extract_vth_constant_current(double vds, double icrit) const;
+
+  double temperature() const { return temperature_; }
+  const FinFetParams& params() const { return params_; }
+
+private:
+  FinFetParams params_;
+  double temperature_;
+  // Derived, fixed per temperature:
+  double vth_;       ///< Vth(T)
+  double vte_;       ///< n * v_eff(T)
+  double is_;        ///< specific current per fin
+  double theta_t_;   ///< theta adjusted for cryo vsat gain
+  double cap_mult_;  ///< gate-capacitance multiplier
+};
+
+}  // namespace cryo::device

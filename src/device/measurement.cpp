@@ -1,0 +1,54 @@
+#include "device/measurement.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cryo::device {
+
+ReferenceDevice::ReferenceDevice(Polarity polarity) {
+  params_ = polarity == Polarity::kN ? nominal_nfet_5nm() : nominal_pfet_5nm();
+  // Perturb the nominal card: the "real" transistor never matches the
+  // model-card defaults, which is exactly what makes calibration necessary.
+  params_.name += "_reference";
+  params_.vth300 *= 1.018;
+  params_.ideality *= 1.025;
+  params_.band_tail_v *= 1.08;
+  params_.mu0 *= 1.05;
+  params_.theta *= 0.96;
+  params_.kvt *= 1.06;
+  params_.lambda *= 1.10;
+  params_.i_floor_per_fin *= 1.30;
+}
+
+MeasurementSet ReferenceDevice::measure(const MeasurementPlan& plan) const {
+  MeasurementSet set;
+  set.polarity = params_.polarity;
+  set.nfins = plan.nfins;
+  util::Rng rng{plan.seed};
+
+  for (double temp : plan.temperatures_k) {
+    const FinFetModel model{params_, temp};
+    for (double vds : plan.vds_values) {
+      for (int i = 0; i < plan.vgs_steps; ++i) {
+        const double vgs =
+            plan.vgs_start + (plan.vgs_stop - plan.vgs_start) *
+                                 static_cast<double>(i) /
+                                 static_cast<double>(plan.vgs_steps - 1);
+        const double ideal = model.ids(vgs, vds, plan.nfins);
+        const double noisy =
+            ideal * std::exp(plan.relative_noise * rng.next_gaussian()) +
+            plan.noise_floor * rng.next_gaussian();
+        MeasurementPoint pt;
+        pt.temperature_k = temp;
+        pt.vgs = vgs;
+        pt.vds = vds;
+        pt.ids = noisy;
+        set.points.push_back(pt);
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace cryo::device

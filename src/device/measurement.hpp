@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/finfet.hpp"
+
+namespace cryo::device {
+
+/// One measured I-V sample point.
+struct MeasurementPoint {
+  double temperature_k = 300.0;
+  double vgs = 0.0;
+  double vds = 0.0;
+  double ids = 0.0;  ///< measured drain current [A] (per device, all fins)
+};
+
+/// A set of transfer-curve measurements of one device.
+struct MeasurementSet {
+  Polarity polarity = Polarity::kN;
+  int nfins = 1;
+  std::vector<MeasurementPoint> points;
+};
+
+/// Configuration of the synthetic measurement campaign.
+///
+/// Mirrors the paper's lab setup (Lakeshore CRX-VF probe station driven by
+/// a Keysight B1500A): transfer curves I_DS(V_GS) at low and high V_DS for
+/// a ladder of temperatures from 300 K down to 10 K. 10 K is the paper's
+/// lowest stable temperature (probe heat flux causes 3.5-8.5 K
+/// fluctuations below that), so it is our floor too.
+struct MeasurementPlan {
+  std::vector<double> temperatures_k = {300.0, 200.0, 77.0, 10.0};
+  std::vector<double> vds_values = {0.05, 0.75};  ///< paper: 50 mV & 750 mV
+  double vgs_start = 0.0;
+  double vgs_stop = 0.75;
+  int vgs_steps = 31;
+  int nfins = 4;  ///< paper: multi-fin, multi-finger test structures
+  /// Relative instrument noise (log-normal sigma on each current sample).
+  double relative_noise = 0.01;
+  /// Additive noise floor of the SMU [A].
+  double noise_floor = 5e-15;
+  std::uint64_t seed = 7;
+};
+
+/// The "golden" device standing in for the physical 5 nm FinFET.
+///
+/// Substitution note (see DESIGN.md §1): we have no cryogenic probe
+/// station, so the physical transistor is replaced by a hidden reference
+/// parameter set — *different* from the nominal model card — sampled with
+/// realistic instrument noise. The calibration code path (ingest
+/// measurements, extract parameters, report residuals) is identical to the
+/// paper's BSIM-CMG calibration against lab data.
+class ReferenceDevice {
+public:
+  explicit ReferenceDevice(Polarity polarity);
+
+  /// True underlying parameters (hidden from the calibration flow; used
+  /// only by tests to check the extractor recovers them approximately).
+  const FinFetParams& true_params() const { return params_; }
+
+  /// Run the synthetic measurement campaign.
+  MeasurementSet measure(const MeasurementPlan& plan) const;
+
+private:
+  FinFetParams params_;
+};
+
+}  // namespace cryo::device

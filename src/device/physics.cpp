@@ -1,0 +1,58 @@
+#include "device/physics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::device {
+
+double thermal_voltage(double temperature_k) {
+  if (temperature_k <= 0.0) {
+    throw std::invalid_argument{"temperature must be positive"};
+  }
+  return kBoltzmann * temperature_k / kElementaryCharge;
+}
+
+double effective_thermal_voltage(double temperature_k, double band_tail_v) {
+  const double vt = thermal_voltage(temperature_k);
+  if (band_tail_v <= 0.0) {
+    return vt;
+  }
+  const double x = band_tail_v / vt;
+  // tanh saturates; for large x avoid wasteful exp evaluation.
+  if (x > 30.0) {
+    return band_tail_v;
+  }
+  return band_tail_v / std::tanh(x);
+}
+
+double vth_shift(double temperature_k, double kvt, double beta) {
+  const double dt = kRoomTemperature - temperature_k;
+  return kvt * dt * (1.0 - beta * dt / (2.0 * kRoomTemperature));
+}
+
+double mobility_factor(double temperature_k, double r_inf) {
+  if (r_inf <= 0.0) {
+    throw std::invalid_argument{"mobility saturation ratio must be positive"};
+  }
+  const double phonon = std::pow(temperature_k / kRoomTemperature, 1.5);
+  return 1.0 / (phonon + 1.0 / r_inf);
+}
+
+double vsat_factor(double temperature_k, double vsat_gain) {
+  // Linear rise with temperature drop, saturating like the mobility.
+  const double frac = (kRoomTemperature - temperature_k) / kRoomTemperature;
+  return 1.0 + vsat_gain * frac;
+}
+
+double cap_factor(double temperature_k, double cap_coeff) {
+  const double frac = (kRoomTemperature - temperature_k) / kRoomTemperature;
+  return 1.0 - cap_coeff * frac;
+}
+
+double subthreshold_slope(double temperature_k, double ideality,
+                          double band_tail_v) {
+  return ideality * effective_thermal_voltage(temperature_k, band_tail_v) *
+         std::log(10.0);
+}
+
+}  // namespace cryo::device

@@ -1,0 +1,169 @@
+#include "epfl/wordlib.hpp"
+
+#include <stdexcept>
+
+namespace cryo::epfl {
+
+using logic::Aig;
+using logic::Lit;
+
+Word input_word(Aig& aig, const std::string& prefix, unsigned bits) {
+  Word w;
+  w.reserve(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    w.push_back(aig.add_pi(prefix + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+Word constant_word(unsigned long long value, unsigned bits) {
+  Word w;
+  w.reserve(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    w.push_back(((value >> i) & 1ull) != 0 ? logic::kConst1 : logic::kConst0);
+  }
+  return w;
+}
+
+Word add(Aig& aig, const Word& a, const Word& b, Lit carry_in,
+         Lit* carry_out) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"add: width mismatch"};
+  }
+  Word sum(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = aig.lxor(a[i], b[i]);
+    sum[i] = aig.lxor(axb, carry);
+    carry = aig.lor(aig.land(a[i], b[i]), aig.land(axb, carry));
+  }
+  if (carry_out != nullptr) {
+    *carry_out = carry;
+  }
+  return sum;
+}
+
+Word sub(Aig& aig, const Word& a, const Word& b, Lit* no_borrow) {
+  Word nb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    nb[i] = logic::lit_not(b[i]);
+  }
+  Lit carry = logic::kConst0;
+  Word diff = add(aig, a, nb, logic::kConst1, &carry);
+  if (no_borrow != nullptr) {
+    *no_borrow = carry;  // carry==1 means a >= b
+  }
+  return diff;
+}
+
+Lit less_than(Aig& aig, const Word& a, const Word& b) {
+  Lit no_borrow = logic::kConst0;
+  (void)sub(aig, a, b, &no_borrow);
+  return logic::lit_not(no_borrow);
+}
+
+Lit equals(Aig& aig, const Word& a, const Word& b) {
+  Word eq(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq[i] = aig.lxnor(a[i], b[i]);
+  }
+  return and_reduce(aig, eq);
+}
+
+Word mux_word(Aig& aig, Lit s, const Word& t, const Word& e) {
+  if (t.size() != e.size()) {
+    throw std::invalid_argument{"mux_word: width mismatch"};
+  }
+  Word out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = aig.lmux(s, t[i], e[i]);
+  }
+  return out;
+}
+
+Word shift_left(Aig& aig, const Word& value, const Word& amount) {
+  Word cur = value;
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const unsigned dist = 1u << s;
+    Word shifted(cur.size(), logic::kConst0);
+    for (std::size_t i = dist; i < cur.size(); ++i) {
+      shifted[i] = cur[i - dist];
+    }
+    cur = mux_word(aig, amount[s], shifted, cur);
+  }
+  return cur;
+}
+
+Word shift_right(Aig& aig, const Word& value, const Word& amount) {
+  Word cur = value;
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const unsigned dist = 1u << s;
+    Word shifted(cur.size(), logic::kConst0);
+    for (std::size_t i = 0; i + dist < cur.size(); ++i) {
+      shifted[i] = cur[i + dist];
+    }
+    cur = mux_word(aig, amount[s], shifted, cur);
+  }
+  return cur;
+}
+
+Word multiply(Aig& aig, const Word& a, const Word& b) {
+  const std::size_t width = a.size() + b.size();
+  Word acc(width, logic::kConst0);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    Word partial(width, logic::kConst0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      partial[i + j] = aig.land(a[i], b[j]);
+    }
+    acc = add(aig, acc, partial);
+  }
+  return acc;
+}
+
+Word popcount(Aig& aig, const Word& bits) {
+  // Tournament of ripple additions over ever-wider words.
+  std::vector<Word> layer;
+  for (const Lit b : bits) {
+    layer.push_back(Word{b});
+  }
+  while (layer.size() > 1) {
+    std::vector<Word> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      Word a = layer[i];
+      Word b = layer[i + 1];
+      const std::size_t w = std::max(a.size(), b.size()) + 1;
+      a.resize(w, logic::kConst0);
+      b.resize(w, logic::kConst0);
+      next.push_back(add(aig, a, b));
+    }
+    if (layer.size() % 2 != 0) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  return layer.empty() ? Word{} : layer.front();
+}
+
+Lit and_reduce(Aig& aig, const Word& w) {
+  Lit acc = logic::kConst1;
+  for (const Lit l : w) {
+    acc = aig.land(acc, l);
+  }
+  return acc;
+}
+
+Lit or_reduce(Aig& aig, const Word& w) {
+  Lit acc = logic::kConst0;
+  for (const Lit l : w) {
+    acc = aig.lor(acc, l);
+  }
+  return acc;
+}
+
+void output_word(Aig& aig, const std::string& prefix, const Word& w) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    aig.add_po(w[i], prefix + "[" + std::to_string(i) + "]");
+  }
+}
+
+}  // namespace cryo::epfl

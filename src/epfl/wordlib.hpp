@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/aig.hpp"
+
+namespace cryo::epfl {
+
+/// Word-level construction helpers over AIG literals — the building
+/// blocks of the benchmark generators (and a convenient user-facing API
+/// for assembling datapaths).
+using Word = std::vector<logic::Lit>;
+
+/// A fresh input word of `bits` PIs named `<prefix>[i]`.
+Word input_word(logic::Aig& aig, const std::string& prefix, unsigned bits);
+
+/// Constant word (LSB first).
+Word constant_word(unsigned long long value, unsigned bits);
+
+/// Ripple-carry addition; returns sum (same width), carry-out optional.
+Word add(logic::Aig& aig, const Word& a, const Word& b,
+         logic::Lit carry_in = logic::kConst0, logic::Lit* carry_out = nullptr);
+
+/// Two's-complement subtraction a - b; borrow_out = !carry.
+Word sub(logic::Aig& aig, const Word& a, const Word& b,
+         logic::Lit* no_borrow = nullptr);
+
+/// Unsigned comparison a < b / a >= b / a == b.
+logic::Lit less_than(logic::Aig& aig, const Word& a, const Word& b);
+logic::Lit equals(logic::Aig& aig, const Word& a, const Word& b);
+
+/// Bitwise select: s ? t : e (words of equal width).
+Word mux_word(logic::Aig& aig, logic::Lit s, const Word& t, const Word& e);
+
+/// Logical shift left/right by a variable amount (barrel structure,
+/// stage per shift bit). `amount` is LSB-first.
+Word shift_left(logic::Aig& aig, const Word& value, const Word& amount);
+Word shift_right(logic::Aig& aig, const Word& value, const Word& amount);
+
+/// Unsigned multiplication (array multiplier), result truncated to
+/// `a.size() + b.size()` bits.
+Word multiply(logic::Aig& aig, const Word& a, const Word& b);
+
+/// Population count of the bits (result has ceil(log2(n+1)) bits).
+Word popcount(logic::Aig& aig, const Word& bits);
+
+/// AND/OR-reduce a word to one literal.
+logic::Lit and_reduce(logic::Aig& aig, const Word& w);
+logic::Lit or_reduce(logic::Aig& aig, const Word& w);
+
+/// Add a whole word as POs named `<prefix>[i]`.
+void output_word(logic::Aig& aig, const std::string& prefix, const Word& w);
+
+}  // namespace cryo::epfl

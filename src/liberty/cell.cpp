@@ -1,0 +1,73 @@
+#include "liberty/cell.hpp"
+
+#include <algorithm>
+
+namespace cryo::liberty {
+
+const Pin* Cell::output_pin() const {
+  for (const auto& pin : pins) {
+    if (pin.is_output) {
+      return &pin;
+    }
+  }
+  return nullptr;
+}
+
+const Pin* Cell::find_pin(const std::string& pin_name) const {
+  for (const auto& pin : pins) {
+    if (pin.name == pin_name) {
+      return &pin;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Cell::input_names() const {
+  std::vector<std::string> names;
+  for (const auto& pin : pins) {
+    if (!pin.is_output) {
+      names.push_back(pin.name);
+    }
+  }
+  return names;
+}
+
+const TimingArc* Cell::arc_from(const std::string& input) const {
+  for (const auto& arc : arcs) {
+    if (arc.related_pin == input) {
+      return &arc;
+    }
+  }
+  return nullptr;
+}
+
+const PowerArc* Cell::power_arc_from(const std::string& input) const {
+  for (const auto& arc : power_arcs) {
+    if (arc.related_pin == input) {
+      return &arc;
+    }
+  }
+  return nullptr;
+}
+
+double Cell::typical_delay(double slew, double load) const {
+  double worst = 0.0;
+  for (const auto& arc : arcs) {
+    worst = std::max({worst, arc.cell_rise.lookup(slew, load),
+                      arc.cell_fall.lookup(slew, load)});
+  }
+  return worst;
+}
+
+double Cell::typical_energy(double slew, double load) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& arc : power_arcs) {
+    sum += arc.rise_power.lookup(slew, load) +
+           arc.fall_power.lookup(slew, load);
+    count += 2;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace cryo::liberty

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/nldm.hpp"
+
+namespace cryo::liberty {
+
+/// Unateness of a timing arc.
+enum class ArcSense { kPositive, kNegative, kNonUnate };
+
+/// One timing arc: related (input) pin -> the cell's output pin.
+struct TimingArc {
+  std::string related_pin;
+  ArcSense sense = ArcSense::kNegative;
+  NldmTable cell_rise;        ///< output-rise delay [s]
+  NldmTable cell_fall;        ///< output-fall delay [s]
+  NldmTable rise_transition;  ///< output rise slew [s]
+  NldmTable fall_transition;  ///< output fall slew [s]
+};
+
+/// One internal-power arc: energy drawn from the rail per output
+/// transition, excluding the energy stored in the external load [J].
+struct PowerArc {
+  std::string related_pin;
+  NldmTable rise_power;
+  NldmTable fall_power;
+};
+
+/// A cell pin.
+struct Pin {
+  std::string name;
+  bool is_output = false;
+  double capacitance = 0.0;  ///< input capacitance [F] (inputs only)
+  std::string function;      ///< liberty boolean function (outputs only)
+};
+
+/// A standard cell.
+struct Cell {
+  std::string name;
+  double area = 0.0;           ///< [um^2]
+  double leakage_power = 0.0;  ///< state-averaged leakage [W]
+  bool is_sequential = false;
+  std::string next_state;  ///< sequential cells: D-input expression
+  std::string clocked_on;  ///< sequential cells: clock expression
+  std::vector<Pin> pins;
+  std::vector<TimingArc> arcs;
+  std::vector<PowerArc> power_arcs;
+
+  const Pin* output_pin() const;
+  const Pin* find_pin(const std::string& pin_name) const;
+  std::vector<std::string> input_names() const;
+  const TimingArc* arc_from(const std::string& input) const;
+  const PowerArc* power_arc_from(const std::string& input) const;
+
+  /// Worst-case (max over arcs) delay at a nominal corner — a convenient
+  /// scalar for distribution plots (paper Fig. 2a).
+  double typical_delay(double slew, double load) const;
+  /// Mean switching (internal) energy over arcs at a nominal corner [J]
+  /// (paper Fig. 2b).
+  double typical_energy(double slew, double load) const;
+};
+
+}  // namespace cryo::liberty

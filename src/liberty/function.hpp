@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cryo::liberty {
+
+/// Evaluate a liberty boolean function string (operators ! & | ^, postfix
+/// ', parentheses, juxtaposition as AND, constants 0/1) into a truth table
+/// over the given ordered variable names (at most 6 variables; bit i of
+/// the result is the function value when input j equals bit j of i).
+///
+/// Throws std::runtime_error on syntax errors or unknown variables.
+std::uint64_t function_truth_table(const std::string& expression,
+                                   const std::vector<std::string>& inputs);
+
+/// The input names referenced by a function string, in first-use order.
+std::vector<std::string> function_inputs(const std::string& expression);
+
+}  // namespace cryo::liberty

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/cell.hpp"
+
+namespace cryo::liberty {
+
+/// A characterized standard-cell library at one operating corner.
+struct Library {
+  std::string name;
+  double temperature_k = 300.0;
+  double voltage = 0.7;
+  std::vector<Cell> cells;
+
+  const Cell* find(const std::string& cell_name) const;
+  Cell* find(const std::string& cell_name);
+};
+
+/// Serialize to liberty text (industry ".lib" format).
+std::string to_liberty(const Library& library);
+
+/// Write liberty text to a file. Throws std::runtime_error on I/O failure.
+void write_liberty(const Library& library, const std::string& path);
+
+/// Parse liberty text produced by `to_liberty` (and structurally similar
+/// liberty files). Throws std::runtime_error on syntax errors.
+Library parse_liberty(const std::string& text);
+
+/// Read and parse a liberty file.
+Library read_liberty(const std::string& path);
+
+}  // namespace cryo::liberty

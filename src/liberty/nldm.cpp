@@ -1,0 +1,70 @@
+#include "liberty/nldm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryo::liberty {
+namespace {
+
+/// Find the interpolation segment for x on a sorted axis: returns the
+/// index i such that axis[i], axis[i+1] bracket x (clamped to edge
+/// segments for extrapolation), plus the normalized coordinate.
+std::pair<std::size_t, double> segment(const std::vector<double>& axis,
+                                       double x) {
+  if (axis.size() == 1) {
+    return {0, 0.0};
+  }
+  std::size_t i = 0;
+  while (i + 2 < axis.size() && x > axis[i + 1]) {
+    ++i;
+  }
+  const double span = axis[i + 1] - axis[i];
+  const double t = span != 0.0 ? (x - axis[i]) / span : 0.0;
+  return {i, t};
+}
+
+}  // namespace
+
+NldmTable::NldmTable(std::vector<double> index1, std::vector<double> index2,
+                     std::vector<double> values)
+    : index1_{std::move(index1)},
+      index2_{std::move(index2)},
+      values_{std::move(values)} {
+  if (index1_.empty() || index2_.empty() ||
+      values_.size() != index1_.size() * index2_.size()) {
+    throw std::invalid_argument{"NldmTable: inconsistent dimensions"};
+  }
+  if (!std::is_sorted(index1_.begin(), index1_.end()) ||
+      !std::is_sorted(index2_.begin(), index2_.end())) {
+    throw std::invalid_argument{"NldmTable: indices must be sorted"};
+  }
+}
+
+NldmTable NldmTable::scalar(double value) {
+  return NldmTable{{0.0}, {0.0}, {value}};
+}
+
+double NldmTable::lookup(double x1, double x2) const {
+  if (empty()) {
+    throw std::logic_error{"NldmTable::lookup on empty table"};
+  }
+  const auto [i, t] = segment(index1_, x1);
+  const auto [j, u] = segment(index2_, x2);
+  if (index1_.size() == 1 && index2_.size() == 1) {
+    return values_[0];
+  }
+  if (index1_.size() == 1) {
+    return value_at(0, j) * (1.0 - u) + value_at(0, j + 1) * u;
+  }
+  if (index2_.size() == 1) {
+    return value_at(i, 0) * (1.0 - t) + value_at(i + 1, 0) * t;
+  }
+  const double v00 = value_at(i, j);
+  const double v01 = value_at(i, j + 1);
+  const double v10 = value_at(i + 1, j);
+  const double v11 = value_at(i + 1, j + 1);
+  return v00 * (1.0 - t) * (1.0 - u) + v01 * (1.0 - t) * u +
+         v10 * t * (1.0 - u) + v11 * t * u;
+}
+
+}  // namespace cryo::liberty

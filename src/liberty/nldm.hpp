@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cryo::liberty {
+
+/// A non-linear delay model (NLDM) lookup table: values on a 2-D grid of
+/// (index1 = input slew, index2 = output load), the industry-standard
+/// table format cell libraries use for delay, output slew, and internal
+/// energy. Lookup is bilinear inside the grid with linear extrapolation
+/// from the edge cells outside it — matching commercial STA behaviour.
+class NldmTable {
+public:
+  NldmTable() = default;
+  NldmTable(std::vector<double> index1, std::vector<double> index2,
+            std::vector<double> values);
+
+  double lookup(double x1, double x2) const;
+
+  const std::vector<double>& index1() const { return index1_; }
+  const std::vector<double>& index2() const { return index2_; }
+  const std::vector<double>& values() const { return values_; }
+  double value_at(std::size_t i, std::size_t j) const {
+    return values_[i * index2_.size() + j];
+  }
+
+  bool empty() const { return values_.empty(); }
+
+  /// Scalar "table" (single value, no axes) — used for constant arcs.
+  static NldmTable scalar(double value);
+
+private:
+  std::vector<double> index1_;
+  std::vector<double> index2_;
+  std::vector<double> values_;
+};
+
+}  // namespace cryo::liberty

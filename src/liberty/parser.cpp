@@ -1,0 +1,436 @@
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "liberty/library.hpp"
+#include "liberty/units.hpp"
+#include "util/strings.hpp"
+
+namespace cryo::liberty {
+namespace {
+
+/// Generic liberty syntax tree: group(args) { attribute : value; ... }.
+struct Group {
+  std::string type;
+  std::vector<std::string> args;
+  std::multimap<std::string, std::string> attributes;          // simple
+  std::multimap<std::string, std::vector<std::string>> lists;  // complex
+  std::vector<Group> children;
+
+  const std::string& attr(const std::string& key,
+                          const std::string& fallback = "") const {
+    const auto it = attributes.find(key);
+    static const std::string empty;
+    if (it == attributes.end()) {
+      return fallback.empty() ? empty : fallback;
+    }
+    return it->second;
+  }
+};
+
+class Tokenizer {
+public:
+  explicit Tokenizer(const std::string& text) : text_{text} {}
+
+  /// Token kinds: identifiers/numbers, quoted strings, punctuation.
+  std::string next() {
+    skip_space_and_comments();
+    if (pos_ >= text_.size()) {
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] == '\n') {
+          pos_ += 2;  // line continuation inside string
+          continue;
+        }
+        out += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error{"liberty parse: unterminated string"};
+      }
+      ++pos_;
+      was_quoted_ = true;
+      return out;
+    }
+    was_quoted_ = false;
+    if (std::strchr("{}();:,", c) != nullptr) {
+      ++pos_;
+      return std::string(1, c);
+    }
+    std::string out;
+    while (pos_ < text_.size() &&
+           std::strchr("{}();:,\"", text_[pos_]) == nullptr &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\\') {  // line continuation
+        ++pos_;
+        continue;
+      }
+      out += text_[pos_++];
+    }
+    return out;
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos_;
+    const bool saved_q = was_quoted_;
+    std::string tok = next();
+    pos_ = saved;
+    was_quoted_ = saved_q;
+    return tok;
+  }
+
+  bool was_quoted() const { return was_quoted_; }
+  bool done() {
+    skip_space_and_comments();
+    return pos_ >= text_.size();
+  }
+
+private:
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\\')) {
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          throw std::runtime_error{"liberty parse: unterminated comment"};
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool was_quoted_ = false;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : tok_{text} {}
+
+  Group parse_top() {
+    Group top = parse_group(tok_.next());
+    return top;
+  }
+
+private:
+  void expect(const std::string& want) {
+    const std::string got = tok_.next();
+    if (got != want) {
+      throw std::runtime_error{"liberty parse: expected '" + want +
+                               "', got '" + got + "'"};
+    }
+  }
+
+  /// Called with the group/attribute name already consumed.
+  Group parse_group(const std::string& type) {
+    Group group;
+    group.type = type;
+    expect("(");
+    for (;;) {
+      const std::string t = tok_.next();
+      if (t == ")") {
+        break;
+      }
+      if (t == ",") {
+        continue;
+      }
+      group.args.push_back(t);
+    }
+    expect("{");
+    while (true) {
+      const std::string name = tok_.next();
+      if (name == "}") {
+        break;
+      }
+      if (name.empty()) {
+        throw std::runtime_error{"liberty parse: unexpected end of input"};
+      }
+      const std::string sep = tok_.peek();
+      if (sep == ":") {
+        tok_.next();
+        std::string value;
+        // Values may span several tokens until ';' (e.g. unquoted floats).
+        for (;;) {
+          const std::string v = tok_.next();
+          if (v == ";") {
+            break;
+          }
+          if (!value.empty()) {
+            value += ' ';
+          }
+          value += v;
+        }
+        group.attributes.emplace(name, value);
+      } else if (sep == "(") {
+        // Either a complex attribute `name (a, b, ...);` or a child group
+        // `name (args) { ... }`.
+        tok_.next();
+        std::vector<std::string> args;
+        for (;;) {
+          const std::string t = tok_.next();
+          if (t == ")") {
+            break;
+          }
+          if (t == ",") {
+            continue;
+          }
+          args.push_back(t);
+        }
+        const std::string after = tok_.peek();
+        if (after == "{") {
+          tok_.next();
+          Group child;
+          child.type = name;
+          child.args = std::move(args);
+          parse_body(child);
+          group.children.push_back(std::move(child));
+        } else {
+          if (after == ";") {
+            tok_.next();
+          }
+          group.lists.emplace(name, std::move(args));
+        }
+      } else {
+        throw std::runtime_error{"liberty parse: unexpected token after '" +
+                                 name + "'"};
+      }
+    }
+    return group;
+  }
+
+  void parse_body(Group& group) {
+    while (true) {
+      const std::string name = tok_.next();
+      if (name == "}") {
+        return;
+      }
+      if (name.empty()) {
+        throw std::runtime_error{"liberty parse: unexpected end of input"};
+      }
+      const std::string sep = tok_.peek();
+      if (sep == ":") {
+        tok_.next();
+        std::string value;
+        for (;;) {
+          const std::string v = tok_.next();
+          if (v == ";") {
+            break;
+          }
+          if (!value.empty()) {
+            value += ' ';
+          }
+          value += v;
+        }
+        group.attributes.emplace(name, value);
+      } else if (sep == "(") {
+        tok_.next();
+        std::vector<std::string> args;
+        for (;;) {
+          const std::string t = tok_.next();
+          if (t == ")") {
+            break;
+          }
+          if (t == ",") {
+            continue;
+          }
+          args.push_back(t);
+        }
+        const std::string after = tok_.peek();
+        if (after == "{") {
+          tok_.next();
+          Group child;
+          child.type = name;
+          child.args = std::move(args);
+          parse_body(child);
+          group.children.push_back(std::move(child));
+        } else {
+          if (after == ";") {
+            tok_.next();
+          }
+          group.lists.emplace(name, std::move(args));
+        }
+      } else {
+        throw std::runtime_error{"liberty parse: unexpected token after '" +
+                                 name + "'"};
+      }
+    }
+  }
+
+  Tokenizer tok_;
+};
+
+std::vector<double> parse_number_list(const std::vector<std::string>& args) {
+  std::vector<double> out;
+  for (const auto& arg : args) {
+    for (const auto& tok : util::split(arg, ", ")) {
+      out.push_back(std::stod(tok));
+    }
+  }
+  return out;
+}
+
+NldmTable extract_table(const Group& g, double unit) {
+  std::vector<double> index1{0.0};
+  std::vector<double> index2{0.0};
+  if (const auto it = g.lists.find("index_1"); it != g.lists.end()) {
+    index1 = parse_number_list(it->second);
+    for (double& v : index1) {
+      v *= kTimeUnit;
+    }
+  }
+  if (const auto it = g.lists.find("index_2"); it != g.lists.end()) {
+    index2 = parse_number_list(it->second);
+    for (double& v : index2) {
+      v *= kCapUnit;
+    }
+  }
+  std::vector<double> values;
+  if (const auto it = g.lists.find("values"); it != g.lists.end()) {
+    values = parse_number_list(it->second);
+  }
+  for (double& v : values) {
+    v *= unit;
+  }
+  return NldmTable{std::move(index1), std::move(index2), std::move(values)};
+}
+
+ArcSense parse_sense(const std::string& text) {
+  if (text == "positive_unate") {
+    return ArcSense::kPositive;
+  }
+  if (text == "negative_unate") {
+    return ArcSense::kNegative;
+  }
+  return ArcSense::kNonUnate;
+}
+
+Cell extract_cell(const Group& g) {
+  Cell cell;
+  cell.name = g.args.empty() ? "" : g.args.front();
+  cell.area = std::stod(g.attr("area", "0"));
+  cell.leakage_power =
+      std::stod(g.attr("cell_leakage_power", "0")) * kLeakageUnit;
+  for (const auto& child : g.children) {
+    if (child.type == "ff") {
+      cell.is_sequential = true;
+      cell.next_state = child.attr("next_state");
+      cell.clocked_on = child.attr("clocked_on");
+      continue;
+    }
+    if (child.type != "pin") {
+      continue;
+    }
+    Pin pin;
+    pin.name = child.args.empty() ? "" : child.args.front();
+    pin.is_output = child.attr("direction") == "output";
+    if (!pin.is_output) {
+      pin.capacitance = std::stod(child.attr("capacitance", "0")) * kCapUnit;
+    } else {
+      pin.function = child.attr("function");
+      for (const auto& sub : child.children) {
+        if (sub.type == "timing") {
+          TimingArc arc;
+          arc.related_pin = sub.attr("related_pin");
+          arc.sense = parse_sense(sub.attr("timing_sense"));
+          for (const auto& t : sub.children) {
+            if (t.type == "cell_rise") {
+              arc.cell_rise = extract_table(t, kTimeUnit);
+            } else if (t.type == "cell_fall") {
+              arc.cell_fall = extract_table(t, kTimeUnit);
+            } else if (t.type == "rise_transition") {
+              arc.rise_transition = extract_table(t, kTimeUnit);
+            } else if (t.type == "fall_transition") {
+              arc.fall_transition = extract_table(t, kTimeUnit);
+            }
+          }
+          cell.arcs.push_back(std::move(arc));
+        } else if (sub.type == "internal_power") {
+          PowerArc arc;
+          arc.related_pin = sub.attr("related_pin");
+          for (const auto& t : sub.children) {
+            if (t.type == "rise_power") {
+              arc.rise_power = extract_table(t, kEnergyUnit);
+            } else if (t.type == "fall_power") {
+              arc.fall_power = extract_table(t, kEnergyUnit);
+            }
+          }
+          cell.power_arcs.push_back(std::move(arc));
+        }
+      }
+    }
+    cell.pins.push_back(std::move(pin));
+  }
+  return cell;
+}
+
+}  // namespace
+
+Library parse_liberty(const std::string& text) {
+  Parser parser{text};
+  const Group top = parser.parse_top();
+  if (top.type != "library") {
+    throw std::runtime_error{"parse_liberty: top group is not 'library'"};
+  }
+  Library lib;
+  lib.name = top.args.empty() ? "" : top.args.front();
+  const std::string kelvin = top.attr("temperature_kelvin");
+  if (!kelvin.empty()) {
+    lib.temperature_k = std::stod(kelvin);
+  } else {
+    lib.temperature_k = std::stod(top.attr("nom_temperature", "25")) + 273.15;
+  }
+  lib.voltage = std::stod(top.attr("nom_voltage", "0.7"));
+  for (const auto& child : top.children) {
+    if (child.type == "cell") {
+      lib.cells.push_back(extract_cell(child));
+    }
+  }
+  return lib;
+}
+
+Library read_liberty(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"read_liberty: cannot open " + path};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_liberty(buf.str());
+}
+
+const Cell* Library::find(const std::string& cell_name) const {
+  for (const auto& cell : cells) {
+    if (cell.name == cell_name) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+Cell* Library::find(const std::string& cell_name) {
+  for (auto& cell : cells) {
+    if (cell.name == cell_name) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cryo::liberty

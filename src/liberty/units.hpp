@@ -1,0 +1,12 @@
+#pragma once
+
+namespace cryo::liberty {
+
+/// Unit conventions of the generated liberty files. The in-memory library
+/// is always SI; these factors apply only at (de)serialization.
+inline constexpr double kTimeUnit = 1e-12;     ///< 1 ps
+inline constexpr double kCapUnit = 1e-15;      ///< 1 fF
+inline constexpr double kEnergyUnit = 1e-15;   ///< 1 fJ (internal power)
+inline constexpr double kLeakageUnit = 1e-12;  ///< 1 pW
+
+}  // namespace cryo::liberty

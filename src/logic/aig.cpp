@@ -1,0 +1,147 @@
+#include "logic/aig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryo::logic {
+
+Lit Aig::add_pi(std::string name) {
+  if (num_ands_ != 0) {
+    throw std::logic_error{"Aig: all PIs must be created before AND nodes"};
+  }
+  const NodeIdx v = num_nodes();
+  nodes_.push_back({0, 0});
+  pis_.push_back(v);
+  if (name.empty()) {
+    name = "pi" + std::to_string(pis_.size() - 1);
+  }
+  pi_names_.push_back(std::move(name));
+  return make_lit(v);
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  // Trivial cases (constant propagation, idempotence, complementarity).
+  if (a > b) {
+    std::swap(a, b);
+  }
+  if (a == kConst0) {
+    return kConst0;
+  }
+  if (a == kConst1) {
+    return b;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == lit_not(b)) {
+    return kConst0;
+  }
+  const std::uint64_t k = key(a, b);
+  const auto it = strash_.find(k);
+  if (it != strash_.end()) {
+    return make_lit(it->second);
+  }
+  const NodeIdx v = num_nodes();
+  nodes_.push_back({a, b});
+  ++num_ands_;
+  strash_.emplace(k, v);
+  return make_lit(v);
+}
+
+Lit Aig::lxor(Lit a, Lit b) {
+  // a ^ b = !(!(a & !b) & !(!a & b))
+  return lit_not(land(lit_not(land(a, lit_not(b))), lit_not(land(lit_not(a), b))));
+}
+
+Lit Aig::lmux(Lit s, Lit t, Lit e) {
+  return lit_not(land(lit_not(land(s, t)), lit_not(land(lit_not(s), e))));
+}
+
+Lit Aig::lmaj(Lit a, Lit b, Lit c) {
+  return lor(land(a, b), lor(land(a, c), land(b, c)));
+}
+
+void Aig::add_po(Lit driver, std::string name) {
+  if (lit_var(driver) >= num_nodes()) {
+    throw std::out_of_range{"Aig::add_po: literal out of range"};
+  }
+  if (name.empty()) {
+    name = "po" + std::to_string(pos_.size());
+  }
+  pos_.push_back(driver);
+  po_names_.push_back(std::move(name));
+}
+
+std::vector<std::uint32_t> Aig::fanout_counts() const {
+  std::vector<std::uint32_t> counts(num_nodes(), 0);
+  for (NodeIdx v = 0; v < num_nodes(); ++v) {
+    if (is_and(v)) {
+      ++counts[lit_var(fanin0(v))];
+      ++counts[lit_var(fanin1(v))];
+    }
+  }
+  for (Lit po : pos_) {
+    ++counts[lit_var(po)];
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+  std::vector<std::uint32_t> level(num_nodes(), 0);
+  for (NodeIdx v = 0; v < num_nodes(); ++v) {
+    if (is_and(v)) {
+      level[v] = 1 + std::max(level[lit_var(fanin0(v))],
+                              level[lit_var(fanin1(v))]);
+    }
+  }
+  return level;
+}
+
+std::uint32_t Aig::depth() const {
+  const auto level = levels();
+  std::uint32_t d = 0;
+  for (Lit po : pos_) {
+    d = std::max(d, level[lit_var(po)]);
+  }
+  return d;
+}
+
+Aig Aig::cleanup() const {
+  Aig out;
+  out.name_ = name_;
+  std::vector<Lit> map(num_nodes(), kConst0);
+  for (NodeIdx i = 0; i < num_pis(); ++i) {
+    map[pis_[i]] = out.add_pi(pi_names_[i]);
+  }
+  // Mark reachable nodes from POs.
+  std::vector<bool> reach(num_nodes(), false);
+  std::vector<NodeIdx> stack;
+  for (Lit po : pos_) {
+    stack.push_back(lit_var(po));
+  }
+  while (!stack.empty()) {
+    const NodeIdx v = stack.back();
+    stack.pop_back();
+    if (reach[v] || !is_and(v)) {
+      continue;
+    }
+    reach[v] = true;
+    stack.push_back(lit_var(fanin0(v)));
+    stack.push_back(lit_var(fanin1(v)));
+  }
+  for (NodeIdx v = 0; v < num_nodes(); ++v) {
+    if (is_and(v) && reach[v]) {
+      const Lit a = map[lit_var(fanin0(v))];
+      const Lit b = map[lit_var(fanin1(v))];
+      map[v] = out.land(lit_notif(a, lit_compl(fanin0(v))),
+                        lit_notif(b, lit_compl(fanin1(v))));
+    }
+  }
+  for (NodeIdx i = 0; i < num_pos(); ++i) {
+    const Lit po = pos_[i];
+    out.add_po(lit_notif(map[lit_var(po)], lit_compl(po)), po_names_[i]);
+  }
+  return out;
+}
+
+}  // namespace cryo::logic

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/lit.hpp"
+
+namespace cryo::logic {
+
+/// And-Inverter Graph: the workhorse logic representation of the
+/// synthesis flow (paper §IV-A1). Nodes are two-input ANDs; inverters
+/// live on edges as complement bits. Structural hashing keeps the graph
+/// canonical under (commutativity + constant/idempotence rules), and
+/// construction order guarantees fanins precede fanouts, so every
+/// algorithm can run a single forward sweep.
+class Aig {
+public:
+  Aig() { nodes_.push_back({0, 0}); }  // node 0: constant false
+
+  // --- construction -------------------------------------------------
+  Lit add_pi(std::string name = "");
+  Lit land(Lit a, Lit b);
+  Lit lor(Lit a, Lit b) { return lit_not(land(lit_not(a), lit_not(b))); }
+  Lit lnand(Lit a, Lit b) { return lit_not(land(a, b)); }
+  Lit lnor(Lit a, Lit b) { return land(lit_not(a), lit_not(b)); }
+  Lit lxor(Lit a, Lit b);
+  Lit lxnor(Lit a, Lit b) { return lit_not(lxor(a, b)); }
+  /// if s then t else e
+  Lit lmux(Lit s, Lit t, Lit e);
+  Lit lmaj(Lit a, Lit b, Lit c);
+  void add_po(Lit driver, std::string name = "");
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- inspection ----------------------------------------------------
+  const std::string& name() const { return name_; }
+  NodeIdx num_nodes() const { return static_cast<NodeIdx>(nodes_.size()); }
+  NodeIdx num_pis() const { return static_cast<NodeIdx>(pis_.size()); }
+  NodeIdx num_pos() const { return static_cast<NodeIdx>(pos_.size()); }
+  NodeIdx num_ands() const { return num_ands_; }
+
+  bool is_const0(NodeIdx v) const { return v == 0; }
+  bool is_pi(NodeIdx v) const { return v != 0 && v <= num_pis(); }
+  bool is_and(NodeIdx v) const { return v > num_pis() && v < num_nodes(); }
+
+  Lit fanin0(NodeIdx v) const { return nodes_[v].f0; }
+  Lit fanin1(NodeIdx v) const { return nodes_[v].f1; }
+
+  Lit pi(NodeIdx index) const { return make_lit(index + 1); }
+  const std::string& pi_name(NodeIdx index) const { return pi_names_[index]; }
+  Lit po(NodeIdx index) const { return pos_[index]; }
+  const std::string& po_name(NodeIdx index) const { return po_names_[index]; }
+
+  /// Number of fanouts of each node (POs included).
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Logic level of each node (PIs at 0).
+  std::vector<std::uint32_t> levels() const;
+
+  /// Depth = max level over POs.
+  std::uint32_t depth() const;
+
+  /// Copy with all nodes not reachable from a PO removed. PI count and
+  /// order are preserved (so simulation patterns stay comparable).
+  Aig cleanup() const;
+
+private:
+  struct Node {
+    Lit f0;
+    Lit f1;
+  };
+
+  static std::uint64_t key(Lit a, Lit b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeIdx> pis_;  // node indices (always 1..num_pis)
+  std::vector<std::string> pi_names_;
+  std::vector<Lit> pos_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<std::uint64_t, NodeIdx> strash_;
+  NodeIdx num_ands_ = 0;
+};
+
+}  // namespace cryo::logic

@@ -1,0 +1,239 @@
+#include "logic/aiger.hpp"
+
+#include <array>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cryo::logic {
+namespace {
+
+/// AIGER literal of an internal Lit: identical encoding (2*var + compl),
+/// with AIGER variable indices assigned 1..I for PIs then ANDs — exactly
+/// our node indexing, so the mapping is the identity.
+std::string header(const Aig& aig, bool binary) {
+  std::ostringstream out;
+  out << (binary ? "aig" : "aag") << ' '
+      << aig.num_pis() + aig.num_ands() << ' ' << aig.num_pis() << " 0 "
+      << aig.num_pos() << ' ' << aig.num_ands() << '\n';
+  return out.str();
+}
+
+std::string symbols_and_comment(const Aig& aig) {
+  std::ostringstream out;
+  for (NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    out << 'i' << i << ' ' << aig.pi_name(i) << '\n';
+  }
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    out << 'o' << i << ' ' << aig.po_name(i) << '\n';
+  }
+  out << "c\ncryoeda";
+  if (!aig.name().empty()) {
+    out << ' ' << aig.name();
+  }
+  out << '\n';
+  return out.str();
+}
+
+void push_delta(std::string& out, std::uint32_t delta) {
+  while (delta >= 0x80) {
+    out += static_cast<char>(0x80 | (delta & 0x7f));
+    delta >>= 7;
+  }
+  out += static_cast<char>(delta);
+}
+
+}  // namespace
+
+std::string write_aiger_ascii(const Aig& aig) {
+  std::string out = header(aig, false);
+  std::ostringstream body;
+  for (NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    body << aig.pi(i) << '\n';
+  }
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    body << aig.po(i) << '\n';
+  }
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (aig.is_and(v)) {
+      body << make_lit(v) << ' ' << aig.fanin0(v) << ' ' << aig.fanin1(v)
+           << '\n';
+    }
+  }
+  return out + body.str() + symbols_and_comment(aig);
+}
+
+std::string write_aiger_binary(const Aig& aig) {
+  std::string out = header(aig, true);
+  std::ostringstream body;
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    body << aig.po(i) << '\n';
+  }
+  out += body.str();
+  // Binary AND section: per node (ascending), two deltas
+  // lhs - rhs0 and rhs0 - rhs1 with rhs0 >= rhs1.
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    const Lit lhs = make_lit(v);
+    Lit rhs0 = aig.fanin0(v);
+    Lit rhs1 = aig.fanin1(v);
+    if (rhs0 < rhs1) {
+      std::swap(rhs0, rhs1);
+    }
+    push_delta(out, lhs - rhs0);
+    push_delta(out, rhs0 - rhs1);
+  }
+  return out + symbols_and_comment(aig);
+}
+
+Aig read_aiger(const std::string& contents) {
+  std::istringstream in{contents};
+  std::string magic;
+  std::uint32_t m = 0;
+  std::uint32_t i = 0;
+  std::uint32_t l = 0;
+  std::uint32_t o = 0;
+  std::uint32_t a = 0;
+  in >> magic >> m >> i >> l >> o >> a;
+  if ((magic != "aag" && magic != "aig") || !in) {
+    throw std::runtime_error{"read_aiger: bad header"};
+  }
+  if (l != 0) {
+    throw std::runtime_error{"read_aiger: latches are not supported"};
+  }
+  if (m != i + a) {
+    throw std::runtime_error{"read_aiger: non-contiguous variable indexing"};
+  }
+  if (m > 100'000'000u || o > 100'000'000u) {
+    throw std::runtime_error{"read_aiger: implausible header sizes"};
+  }
+  const bool binary = magic == "aig";
+
+  Aig aig;
+  std::vector<Lit> lit_of(m + 1, kConst0);  // aiger var -> our literal
+  for (std::uint32_t k = 1; k <= i; ++k) {
+    lit_of[k] = aig.add_pi();
+  }
+
+  std::vector<Lit> po_lits(o);
+  auto translate = [&](std::uint32_t aiger_lit) {
+    const std::uint32_t var = aiger_lit >> 1;
+    if (var > m) {
+      throw std::runtime_error{"read_aiger: literal out of range"};
+    }
+    return lit_notif(lit_of[var], (aiger_lit & 1u) != 0);
+  };
+
+  if (!binary) {
+    for (std::uint32_t k = 0; k < i; ++k) {
+      std::uint32_t lit = 0;
+      if (!(in >> lit) || lit != 2 * (k + 1)) {
+        throw std::runtime_error{"read_aiger: unexpected input literal"};
+      }
+    }
+    std::vector<std::uint32_t> raw_pos(o);
+    for (auto& po : raw_pos) {
+      in >> po;
+    }
+    std::vector<std::array<std::uint32_t, 3>> ands(a);
+    for (auto& row : ands) {
+      in >> row[0] >> row[1] >> row[2];
+    }
+    if (!in) {
+      throw std::runtime_error{"read_aiger: truncated body"};
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    for (const auto& row : ands) {
+      const std::uint32_t var = row[0] >> 1;
+      lit_of[var] = aig.land(translate(row[1]), translate(row[2]));
+    }
+    for (std::uint32_t k = 0; k < o; ++k) {
+      po_lits[k] = translate(raw_pos[k]);
+    }
+  } else {
+    std::vector<std::uint32_t> raw_pos(o);
+    for (auto& po : raw_pos) {
+      in >> po;
+    }
+    in.get();  // the newline before the binary section
+    auto read_delta = [&]() {
+      std::uint32_t delta = 0;
+      unsigned shift = 0;
+      for (;;) {
+        const int ch = in.get();
+        if (ch == EOF) {
+          throw std::runtime_error{"read_aiger: truncated binary section"};
+        }
+        delta |= static_cast<std::uint32_t>(ch & 0x7f) << shift;
+        if ((ch & 0x80) == 0) {
+          break;
+        }
+        shift += 7;
+      }
+      return delta;
+    };
+    for (std::uint32_t k = 0; k < a; ++k) {
+      const std::uint32_t lhs = 2 * (i + 1 + k);
+      const std::uint32_t rhs0 = lhs - read_delta();
+      const std::uint32_t rhs1 = rhs0 - read_delta();
+      lit_of[lhs >> 1] = aig.land(translate(rhs0), translate(rhs1));
+    }
+    for (std::uint32_t k = 0; k < o; ++k) {
+      po_lits[k] = translate(raw_pos[k]);
+    }
+  }
+
+  // Optional symbol table. (The ASCII branch already consumed its final
+  // newline; the binary AND section ends exactly at the last delta byte.)
+  std::vector<std::string> po_names(o);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == 'c') {
+      break;
+    }
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      continue;
+    }
+    const std::string name = line.substr(space + 1);
+    const char kind = line[0];
+    const unsigned index =
+        static_cast<unsigned>(std::stoul(line.substr(1, space - 1)));
+    if (kind == 'o' && index < o) {
+      po_names[index] = name;
+    }
+    // PI names would require rebuilding; accepted and ignored (PIs were
+    // created before the symbol table is seen).
+  }
+  for (std::uint32_t k = 0; k < o; ++k) {
+    aig.add_po(po_lits[k], po_names[k]);
+  }
+  return aig;
+}
+
+void write_aiger_file(const Aig& aig, const std::string& path, bool binary) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    throw std::runtime_error{"write_aiger_file: cannot open " + path};
+  }
+  out << (binary ? write_aiger_binary(aig) : write_aiger_ascii(aig));
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"read_aiger_file: cannot open " + path};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_aiger(buf.str());
+}
+
+}  // namespace cryo::logic

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/aig.hpp"
+
+namespace cryo::logic {
+
+/// AIGER interchange (Biere's format) for combinational AIGs — lets the
+/// flow consume real-world benchmark files (e.g. the original EPFL suite)
+/// and export optimized networks to other tools (ABC, mockturtle, ...).
+///
+/// Supported: the ASCII ("aag") and binary ("aig") variants, MILOA
+/// headers with L = 0 (combinational), input/output symbol tables, and
+/// comments. Latches are rejected with an error.
+
+/// Serialize to ASCII AIGER ("aag").
+std::string write_aiger_ascii(const Aig& aig);
+
+/// Serialize to binary AIGER ("aig").
+std::string write_aiger_binary(const Aig& aig);
+
+/// Parse either AIGER variant (auto-detected from the header).
+/// Throws std::runtime_error on malformed input or latches.
+Aig read_aiger(const std::string& contents);
+
+/// File helpers.
+void write_aiger_file(const Aig& aig, const std::string& path,
+                      bool binary = true);
+Aig read_aiger_file(const std::string& path);
+
+}  // namespace cryo::logic

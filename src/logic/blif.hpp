@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "logic/aig.hpp"
+
+namespace cryo::logic {
+
+/// BLIF interchange (Berkeley Logic Interchange Format) for combinational
+/// networks — the second lingua franca next to AIGER (SIS/ABC/mockturtle
+/// all speak it). The writer emits one `.names` table per AND node; the
+/// reader accepts arbitrary single-output `.names` tables (up to 16
+/// inputs) and builds an AIG via ISOP-free direct cube construction.
+/// Latches (`.latch`) are rejected.
+
+std::string write_blif(const Aig& aig);
+
+/// Parse a combinational BLIF model into an AIG.
+/// Throws std::runtime_error on malformed input or `.latch` lines.
+Aig read_blif(const std::string& contents);
+
+void write_blif_file(const Aig& aig, const std::string& path);
+Aig read_blif_file(const std::string& path);
+
+}  // namespace cryo::logic

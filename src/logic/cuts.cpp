@@ -1,0 +1,172 @@
+#include "logic/cuts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryo::logic {
+
+bool Cut::contains_all_of(const Cut& other) const {
+  // True if other's leaves are a subset of ours => other dominates us.
+  if ((other.signature & ~signature) != 0) {
+    return false;
+  }
+  unsigned i = 0;
+  for (unsigned j = 0; j < other.size; ++j) {
+    while (i < size && leaves[i] < other.leaves[j]) {
+      ++i;
+    }
+    if (i >= size || leaves[i] != other.leaves[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t tt6_expand(std::uint64_t tt, const NodeIdx* sub_leaves,
+                         unsigned sub_size, const NodeIdx* super_leaves,
+                         unsigned super_size) {
+  // Position of each sub leaf inside the super leaf list.
+  std::array<unsigned, Cut::kMaxLeaves> pos{};
+  unsigned si = 0;
+  for (unsigned j = 0; j < sub_size; ++j) {
+    while (si < super_size && super_leaves[si] != sub_leaves[j]) {
+      ++si;
+    }
+    pos[j] = si;
+  }
+  std::uint64_t out = 0;
+  for (unsigned m = 0; m < (1u << super_size); ++m) {
+    unsigned sub_m = 0;
+    for (unsigned j = 0; j < sub_size; ++j) {
+      sub_m |= ((m >> pos[j]) & 1u) << j;
+    }
+    if (tt6_bit(tt, sub_m)) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+CutEnumerator::CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts)
+    : aig_{aig}, k_{k}, max_cuts_{max_cuts} {
+  if (k > Cut::kMaxLeaves || k < 2) {
+    throw std::invalid_argument{"CutEnumerator: k must be in [2, 6]"};
+  }
+}
+
+void CutEnumerator::run() {
+  cuts_.assign(aig_.num_nodes(), {});
+  // Constant node: single empty cut with constant-0 function.
+  {
+    Cut c;
+    c.size = 0;
+    c.tt = 0;
+    cuts_[0].push_back(c);
+  }
+  for (NodeIdx v = 1; v < aig_.num_nodes(); ++v) {
+    if (aig_.is_pi(v)) {
+      Cut c;
+      c.size = 1;
+      c.leaves[0] = v;
+      c.tt = 0x2;  // identity over one variable
+      c.signature = 1ull << (v & 63u);
+      cuts_[v].push_back(c);
+    } else {
+      merge_node(v);
+    }
+  }
+}
+
+bool CutEnumerator::merge_leaves(const Cut& a, const Cut& b, unsigned k,
+                                 Cut& out) {
+  unsigned i = 0;
+  unsigned j = 0;
+  unsigned n = 0;
+  while (i < a.size && j < b.size) {
+    if (n >= k) {
+      return false;
+    }
+    if (a.leaves[i] == b.leaves[j]) {
+      out.leaves[n++] = a.leaves[i];
+      ++i;
+      ++j;
+    } else if (a.leaves[i] < b.leaves[j]) {
+      out.leaves[n++] = a.leaves[i++];
+    } else {
+      out.leaves[n++] = b.leaves[j++];
+    }
+  }
+  while (i < a.size) {
+    if (n >= k) {
+      return false;
+    }
+    out.leaves[n++] = a.leaves[i++];
+  }
+  while (j < b.size) {
+    if (n >= k) {
+      return false;
+    }
+    out.leaves[n++] = b.leaves[j++];
+  }
+  out.size = static_cast<std::uint8_t>(n);
+  out.signature = a.signature | b.signature;
+  return true;
+}
+
+void CutEnumerator::merge_node(NodeIdx v) {
+  const Lit f0 = aig_.fanin0(v);
+  const Lit f1 = aig_.fanin1(v);
+  const auto& cuts0 = cuts_[lit_var(f0)];
+  const auto& cuts1 = cuts_[lit_var(f1)];
+
+  std::vector<Cut>& out = cuts_[v];
+  std::vector<Cut> candidates;
+  candidates.reserve(cuts0.size() * cuts1.size());
+
+  for (const Cut& c0 : cuts0) {
+    for (const Cut& c1 : cuts1) {
+      Cut merged;
+      if (!merge_leaves(c0, c1, k_, merged)) {
+        continue;
+      }
+      std::uint64_t t0 = tt6_expand(c0.tt, c0.leaves.data(), c0.size,
+                                    merged.leaves.data(), merged.size);
+      std::uint64_t t1 = tt6_expand(c1.tt, c1.leaves.data(), c1.size,
+                                    merged.leaves.data(), merged.size);
+      if (lit_compl(f0)) {
+        t0 = ~t0;
+      }
+      if (lit_compl(f1)) {
+        t1 = ~t1;
+      }
+      merged.tt = (t0 & t1) & tt6_mask(merged.size);
+      candidates.push_back(merged);
+    }
+  }
+
+  // Dominance filtering: drop any cut that is a superset of another.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cut& a, const Cut& b) { return a.size < b.size; });
+  for (const Cut& cand : candidates) {
+    bool dominated = false;
+    for (const Cut& kept : out) {
+      if (cand.contains_all_of(kept)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated && out.size() < max_cuts_) {
+      out.push_back(cand);
+    }
+  }
+
+  // Always include the trivial cut so the node itself stays mappable.
+  Cut trivial;
+  trivial.size = 1;
+  trivial.leaves[0] = v;
+  trivial.tt = 0x2;
+  trivial.signature = 1ull << (v & 63u);
+  out.push_back(trivial);
+}
+
+}  // namespace cryo::logic

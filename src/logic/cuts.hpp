@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "logic/tt.hpp"
+
+namespace cryo::logic {
+
+/// A k-feasible cut of an AIG node: a set of leaf nodes such that every
+/// path from a PI to the node passes through a leaf. The cut's local
+/// function over its (sorted, positive-polarity) leaves is kept as a
+/// packed truth table.
+struct Cut {
+  static constexpr unsigned kMaxLeaves = 6;
+  std::array<NodeIdx, kMaxLeaves> leaves{};
+  std::uint8_t size = 0;
+  std::uint64_t tt = 0;          ///< function over the leaves
+  std::uint64_t signature = 0;   ///< leaf-membership bloom filter
+
+  bool contains_all_of(const Cut& other) const;
+};
+
+/// Per-node bounded cut sets ("priority cuts", Mishchenko et al.).
+class CutEnumerator {
+public:
+  /// k = max leaves per cut (<= 6), max_cuts = cuts stored per node
+  /// (the trivial cut {v} is stored in addition).
+  CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts);
+
+  /// Enumerate cuts for all AND nodes (PIs get their trivial cut only).
+  void run();
+
+  const std::vector<Cut>& cuts(NodeIdx v) const { return cuts_[v]; }
+  unsigned k() const { return k_; }
+
+private:
+  void merge_node(NodeIdx v);
+  static bool merge_leaves(const Cut& a, const Cut& b, unsigned k, Cut& out);
+  std::uint64_t cut_function(const Cut& merged, const Cut& sub,
+                             std::uint64_t sub_tt) const;
+
+  const Aig& aig_;
+  unsigned k_;
+  unsigned max_cuts_;
+  std::vector<std::vector<Cut>> cuts_;
+};
+
+/// Expand a truth table over `sub_leaves` (subset, sorted) to one over
+/// `super_leaves` (sorted superset).
+std::uint64_t tt6_expand(std::uint64_t tt, const NodeIdx* sub_leaves,
+                         unsigned sub_size, const NodeIdx* super_leaves,
+                         unsigned super_size);
+
+}  // namespace cryo::logic

@@ -1,0 +1,172 @@
+#include "logic/factor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryo::logic {
+namespace {
+
+/// Count of a node-building recipe without committing nodes: we build
+/// into a scratch AIG and count, since structural hashing makes node
+/// counts context-dependent anyway.
+struct LitCount {
+  Lit lit;
+  NodeIdx added;
+};
+
+}  // namespace
+
+Lit build_and_balanced(Aig& aig, std::vector<Lit> lits) {
+  if (lits.empty()) {
+    return kConst1;
+  }
+  while (lits.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve(lits.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      next.push_back(aig.land(lits[i], lits[i + 1]));
+    }
+    if (lits.size() % 2 != 0) {
+      next.push_back(lits.back());
+    }
+    lits = std::move(next);
+  }
+  return lits.front();
+}
+
+Lit build_or_balanced(Aig& aig, std::vector<Lit> lits) {
+  for (Lit& l : lits) {
+    l = lit_not(l);
+  }
+  return lit_not(build_and_balanced(aig, std::move(lits)));
+}
+
+namespace {
+
+Lit build_cube(Aig& aig, const Cube& cube, const std::vector<Lit>& leaves) {
+  std::vector<Lit> lits;
+  for (unsigned v = 0; v < leaves.size(); ++v) {
+    if ((cube.pos >> v) & 1u) {
+      lits.push_back(leaves[v]);
+    } else if ((cube.neg >> v) & 1u) {
+      lits.push_back(lit_not(leaves[v]));
+    }
+  }
+  return build_and_balanced(aig, std::move(lits));
+}
+
+}  // namespace
+
+Lit build_sop(Aig& aig, const std::vector<Cube>& cubes,
+              const std::vector<Lit>& leaves) {
+  if (cubes.empty()) {
+    return kConst0;
+  }
+  std::vector<Lit> terms;
+  terms.reserve(cubes.size());
+  for (const Cube& cube : cubes) {
+    terms.push_back(build_cube(aig, cube, leaves));
+  }
+  return build_or_balanced(aig, std::move(terms));
+}
+
+Lit build_factored(Aig& aig, std::vector<Cube> cubes,
+                   const std::vector<Lit>& leaves) {
+  if (cubes.empty()) {
+    return kConst0;
+  }
+  if (cubes.size() == 1) {
+    return build_cube(aig, cubes.front(), leaves);
+  }
+  // Most frequent literal across cubes.
+  const unsigned n = static_cast<unsigned>(leaves.size());
+  unsigned best_var = 0;
+  bool best_phase = false;
+  unsigned best_count = 0;
+  for (unsigned v = 0; v < n; ++v) {
+    unsigned pos_count = 0;
+    unsigned neg_count = 0;
+    for (const Cube& c : cubes) {
+      pos_count += (c.pos >> v) & 1u;
+      neg_count += (c.neg >> v) & 1u;
+    }
+    if (pos_count > best_count) {
+      best_count = pos_count;
+      best_var = v;
+      best_phase = true;
+    }
+    if (neg_count > best_count) {
+      best_count = neg_count;
+      best_var = v;
+      best_phase = false;
+    }
+  }
+  if (best_count <= 1) {
+    return build_sop(aig, cubes, leaves);
+  }
+  // Divide: cubes containing the literal form the quotient.
+  std::vector<Cube> quotient;
+  std::vector<Cube> remainder;
+  const std::uint32_t bit = 1u << best_var;
+  for (Cube c : cubes) {
+    const bool has =
+        best_phase ? (c.pos & bit) != 0 : (c.neg & bit) != 0;
+    if (has) {
+      if (best_phase) {
+        c.pos &= ~bit;
+      } else {
+        c.neg &= ~bit;
+      }
+      quotient.push_back(c);
+    } else {
+      remainder.push_back(c);
+    }
+  }
+  const Lit lit = best_phase ? leaves[best_var] : lit_not(leaves[best_var]);
+  const Lit q = build_factored(aig, std::move(quotient), leaves);
+  const Lit factored = aig.land(lit, q);
+  if (remainder.empty()) {
+    return factored;
+  }
+  const Lit r = build_factored(aig, std::move(remainder), leaves);
+  return aig.lor(factored, r);
+}
+
+Lit build_from_tt(Aig& aig, const TtVec& tt, const std::vector<Lit>& leaves) {
+  if (tt.num_vars() != leaves.size()) {
+    throw std::invalid_argument{"build_from_tt: leaf count mismatch"};
+  }
+  if (tt.is_zero()) {
+    return kConst0;
+  }
+  if (tt.is_ones()) {
+    return kConst1;
+  }
+  const TtVec dc = TtVec::zeros(tt.num_vars());
+  const auto pos_cubes = isop(tt, dc);
+  const auto neg_cubes = isop(~tt, dc);
+
+  // Estimate literal counts and factor the cheaper polarity first; commit
+  // whichever implementation is structurally smaller in this AIG.
+  auto literal_count = [](const std::vector<Cube>& cubes) {
+    unsigned total = 0;
+    for (const Cube& c : cubes) {
+      total += c.num_literals();
+    }
+    return total + static_cast<unsigned>(cubes.size());
+  };
+  const NodeIdx before = aig.num_nodes();
+  if (literal_count(pos_cubes) <= literal_count(neg_cubes)) {
+    const Lit l = build_factored(aig, pos_cubes, leaves);
+    (void)before;
+    return l;
+  }
+  return lit_not(build_factored(aig, neg_cubes, leaves));
+}
+
+Lit build_from_tt6(Aig& aig, std::uint64_t tt, unsigned num_vars,
+                   const std::vector<Lit>& leaves) {
+  return build_from_tt(aig, TtVec::from_tt6(tt, num_vars), leaves);
+}
+
+}  // namespace cryo::logic

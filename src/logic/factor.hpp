@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "logic/tt.hpp"
+
+namespace cryo::logic {
+
+/// Resynthesis of small functions back into AIG structure — the engine
+/// behind rewriting, refactoring, and LUT decomposition.
+
+/// Build a (balanced) AND of the given literals.
+Lit build_and_balanced(Aig& aig, std::vector<Lit> lits);
+
+/// Build a (balanced) OR of the given literals.
+Lit build_or_balanced(Aig& aig, std::vector<Lit> lits);
+
+/// Build an SOP as a two-level network over the leaf literals.
+Lit build_sop(Aig& aig, const std::vector<Cube>& cubes,
+              const std::vector<Lit>& leaves);
+
+/// Algebraic "quick factoring" of an SOP: repeatedly divides by the most
+/// frequent literal, producing a multi-level structure that is usually
+/// much smaller than the flat SOP.
+Lit build_factored(Aig& aig, std::vector<Cube> cubes,
+                   const std::vector<Lit>& leaves);
+
+/// Resynthesize an arbitrary function from its truth table: computes
+/// ISOPs of both polarities, factors each, and returns the smaller
+/// implementation (ties broken toward the positive phase).
+Lit build_from_tt(Aig& aig, const TtVec& tt, const std::vector<Lit>& leaves);
+
+/// Same, for packed (<= 6 input) tables.
+Lit build_from_tt6(Aig& aig, std::uint64_t tt, unsigned num_vars,
+                   const std::vector<Lit>& leaves);
+
+}  // namespace cryo::logic

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cryo::logic {
+
+/// A literal: AIG node index with a complement flag in the LSB.
+/// Literal 0 is constant false, literal 1 constant true (node 0).
+using Lit = std::uint32_t;
+using NodeIdx = std::uint32_t;
+
+inline constexpr Lit make_lit(NodeIdx var, bool complemented = false) {
+  return (var << 1) | static_cast<Lit>(complemented);
+}
+inline constexpr NodeIdx lit_var(Lit l) { return l >> 1; }
+inline constexpr bool lit_compl(Lit l) { return (l & 1u) != 0; }
+inline constexpr Lit lit_not(Lit l) { return l ^ 1u; }
+inline constexpr Lit lit_notif(Lit l, bool c) {
+  return l ^ static_cast<Lit>(c);
+}
+inline constexpr Lit lit_regular(Lit l) { return l & ~1u; }
+
+inline constexpr Lit kConst0 = 0;
+inline constexpr Lit kConst1 = 1;
+
+}  // namespace cryo::logic

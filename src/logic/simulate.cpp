@@ -1,0 +1,134 @@
+#include "logic/simulate.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cryo::logic {
+
+Simulation::Simulation(const Aig& aig, unsigned words)
+    : aig_{aig}, words_{words} {
+  if (words == 0) {
+    throw std::invalid_argument{"Simulation: need at least one word"};
+  }
+  bits_.assign(static_cast<std::size_t>(aig.num_nodes()) * words, 0);
+}
+
+void Simulation::randomize_pis(util::Rng& rng) {
+  for (NodeIdx i = 0; i < aig_.num_pis(); ++i) {
+    auto* w = &bits_[static_cast<std::size_t>(lit_var(aig_.pi(i))) * words_];
+    for (unsigned k = 0; k < words_; ++k) {
+      w[k] = rng.next_u64();
+    }
+  }
+}
+
+void Simulation::randomize_pis_markov(util::Rng& rng, double toggle_rate) {
+  for (NodeIdx i = 0; i < aig_.num_pis(); ++i) {
+    auto* w = &bits_[static_cast<std::size_t>(lit_var(aig_.pi(i))) * words_];
+    bool state = rng.next_bool();
+    for (unsigned k = 0; k < words_; ++k) {
+      std::uint64_t word = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        if (rng.next_bool(toggle_rate)) {
+          state = !state;
+        }
+        if (state) {
+          word |= 1ull << b;
+        }
+      }
+      w[k] = word;
+    }
+  }
+}
+
+void Simulation::set_pi_word(NodeIdx pi_index, unsigned word,
+                             std::uint64_t value) {
+  bits_[static_cast<std::size_t>(lit_var(aig_.pi(pi_index))) * words_ + word] =
+      value;
+}
+
+void Simulation::run() {
+  for (NodeIdx v = 1; v < aig_.num_nodes(); ++v) {
+    if (!aig_.is_and(v)) {
+      continue;
+    }
+    const Lit f0 = aig_.fanin0(v);
+    const Lit f1 = aig_.fanin1(v);
+    const auto* a = node_bits(lit_var(f0));
+    const auto* b = node_bits(lit_var(f1));
+    auto* out = &bits_[static_cast<std::size_t>(v) * words_];
+    const std::uint64_t inv0 = lit_compl(f0) ? ~0ull : 0ull;
+    const std::uint64_t inv1 = lit_compl(f1) ? ~0ull : 0ull;
+    for (unsigned k = 0; k < words_; ++k) {
+      out[k] = (a[k] ^ inv0) & (b[k] ^ inv1);
+    }
+  }
+}
+
+double Simulation::probability(NodeIdx v) const {
+  const auto* w = node_bits(v);
+  unsigned ones = 0;
+  for (unsigned k = 0; k < words_; ++k) {
+    ones += static_cast<unsigned>(std::popcount(w[k]));
+  }
+  return static_cast<double>(ones) / (64.0 * words_);
+}
+
+double Simulation::activity(NodeIdx v) const {
+  const auto* w = node_bits(v);
+  unsigned toggles = 0;
+  for (unsigned k = 0; k < words_; ++k) {
+    // Toggles within the word: bits i vs i+1.
+    const std::uint64_t x = w[k] ^ (w[k] >> 1);
+    toggles += static_cast<unsigned>(std::popcount(x & ~(1ull << 63)));
+    // Word boundary.
+    if (k + 1 < words_) {
+      toggles += ((w[k] >> 63) ^ (w[k + 1] & 1ull)) != 0 ? 1u : 0u;
+    }
+  }
+  const unsigned total = 64 * words_ - 1;
+  return static_cast<double>(toggles) / static_cast<double>(total);
+}
+
+double Simulation::po_activity(unsigned po_index) const {
+  return activity(lit_var(aig_.po(po_index)));
+}
+
+std::uint64_t Simulation::signature(Lit l) const {
+  const std::uint64_t w = node_bits(lit_var(l))[0];
+  return lit_compl(l) ? ~w : w;
+}
+
+bool simulate_equal(const Aig& a, const Aig& b, unsigned words,
+                    std::uint64_t seed) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    return false;
+  }
+  Simulation sa{a, words};
+  Simulation sb{b, words};
+  util::Rng rng{seed};
+  sa.randomize_pis(rng);
+  for (NodeIdx i = 0; i < a.num_pis(); ++i) {
+    for (unsigned k = 0; k < words; ++k) {
+      sb.set_pi_word(i, k, sa.node_bits(lit_var(a.pi(i)))[k]);
+    }
+  }
+  sa.run();
+  sb.run();
+  for (NodeIdx i = 0; i < a.num_pos(); ++i) {
+    const Lit pa = a.po(i);
+    const Lit pb = b.po(i);
+    const auto* wa = sa.node_bits(lit_var(pa));
+    const auto* wb = sb.node_bits(lit_var(pb));
+    const std::uint64_t ia = lit_compl(pa) ? ~0ull : 0ull;
+    const std::uint64_t ib = lit_compl(pb) ? ~0ull : 0ull;
+    for (unsigned k = 0; k < words; ++k) {
+      if ((wa[k] ^ ia) != (wb[k] ^ ib)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cryo::logic

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "util/rng.hpp"
+
+namespace cryo::logic {
+
+/// Bit-parallel AIG simulator.
+///
+/// Every node holds `words * 64` simulation bits. Interpreting the bit
+/// sequence as consecutive time steps yields per-node switching-activity
+/// estimates, the quantity the power-aware cost functions consume
+/// (paper §IV-B: "ABC simulates the switching activity of each node …
+/// assuming a certain activation rate for each primary input").
+class Simulation {
+public:
+  Simulation(const Aig& aig, unsigned words = 16);
+
+  /// Fill PI streams with i.i.d. uniform bits.
+  void randomize_pis(util::Rng& rng);
+
+  /// Fill PI streams as Markov toggle chains: each PI flips between
+  /// consecutive bits with probability `toggle_rate` (the "activation
+  /// rate" knob of the power-aware flow).
+  void randomize_pis_markov(util::Rng& rng, double toggle_rate);
+
+  /// Set one PI's stream explicitly (word-granular).
+  void set_pi_word(NodeIdx pi_index, unsigned word, std::uint64_t bits);
+
+  /// Propagate through all AND nodes.
+  void run();
+
+  const std::uint64_t* node_bits(NodeIdx v) const {
+    return &bits_[static_cast<std::size_t>(v) * words_];
+  }
+
+  /// Fraction of 1-bits of a node.
+  double probability(NodeIdx v) const;
+
+  /// Toggle rate: fraction of adjacent bit pairs (in time order) that
+  /// differ. In [0, 1].
+  double activity(NodeIdx v) const;
+
+  /// Toggle rate of a PO (complement bits do not change it).
+  double po_activity(unsigned po_index) const;
+
+  /// 64-bit signature of a literal (first word, complemented if needed) —
+  /// a cheap semantic fingerprint for equivalence-candidate detection.
+  std::uint64_t signature(Lit l) const;
+
+  unsigned words() const { return words_; }
+  const Aig& aig() const { return aig_; }
+
+private:
+  const Aig& aig_;
+  unsigned words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Convenience: simulate `words*64` random patterns and compare the PO
+/// streams of two AIGs with identical PI counts. Returns true if all POs
+/// agree on every pattern (a necessary condition for equivalence — use
+/// SAT-based CEC for proof).
+bool simulate_equal(const Aig& a, const Aig& b, unsigned words = 32,
+                    std::uint64_t seed = 1);
+
+}  // namespace cryo::logic

@@ -1,0 +1,315 @@
+#include "logic/tt.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cryo::logic {
+
+bool tt6_has_var(std::uint64_t tt, unsigned n, unsigned v) {
+  const std::uint64_t mask = tt6_mask(n);
+  return ((tt6_cofactor0(tt, v) ^ tt6_cofactor1(tt, v)) & mask) != 0;
+}
+
+std::uint64_t tt6_cofactor0(std::uint64_t tt, unsigned v) {
+  const std::uint64_t lo = tt & ~kVarTt6[v];
+  return lo | (lo << (1u << v));
+}
+
+std::uint64_t tt6_cofactor1(std::uint64_t tt, unsigned v) {
+  const std::uint64_t hi = tt & kVarTt6[v];
+  return hi | (hi >> (1u << v));
+}
+
+std::uint64_t tt6_shrink(std::uint64_t tt, unsigned n,
+                         std::vector<unsigned>& support) {
+  support.clear();
+  for (unsigned v = 0; v < n; ++v) {
+    if (tt6_has_var(tt, n, v)) {
+      support.push_back(v);
+    }
+  }
+  const unsigned j = static_cast<unsigned>(support.size());
+  std::uint64_t out = 0;
+  for (unsigned m = 0; m < (1u << j); ++m) {
+    unsigned orig = 0;
+    for (unsigned i = 0; i < j; ++i) {
+      if ((m >> i) & 1u) {
+        orig |= 1u << support[i];
+      }
+    }
+    if (tt6_bit(tt, orig)) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+std::uint64_t tt6_transform(std::uint64_t tt, unsigned n,
+                            const std::vector<unsigned>& perm,
+                            unsigned input_phase_mask, bool out_negate) {
+  std::uint64_t out = 0;
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    unsigned z = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const unsigned x = (m >> perm[i]) & 1u;
+      z |= (x ^ ((input_phase_mask >> i) & 1u)) << i;
+    }
+    bool bit = tt6_bit(tt, z);
+    if (out_negate) {
+      bit = !bit;
+    }
+    if (bit) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+unsigned tt6_count_ones(std::uint64_t tt, unsigned n) {
+  return static_cast<unsigned>(std::popcount(tt & tt6_mask(n)));
+}
+
+// --------------------------------------------------------------- TtVec ---
+
+TtVec::TtVec(unsigned num_vars) : num_vars_{num_vars} {
+  if (num_vars > 16) {
+    throw std::invalid_argument{"TtVec: at most 16 variables"};
+  }
+  words_.assign(num_vars <= 6 ? 1 : (1u << (num_vars - 6)), 0);
+}
+
+void TtVec::set_bit(std::uint32_t minterm, bool value) {
+  if (value) {
+    words_[minterm >> 6] |= 1ull << (minterm & 63u);
+  } else {
+    words_[minterm >> 6] &= ~(1ull << (minterm & 63u));
+  }
+}
+
+void TtVec::mask_top() {
+  if (num_vars_ < 6) {
+    words_[0] &= tt6_mask(num_vars_);
+  }
+}
+
+bool TtVec::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TtVec::is_ones() const {
+  if (num_vars_ < 6) {
+    return words_[0] == tt6_mask(num_vars_);
+  }
+  for (std::uint64_t w : words_) {
+    if (w != ~0ull) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TtVec TtVec::operator&(const TtVec& o) const {
+  TtVec out{num_vars_};
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & o.words_[i];
+  }
+  return out;
+}
+
+TtVec TtVec::operator|(const TtVec& o) const {
+  TtVec out{num_vars_};
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | o.words_[i];
+  }
+  return out;
+}
+
+TtVec TtVec::operator^(const TtVec& o) const {
+  TtVec out{num_vars_};
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] ^ o.words_[i];
+  }
+  return out;
+}
+
+TtVec TtVec::operator~() const {
+  TtVec out{num_vars_};
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = ~words_[i];
+  }
+  out.mask_top();
+  return out;
+}
+
+TtVec TtVec::cofactor(unsigned var, bool value) const {
+  TtVec out = *this;
+  if (var < 6) {
+    const std::uint64_t mask = kVarTt6[var];
+    const unsigned shift = 1u << var;
+    for (auto& w : out.words_) {
+      if (value) {
+        const std::uint64_t hi = w & mask;
+        w = hi | (hi >> shift);
+      } else {
+        const std::uint64_t lo = w & ~mask;
+        w = lo | (lo << shift);
+      }
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t base = 0; base < out.words_.size(); base += 2 * block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        const std::uint64_t chosen =
+            value ? words_[base + block + i] : words_[base + i];
+        out.words_[base + i] = chosen;
+        out.words_[base + block + i] = chosen;
+      }
+    }
+  }
+  return out;
+}
+
+bool TtVec::has_var(unsigned var) const {
+  return !(cofactor(var, false) ^ cofactor(var, true)).is_zero();
+}
+
+TtVec TtVec::zeros(unsigned num_vars) { return TtVec{num_vars}; }
+
+TtVec TtVec::ones(unsigned num_vars) {
+  TtVec out{num_vars};
+  for (auto& w : out.words_) {
+    w = ~0ull;
+  }
+  out.mask_top();
+  return out;
+}
+
+TtVec TtVec::variable(unsigned num_vars, unsigned var) {
+  TtVec out{num_vars};
+  if (var < 6) {
+    for (auto& w : out.words_) {
+      w = kVarTt6[var];
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t base = 0; base < out.words_.size(); base += 2 * block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        out.words_[base + block + i] = ~0ull;
+      }
+    }
+  }
+  out.mask_top();
+  return out;
+}
+
+TtVec TtVec::from_tt6(std::uint64_t tt, unsigned num_vars) {
+  if (num_vars > 6) {
+    throw std::invalid_argument{"TtVec::from_tt6: too many variables"};
+  }
+  TtVec out{num_vars};
+  out.words_[0] = tt & tt6_mask(num_vars);
+  return out;
+}
+
+std::uint64_t TtVec::to_tt6() const {
+  if (num_vars_ > 6) {
+    throw std::logic_error{"TtVec::to_tt6: table too large"};
+  }
+  return words_[0] & tt6_mask(num_vars_);
+}
+
+// ---------------------------------------------------------------- ISOP ---
+
+unsigned Cube::num_literals() const {
+  return static_cast<unsigned>(std::popcount(pos) + std::popcount(neg));
+}
+
+namespace {
+
+/// Minato–Morreale ISOP: find cubes F with lower <= F <= upper.
+std::vector<Cube> isop_rec(const TtVec& lower, const TtVec& upper,
+                           unsigned top_var, TtVec* cover_tt) {
+  if (lower.is_zero()) {
+    *cover_tt = TtVec::zeros(lower.num_vars());
+    return {};
+  }
+  if (upper.is_ones()) {
+    *cover_tt = TtVec::ones(lower.num_vars());
+    return {Cube{}};
+  }
+  // Find the highest variable either table depends on.
+  unsigned v = top_var;
+  while (v > 0) {
+    if (lower.has_var(v - 1) || upper.has_var(v - 1)) {
+      break;
+    }
+    --v;
+  }
+  if (v == 0) {
+    // No support left but lower != 0 and upper != 1 — inconsistent input.
+    throw std::logic_error{"isop: lower not contained in upper"};
+  }
+  const unsigned var = v - 1;
+
+  const TtVec l0 = lower.cofactor(var, false);
+  const TtVec l1 = lower.cofactor(var, true);
+  const TtVec u0 = upper.cofactor(var, false);
+  const TtVec u1 = upper.cofactor(var, true);
+
+  TtVec tt0{lower.num_vars()};
+  TtVec tt1{lower.num_vars()};
+  TtVec tt2{lower.num_vars()};
+
+  std::vector<Cube> res0 = isop_rec(l0 & ~u1, u0, var, &tt0);
+  std::vector<Cube> res1 = isop_rec(l1 & ~u0, u1, var, &tt1);
+  const TtVec lnew = (l0 & ~tt0) | (l1 & ~tt1);
+  std::vector<Cube> res2 = isop_rec(lnew, u0 & u1, var, &tt2);
+
+  std::vector<Cube> result;
+  result.reserve(res0.size() + res1.size() + res2.size());
+  for (Cube c : res0) {
+    c.neg |= 1u << var;
+    result.push_back(c);
+  }
+  for (Cube c : res1) {
+    c.pos |= 1u << var;
+    result.push_back(c);
+  }
+  for (const Cube& c : res2) {
+    result.push_back(c);
+  }
+
+  const TtVec vtt = TtVec::variable(lower.num_vars(), var);
+  *cover_tt = (tt0 & ~vtt) | (tt1 & vtt) | tt2;
+  return result;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(const TtVec& on_set, const TtVec& dc_set) {
+  TtVec cover{on_set.num_vars()};
+  return isop_rec(on_set, on_set | dc_set, on_set.num_vars(), &cover);
+}
+
+TtVec sop_to_tt(const std::vector<Cube>& cubes, unsigned num_vars) {
+  TtVec out{num_vars};
+  for (const Cube& cube : cubes) {
+    TtVec term = TtVec::ones(num_vars);
+    for (unsigned v = 0; v < num_vars; ++v) {
+      if ((cube.pos >> v) & 1u) {
+        term = term & TtVec::variable(num_vars, v);
+      } else if ((cube.neg >> v) & 1u) {
+        term = term & ~TtVec::variable(num_vars, v);
+      }
+    }
+    out = out | term;
+  }
+  return out;
+}
+
+}  // namespace cryo::logic

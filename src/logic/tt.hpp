@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cryo::logic {
+
+/// Truth-table utilities.
+///
+/// Small functions (<= 6 variables) are packed into a single uint64_t —
+/// the representation used by cut enumeration and cell matching. Larger
+/// functions (refactoring cones) use TtVec, a word vector.
+
+// ---------------------------------------------------------------- 6-var --
+
+/// Projection truth tables of each variable for 6-var tables.
+inline constexpr std::uint64_t kVarTt6[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+/// Mask of the meaningful bits of an n-variable table (n <= 6).
+inline constexpr std::uint64_t tt6_mask(unsigned n) {
+  return n >= 6 ? ~0ull : ((1ull << (1u << n)) - 1ull);
+}
+
+/// Value of bit (minterm) m.
+inline constexpr bool tt6_bit(std::uint64_t tt, unsigned m) {
+  return (tt >> m) & 1ull;
+}
+
+/// Does the function (over n vars) depend on variable v?
+bool tt6_has_var(std::uint64_t tt, unsigned n, unsigned v);
+
+/// Cofactors w.r.t. variable v (result still over n vars, padded).
+std::uint64_t tt6_cofactor0(std::uint64_t tt, unsigned v);
+std::uint64_t tt6_cofactor1(std::uint64_t tt, unsigned v);
+
+/// Remove don't-depend variables: returns the table over the reduced
+/// support and writes the surviving original variable indices to
+/// `support` (ordered). n is the original variable count.
+std::uint64_t tt6_shrink(std::uint64_t tt, unsigned n,
+                         std::vector<unsigned>& support);
+
+/// Apply an input permutation & phase + output phase:
+/// result(x_0..x_{n-1}) = f(y_perm[0], ...) where y_i = x_i ^ phase_i.
+/// `perm[i]` gives, for input i of f, which new variable feeds it.
+std::uint64_t tt6_transform(std::uint64_t tt, unsigned n,
+                            const std::vector<unsigned>& perm,
+                            unsigned input_phase_mask, bool out_negate);
+
+/// Number of set minterms (over n vars).
+unsigned tt6_count_ones(std::uint64_t tt, unsigned n);
+
+// --------------------------------------------------------------- dynamic --
+
+/// Dynamic truth table over up to 16 variables.
+class TtVec {
+public:
+  TtVec() = default;
+  explicit TtVec(unsigned num_vars);
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+
+  bool bit(std::uint32_t minterm) const {
+    return (words_[minterm >> 6] >> (minterm & 63u)) & 1ull;
+  }
+  void set_bit(std::uint32_t minterm, bool value);
+
+  bool is_zero() const;
+  bool is_ones() const;
+  bool operator==(const TtVec& other) const { return words_ == other.words_; }
+
+  TtVec operator&(const TtVec& o) const;
+  TtVec operator|(const TtVec& o) const;
+  TtVec operator^(const TtVec& o) const;
+  TtVec operator~() const;
+
+  TtVec cofactor(unsigned var, bool value) const;
+  bool has_var(unsigned var) const;
+
+  /// All-zero / all-one / single-variable tables.
+  static TtVec zeros(unsigned num_vars);
+  static TtVec ones(unsigned num_vars);
+  static TtVec variable(unsigned num_vars, unsigned var);
+
+  /// From a 6-var packed table.
+  static TtVec from_tt6(std::uint64_t tt, unsigned num_vars);
+  /// To packed (requires num_vars <= 6).
+  std::uint64_t to_tt6() const;
+
+private:
+  void mask_top();
+  unsigned num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A product term over num_vars variables: variable i appears positive if
+/// bit i of `pos`, negated if bit i of `neg` (never both).
+struct Cube {
+  std::uint32_t pos = 0;
+  std::uint32_t neg = 0;
+  unsigned num_literals() const;
+};
+
+/// Irredundant sum-of-products via the Minato–Morreale algorithm.
+/// Computes an ISOP F with on_set <= F <= on_set | dc_set (the don't-care
+/// set enables mfs-style minimization).
+std::vector<Cube> isop(const TtVec& on_set, const TtVec& dc_set);
+
+/// Evaluate a cube list back into a truth table (for verification).
+TtVec sop_to_tt(const std::vector<Cube>& cubes, unsigned num_vars);
+
+}  // namespace cryo::logic

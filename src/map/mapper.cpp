@@ -1,0 +1,324 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "logic/cuts.hpp"
+#include "logic/simulate.hpp"
+
+namespace cryo::map {
+
+using logic::Aig;
+using logic::Cut;
+using logic::Lit;
+using logic::NodeIdx;
+using opt::Cost;
+
+namespace {
+
+/// Nominal-corner figures of one library cell, precomputed once.
+struct CellFigures {
+  double delay = 0.0;   ///< worst arc delay at the nominal corner [s]
+  double energy = 0.0;  ///< mean internal energy per transition [J]
+  double area = 0.0;
+  double leakage = 0.0;
+  std::vector<double> pin_caps;  ///< per input pin, in input order
+};
+
+CellFigures figures_of(const liberty::Cell& cell, double slew, double load) {
+  CellFigures f;
+  f.delay = cell.typical_delay(slew, load);
+  f.energy = cell.typical_energy(slew, load);
+  f.area = cell.area;
+  f.leakage = cell.leakage_power;
+  for (const auto& name : cell.input_names()) {
+    const auto* pin = cell.find_pin(name);
+    f.pin_caps.push_back(pin != nullptr ? pin->capacitance : 0.0);
+  }
+  return f;
+}
+
+/// A selected implementation of one AIG node.
+struct Selection {
+  Cut cut;                      ///< the chosen cut (support-minimized)
+  const Match* match = nullptr; ///< the chosen cell binding
+  Cost flow;                    ///< accumulated flow costs at this node
+};
+
+}  // namespace
+
+Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
+                 const TechMapOptions& options,
+                 const std::vector<std::vector<logic::Lit>>* choices) {
+  logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node};
+  cuts.run();
+
+  const liberty::Cell* inv = matcher.inverter();
+  if (inv == nullptr) {
+    throw std::runtime_error{"tech_map: library has no inverter"};
+  }
+  const CellFigures inv_fig =
+      figures_of(*inv, options.nominal_slew, options.nominal_load);
+
+  // Nominal figures per cell (lazy cache).
+  std::unordered_map<const liberty::Cell*, CellFigures> figure_cache;
+  auto figures = [&](const liberty::Cell* cell) -> const CellFigures& {
+    auto it = figure_cache.find(cell);
+    if (it == figure_cache.end()) {
+      it = figure_cache
+               .emplace(cell, figures_of(*cell, options.nominal_slew,
+                                         options.nominal_load))
+               .first;
+    }
+    return it->second;
+  };
+
+  const double vdd = matcher.library().voltage;
+  const double vdd_sq = vdd * vdd;
+
+  // Switching activity of every AIG node.
+  logic::Simulation sim{aig, 16};
+  util::Rng rng{options.seed};
+  sim.randomize_pis_markov(rng, options.input_activity);
+  sim.run();
+  std::vector<double> activity(aig.num_nodes());
+  for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    activity[v] = sim.activity(v);
+  }
+
+  // Candidate cuts per node (choice structures merged in).
+  std::vector<std::vector<Cut>> candidates(aig.num_nodes());
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    for (const Cut& c : cuts.cuts(v)) {
+      candidates[v].push_back(c);
+    }
+    if (choices != nullptr && v < choices->size()) {
+      for (const Lit alt : (*choices)[v]) {
+        for (Cut c : cuts.cuts(logic::lit_var(alt))) {
+          // Preserve "cut leaves precede the root" (see lut_map.cpp).
+          bool ordered = true;
+          for (unsigned i = 0; i < c.size; ++i) {
+            if (c.leaves[i] >= v) {
+              ordered = false;
+              break;
+            }
+          }
+          if (!ordered) {
+            continue;
+          }
+          if (logic::lit_compl(alt)) {
+            c.tt = ~c.tt & logic::tt6_mask(c.size);
+          }
+          candidates[v].push_back(c);
+        }
+      }
+    }
+  }
+
+  std::vector<Selection> best(aig.num_nodes());
+  std::vector<double> refs(aig.num_nodes(), 1.0);
+  {
+    const auto fanouts = aig.fanout_counts();
+    for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+      refs[v] = std::max<double>(1.0, fanouts[v]);
+    }
+  }
+  std::vector<bool> in_cover(aig.num_nodes(), false);
+
+  for (unsigned round = 0; round < options.rounds; ++round) {
+    for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+      if (!aig.is_and(v)) {
+        continue;
+      }
+      bool have = false;
+      Cost best_cost;
+      Selection sel;
+      for (const Cut& c : candidates[v]) {
+        // Support-minimize the cut function before matching.
+        std::vector<unsigned> support;
+        const std::uint64_t stt = logic::tt6_shrink(c.tt, c.size, support);
+        Cut mc;  // minimized cut
+        mc.size = static_cast<std::uint8_t>(support.size());
+        for (unsigned i = 0; i < support.size(); ++i) {
+          mc.leaves[i] = c.leaves[support[i]];
+        }
+        mc.tt = stt;
+        if (mc.size == 1 && mc.leaves[0] == v) {
+          continue;  // trivial self-cut
+        }
+        if (mc.size == 0) {
+          continue;  // constant node functions are handled at the POs
+        }
+        const auto* matches = matcher.find(stt, mc.size);
+        if (matches == nullptr) {
+          continue;
+        }
+        for (const Match& m : *matches) {
+          const CellFigures& fig = figures(m.cell);
+          Cost cost;
+          const unsigned extra_invs =
+              static_cast<unsigned>(std::popcount(m.input_phase)) +
+              (m.out_invert ? 1u : 0u);
+          cost.area = fig.area + extra_invs * inv_fig.area;
+          // Power cost = internal energy at the output toggle rate
+          //            + leakage converted to per-cycle energy
+          //            + switched capacitance presented to the leaf nets
+          //              (the term a power-aware mapper actually controls).
+          cost.power = activity[v] * (fig.energy + extra_invs * inv_fig.energy) +
+                       (fig.leakage + extra_invs * inv_fig.leakage) *
+                           options.clock_estimate;
+          for (unsigned i = 0; i < m.perm.size(); ++i) {
+            const NodeIdx leaf = mc.leaves[m.perm[i]];
+            double cap = fig.pin_caps.size() > i ? fig.pin_caps[i] : 0.0;
+            if ((m.input_phase >> i) & 1u) {
+              cap += inv_fig.pin_caps.empty() ? 0.0 : inv_fig.pin_caps[0];
+            }
+            cost.power += 0.5 * vdd_sq * cap * activity[leaf];
+          }
+          cost.delay = fig.delay + (m.out_invert ? inv_fig.delay : 0.0);
+          double worst_arrival = 0.0;
+          for (unsigned i = 0; i < mc.size; ++i) {
+            const NodeIdx leaf = mc.leaves[i];
+            cost.area += best[leaf].flow.area / refs[leaf];
+            cost.power += best[leaf].flow.power / refs[leaf];
+            worst_arrival = std::max(worst_arrival, best[leaf].flow.delay);
+          }
+          cost.delay += worst_arrival;
+          if (!have || opt::better(cost, best_cost, options.priority,
+                                   options.epsilon)) {
+            have = true;
+            best_cost = cost;
+            sel.cut = mc;
+            sel.match = &m;
+            sel.flow = cost;
+          }
+        }
+      }
+      if (!have) {
+        throw std::runtime_error{
+            "tech_map: no match for node (library too small?)"};
+      }
+      best[v] = sel;
+    }
+
+    // Extract the cover and recompute reference counts.
+    std::fill(in_cover.begin(), in_cover.end(), false);
+    std::vector<double> cover_refs(aig.num_nodes(), 0.0);
+    std::vector<NodeIdx> stack;
+    for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+      stack.push_back(logic::lit_var(aig.po(i)));
+    }
+    while (!stack.empty()) {
+      const NodeIdx v = stack.back();
+      stack.pop_back();
+      if (!aig.is_and(v)) {
+        continue;
+      }
+      cover_refs[v] += 1.0;
+      if (in_cover[v]) {
+        continue;
+      }
+      in_cover[v] = true;
+      const Cut& c = best[v].cut;
+      for (unsigned i = 0; i < c.size; ++i) {
+        stack.push_back(c.leaves[i]);
+      }
+    }
+    for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+      refs[v] = std::max(1.0, cover_refs[v]);
+    }
+  }
+
+  // ------------------------------------------------ netlist assembly ----
+  Netlist net;
+  net.name = aig.name();
+  net.library = &matcher.library();
+
+  std::vector<std::uint32_t> node_net(aig.num_nodes(), UINT32_MAX);
+  auto fresh_net = [&]() { return net.num_nets++; };
+
+  for (NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    const std::uint32_t n = fresh_net();
+    node_net[logic::lit_var(aig.pi(i))] = n;
+    net.pis.push_back(n);
+    net.pi_names.push_back(aig.pi_name(i));
+  }
+
+  // Inverted versions of nets, created on demand and shared.
+  std::unordered_map<std::uint32_t, std::uint32_t> inverted;
+  auto invert_net = [&](std::uint32_t source) {
+    const auto it = inverted.find(source);
+    if (it != inverted.end()) {
+      return it->second;
+    }
+    const std::uint32_t out = fresh_net();
+    net.gates.push_back({inv, {source}, out});
+    inverted.emplace(source, out);
+    return out;
+  };
+  auto const_net = [&](bool value) -> std::uint32_t {
+    std::uint32_t& slot = value ? net.const1_net : net.const0_net;
+    if (slot == UINT32_MAX) {
+      slot = fresh_net();
+      const auto* tie = matcher.tie(value);
+      if (tie != nullptr) {
+        // TIE cells in this library are modelled with a pin; represent
+        // them as pinless constant drivers in the netlist.
+        net.gates.push_back({tie, {}, slot});
+      }
+    }
+    return slot;
+  };
+
+  // Emit gates for covered nodes in topological order.
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!in_cover[v]) {
+      continue;
+    }
+    const Selection& sel = best[v];
+    const Match& m = *sel.match;
+    Gate gate;
+    gate.cell = m.cell;
+    gate.fanins.resize(m.perm.size());
+    for (unsigned i = 0; i < m.perm.size(); ++i) {
+      const NodeIdx leaf = sel.cut.leaves[m.perm[i]];
+      std::uint32_t src = node_net[leaf];
+      if (src == UINT32_MAX) {
+        throw std::logic_error{"tech_map: leaf mapped after root"};
+      }
+      if ((m.input_phase >> i) & 1u) {
+        src = invert_net(src);
+      }
+      gate.fanins[i] = src;
+    }
+    gate.output = fresh_net();
+    const std::uint32_t cell_out = gate.output;
+    net.gates.push_back(gate);
+    node_net[v] = m.out_invert ? invert_net(cell_out) : cell_out;
+  }
+
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    const NodeIdx v = logic::lit_var(po);
+    std::uint32_t src;
+    if (aig.is_const0(v)) {
+      src = const_net(logic::lit_compl(po));
+    } else {
+      src = node_net[v];
+      if (logic::lit_compl(po)) {
+        src = invert_net(src);
+      }
+    }
+    net.pos.push_back(src);
+    net.po_names.push_back(aig.po_name(i));
+  }
+  return net;
+}
+
+}  // namespace cryo::map

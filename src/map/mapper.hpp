@@ -1,0 +1,32 @@
+#pragma once
+
+#include "logic/aig.hpp"
+#include "map/matcher.hpp"
+#include "map/netlist.hpp"
+#include "opt/cost.hpp"
+
+namespace cryo::map {
+
+/// Options for cut-based standard-cell technology mapping (ABC's `map`,
+/// with the paper's configurable cost-priority list).
+struct TechMapOptions {
+  opt::CostPriority priority = opt::CostPriority::kBaselinePowerAware;
+  double epsilon = 0.02;          ///< cost tie-break threshold
+  unsigned k = 5;                 ///< max cut inputs (= max cell inputs)
+  unsigned cuts_per_node = 8;
+  unsigned rounds = 3;            ///< refinement rounds
+  double input_activity = 0.2;    ///< PI toggle rate for the power cost
+  double nominal_slew = 10e-12;   ///< corner for cost-model lookups
+  double nominal_load = 1e-15;
+  double clock_estimate = 1e-9;   ///< converts leakage [W] into energy [J]
+  std::uint64_t seed = 17;
+};
+
+/// Map an AIG onto a standard-cell library using the given cost-priority
+/// list. `choices` (optional, from SAT sweeping) contributes alternative
+/// structures' cuts.
+Netlist tech_map(const logic::Aig& aig, const CellMatcher& matcher,
+                 const TechMapOptions& options = {},
+                 const std::vector<std::vector<logic::Lit>>* choices = nullptr);
+
+}  // namespace cryo::map

@@ -1,0 +1,88 @@
+#include "map/matcher.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "liberty/function.hpp"
+#include "logic/tt.hpp"
+#include "util/strings.hpp"
+
+namespace cryo::map {
+
+CellMatcher::CellMatcher(const liberty::Library& library, unsigned max_inputs,
+                         unsigned max_matches_per_key)
+    : library_{&library} {
+  for (const auto& cell : library.cells) {
+    if (cell.is_sequential) {
+      continue;
+    }
+    if (util::starts_with(cell.name, "TIE")) {
+      if (cell.name == "TIEHI") {
+        tiehi_ = &cell;
+      } else if (cell.name == "TIELO") {
+        tielo_ = &cell;
+      }
+      continue;
+    }
+    const auto inputs = cell.input_names();
+    const auto n = static_cast<unsigned>(inputs.size());
+    if (n == 0 || n > max_inputs) {
+      continue;
+    }
+    const auto* out = cell.output_pin();
+    if (out == nullptr || out->function.empty()) {
+      continue;
+    }
+    const std::uint64_t f =
+        liberty::function_truth_table(out->function, inputs);
+
+    // Track the cheapest inverter/buffer for phase fixups.
+    if (n == 1) {
+      const bool inverts = (f & 1ull) != 0;
+      if (inverts && (inverter_ == nullptr || cell.area < inverter_->area)) {
+        inverter_ = &cell;
+      }
+      if (!inverts && (buffer_ == nullptr || cell.area < buffer_->area)) {
+        buffer_ = &cell;
+      }
+    }
+
+    std::vector<unsigned> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    do {
+      for (unsigned phase = 0; phase < (1u << n); ++phase) {
+        for (const bool out_inv : {false, true}) {
+          const std::uint64_t g =
+              logic::tt6_transform(f, n, perm, phase, out_inv);
+          auto& bucket = tables_[n][g];
+          if (bucket.size() >= max_matches_per_key) {
+            continue;
+          }
+          // One match per cell per key is enough (symmetries create
+          // duplicates).
+          if (std::any_of(bucket.begin(), bucket.end(),
+                          [&](const Match& m) { return m.cell == &cell; })) {
+            continue;
+          }
+          Match m;
+          m.cell = &cell;
+          m.perm = perm;
+          m.input_phase = phase;
+          m.out_invert = out_inv;
+          bucket.push_back(std::move(m));
+        }
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+const std::vector<Match>* CellMatcher::find(std::uint64_t tt,
+                                            unsigned n) const {
+  if (n >= tables_.size()) {
+    return nullptr;
+  }
+  const auto it = tables_[n].find(tt);
+  return it == tables_[n].end() ? nullptr : &it->second;
+}
+
+}  // namespace cryo::map

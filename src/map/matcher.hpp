@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/library.hpp"
+
+namespace cryo::map {
+
+/// One way to realize a target function with a library cell.
+struct Match {
+  const liberty::Cell* cell = nullptr;
+  std::vector<unsigned> perm;  ///< cell input i connects to target var perm[i]
+  unsigned input_phase = 0;    ///< bit i set: invert cell input i
+  bool out_invert = false;     ///< cell output must be inverted
+};
+
+/// Cut-function to standard-cell matcher.
+///
+/// At construction, every combinational library cell's function is
+/// expanded under all input permutations, input phases, and output
+/// phases (full NPN orbit); the resulting truth tables are hashed. A cut
+/// is then matched by a single hash lookup of its (support-minimized)
+/// truth table — no per-cut canonicalization needed.
+class CellMatcher {
+public:
+  explicit CellMatcher(const liberty::Library& library,
+                       unsigned max_inputs = 5,
+                       unsigned max_matches_per_key = 12);
+
+  /// Matches for a function over exactly `n` (support) variables.
+  const std::vector<Match>* find(std::uint64_t tt, unsigned n) const;
+
+  /// Cheapest inverter / buffer in the library.
+  const liberty::Cell* inverter() const { return inverter_; }
+  const liberty::Cell* buffer() const { return buffer_; }
+  const liberty::Cell* tie(bool high) const {
+    return high ? tiehi_ : tielo_;
+  }
+
+  const liberty::Library& library() const { return *library_; }
+
+private:
+  const liberty::Library* library_;
+  /// One exact-match table per input count (0..6) — no canonicalization,
+  /// no collisions.
+  std::array<std::unordered_map<std::uint64_t, std::vector<Match>>, 7> tables_;
+  const liberty::Cell* inverter_ = nullptr;
+  const liberty::Cell* buffer_ = nullptr;
+  const liberty::Cell* tiehi_ = nullptr;
+  const liberty::Cell* tielo_ = nullptr;
+};
+
+}  // namespace cryo::map

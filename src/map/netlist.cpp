@@ -1,0 +1,123 @@
+#include "map/netlist.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "liberty/function.hpp"
+#include "util/rng.hpp"
+
+namespace cryo::map {
+
+double Netlist::total_area() const {
+  double area = 0.0;
+  for (const auto& gate : gates) {
+    area += gate.cell->area;
+  }
+  return area;
+}
+
+namespace {
+
+/// Cached truth table of a cell over its input pins.
+std::uint64_t cell_tt(const liberty::Cell& cell) {
+  const auto* out = cell.output_pin();
+  if (out == nullptr || out->function.empty()) {
+    throw std::logic_error{"Netlist: cell without output function: " +
+                           cell.name};
+  }
+  return liberty::function_truth_table(out->function, cell.input_names());
+}
+
+}  // namespace
+
+std::vector<double> Netlist::simulate_activity(double toggle_rate,
+                                               unsigned words,
+                                               std::uint64_t seed) const {
+  std::vector<std::vector<std::uint64_t>> bits(
+      num_nets, std::vector<std::uint64_t>(words, 0));
+  util::Rng rng{seed};
+  for (const std::uint32_t pi : pis) {
+    bool state = rng.next_bool();
+    for (unsigned k = 0; k < words; ++k) {
+      std::uint64_t word = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        if (rng.next_bool(toggle_rate)) {
+          state = !state;
+        }
+        if (state) {
+          word |= 1ull << b;
+        }
+      }
+      bits[pi][k] = word;
+    }
+  }
+  if (const1_net != UINT32_MAX) {
+    for (auto& w : bits[const1_net]) {
+      w = ~0ull;
+    }
+  }
+  for (const auto& gate : gates) {
+    const std::uint64_t tt = cell_tt(*gate.cell);
+    auto& out = bits[gate.output];
+    for (unsigned k = 0; k < words; ++k) {
+      std::uint64_t word = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        unsigned m = 0;
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+          if ((bits[gate.fanins[i]][k] >> b) & 1ull) {
+            m |= 1u << i;
+          }
+        }
+        if ((tt >> m) & 1ull) {
+          word |= 1ull << b;
+        }
+      }
+      out[k] = word;
+    }
+  }
+  std::vector<double> activity(num_nets, 0.0);
+  const unsigned total = 64 * words - 1;
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    unsigned toggles = 0;
+    for (unsigned k = 0; k < words; ++k) {
+      const std::uint64_t x = bits[n][k] ^ (bits[n][k] >> 1);
+      toggles += static_cast<unsigned>(std::popcount(x & ~(1ull << 63)));
+      if (k + 1 < words) {
+        toggles += ((bits[n][k] >> 63) ^ (bits[n][k + 1] & 1ull)) != 0;
+      }
+    }
+    activity[n] = static_cast<double>(toggles) / static_cast<double>(total);
+  }
+  return activity;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& pi_values) const {
+  if (pi_values.size() != pis.size()) {
+    throw std::invalid_argument{"Netlist::evaluate: PI count mismatch"};
+  }
+  std::vector<bool> value(num_nets, false);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    value[pis[i]] = pi_values[i];
+  }
+  if (const1_net != UINT32_MAX) {
+    value[const1_net] = true;
+  }
+  for (const auto& gate : gates) {
+    const std::uint64_t tt = cell_tt(*gate.cell);
+    unsigned m = 0;
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (value[gate.fanins[i]]) {
+        m |= 1u << i;
+      }
+    }
+    value[gate.output] = ((tt >> m) & 1ull) != 0;
+  }
+  std::vector<bool> outs;
+  outs.reserve(pos.size());
+  for (const std::uint32_t po : pos) {
+    outs.push_back(value[po]);
+  }
+  return outs;
+}
+
+}  // namespace cryo::map

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+
+namespace cryo::map {
+
+/// A gate instance in a mapped netlist.
+struct Gate {
+  const liberty::Cell* cell = nullptr;
+  std::vector<std::uint32_t> fanins;  ///< net ids, ordered as cell inputs
+  std::uint32_t output = 0;           ///< net id
+};
+
+/// A technology-mapped, gate-level netlist over a liberty library.
+/// Gates are stored in topological order (fanins precede fanouts).
+struct Netlist {
+  std::string name;
+  const liberty::Library* library = nullptr;
+  std::uint32_t num_nets = 0;
+  std::vector<std::uint32_t> pis;       ///< input net ids
+  std::vector<std::string> pi_names;
+  std::vector<std::uint32_t> pos;       ///< output net ids
+  std::vector<std::string> po_names;
+  std::vector<Gate> gates;
+  /// Net ids tied to constants (outputs of TIE cells or unconnected).
+  std::uint32_t const0_net = UINT32_MAX;
+  std::uint32_t const1_net = UINT32_MAX;
+
+  double total_area() const;
+  std::size_t gate_count() const { return gates.size(); }
+
+  /// Bit-parallel simulation of the netlist: PI streams are Markov toggle
+  /// chains with the given rate; returns per-net toggle activity.
+  std::vector<double> simulate_activity(double toggle_rate, unsigned words,
+                                        std::uint64_t seed) const;
+
+  /// Evaluate all POs for one input assignment (for equivalence tests).
+  std::vector<bool> evaluate(const std::vector<bool>& pi_values) const;
+};
+
+}  // namespace cryo::map

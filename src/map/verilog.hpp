@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "map/netlist.hpp"
+
+namespace cryo::map {
+
+/// Emit a mapped netlist as a structural Verilog module instantiating the
+/// liberty cells (the hand-off format to place & route). Net names are
+/// PI/PO names where available and generated `n<id>` wires otherwise.
+std::string to_verilog(const Netlist& netlist,
+                       const std::string& module_name = "");
+
+/// Write to a file. Throws std::runtime_error on I/O failure.
+void write_verilog(const Netlist& netlist, const std::string& path,
+                   const std::string& module_name = "");
+
+}  // namespace cryo::map

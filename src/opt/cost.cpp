@@ -1,0 +1,61 @@
+#include "opt/cost.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace cryo::opt {
+
+std::string to_string(CostPriority priority) {
+  switch (priority) {
+    case CostPriority::kBaselinePowerAware:
+      return "baseline-power-aware";
+    case CostPriority::kPowerAreaDelay:
+      return "p->a->d";
+    case CostPriority::kPowerDelayArea:
+      return "p->d->a";
+  }
+  return "?";
+}
+
+namespace {
+
+/// -1: a better, +1: b better, 0: tie within epsilon.
+int compare(double a, double b, double epsilon) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-30});
+  if (a < b - epsilon * scale) {
+    return -1;
+  }
+  if (b < a - epsilon * scale) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool better(const Cost& a, const Cost& b, CostPriority priority,
+            double epsilon) {
+  std::array<std::pair<double, double>, 3> keys{};
+  switch (priority) {
+    case CostPriority::kBaselinePowerAware:
+      keys = {{{a.area, b.area}, {a.delay, b.delay}, {a.power, b.power}}};
+      break;
+    case CostPriority::kPowerAreaDelay:
+      keys = {{{a.power, b.power}, {a.area, b.area}, {a.delay, b.delay}}};
+      break;
+    case CostPriority::kPowerDelayArea:
+      keys = {{{a.power, b.power}, {a.delay, b.delay}, {a.area, b.area}}};
+      break;
+  }
+  for (const auto& [ka, kb] : keys) {
+    const int c = compare(ka, kb, epsilon);
+    if (c != 0) {
+      return c < 0;
+    }
+  }
+  // Full tie within thresholds: break strictly on the primary key.
+  return keys[0].first < keys[0].second;
+}
+
+}  // namespace cryo::opt

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+namespace cryo::opt {
+
+/// Cost-function priority lists (the paper's central knob, §IV-B).
+///
+/// Conventional synthesis (and ABC's stock power-aware mode) keeps
+/// network size as the primary objective, using delay as a tie-breaker
+/// and power further down. The proposed cryogenic-aware synthesis makes
+/// power the number-one priority, in two flavours.
+enum class CostPriority {
+  /// State-of-the-art power-aware baseline: area -> delay -> power
+  /// (what unmodified ABC's `dch -p; if -p; mfs -pegd; map -p` optimize).
+  kBaselinePowerAware,
+  /// Proposed cryogenic-aware: power -> area -> delay.
+  kPowerAreaDelay,
+  /// Proposed cryogenic-aware: power -> delay -> area.
+  kPowerDelayArea,
+};
+
+std::string to_string(CostPriority priority);
+
+/// A cost triple. Which member is compared first depends on the priority
+/// list; each comparison uses a relative threshold `epsilon` (ties within
+/// epsilon fall through to the next criterion — this mirrors ABC's
+/// "equal within a threshold" tie-breaking).
+struct Cost {
+  double power = 0.0;
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+/// True if `a` is strictly better than `b` under the given priority list.
+bool better(const Cost& a, const Cost& b, CostPriority priority,
+            double epsilon = 0.02);
+
+}  // namespace cryo::opt

@@ -1,0 +1,290 @@
+#include "opt/lut_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logic/factor.hpp"
+#include "logic/simulate.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace cryo::opt {
+
+using logic::Aig;
+using logic::Cut;
+using logic::Lit;
+using logic::NodeIdx;
+
+double LutMapping::switched_estimate() const {
+  double total = 0.0;
+  for (NodeIdx v = 0; v < in_cover.size(); ++v) {
+    if (in_cover[v]) {
+      total += activity[v];
+    }
+  }
+  return total;
+}
+
+LutMapping lut_map(const Aig& aig, const LutMapOptions& options,
+                   const std::vector<std::vector<logic::Lit>>* choices) {
+  logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node};
+  cuts.run();
+
+  // Per-node cut candidates; for nodes with structural choices, the
+  // choice structures' cuts are merged in (with output-phase fixup).
+  std::vector<std::vector<Cut>> candidates(aig.num_nodes());
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    for (const Cut& c : cuts.cuts(v)) {
+      if (c.size == 1 && c.leaves[0] == v) {
+        continue;  // trivial cut cannot be a LUT
+      }
+      candidates[v].push_back(c);
+    }
+    if (choices != nullptr && v < choices->size()) {
+      for (const Lit alt : (*choices)[v]) {
+        for (Cut c : cuts.cuts(logic::lit_var(alt))) {
+          if (c.size == 1 && c.leaves[0] == logic::lit_var(alt)) {
+            continue;
+          }
+          // Keep the topological invariant "cut leaves precede the root":
+          // choice structures are newer nodes, so their cuts may reach
+          // leaves with higher indices than v — those would make the
+          // cover emission order (and in the worst case the cover
+          // itself) cyclic.
+          bool ordered = true;
+          for (unsigned i = 0; i < c.size; ++i) {
+            if (c.leaves[i] >= v) {
+              ordered = false;
+              break;
+            }
+          }
+          if (!ordered) {
+            continue;
+          }
+          if (logic::lit_compl(alt)) {
+            c.tt = ~c.tt & logic::tt6_mask(c.size);
+          }
+          candidates[v].push_back(c);
+        }
+      }
+    }
+  }
+
+  // Switching activity from Markov-chain simulation.
+  logic::Simulation sim{aig, 16};
+  util::Rng rng{options.seed};
+  sim.randomize_pis_markov(rng, options.input_activity);
+  sim.run();
+
+  LutMapping mapping;
+  mapping.aig = &aig;
+  mapping.chosen.resize(aig.num_nodes());
+  mapping.in_cover.assign(aig.num_nodes(), false);
+  mapping.tt.assign(aig.num_nodes(), 0);
+  mapping.dc.assign(aig.num_nodes(), 0);
+  mapping.activity.resize(aig.num_nodes());
+  for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    mapping.activity[v] = sim.activity(v);
+  }
+
+  // Reference estimates: structural fanout counts initially, actual
+  // cover references in later rounds.
+  std::vector<double> refs(aig.num_nodes(), 1.0);
+  {
+    const auto fanouts = aig.fanout_counts();
+    for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+      refs[v] = std::max<double>(1.0, fanouts[v]);
+    }
+  }
+
+  std::vector<double> area_flow(aig.num_nodes(), 0.0);
+  std::vector<double> power_flow(aig.num_nodes(), 0.0);
+  std::vector<double> depth(aig.num_nodes(), 0.0);
+  std::vector<bool> has_best(aig.num_nodes(), false);
+
+  for (unsigned round = 0; round < options.rounds; ++round) {
+    for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+      if (!aig.is_and(v)) {
+        continue;
+      }
+      Cost best_cost;
+      const Cut* best_cut = nullptr;
+      for (const Cut& c : candidates[v]) {
+        Cost cost;
+        cost.area = 1.0;
+        cost.power = mapping.activity[v];
+        cost.delay = 0.0;
+        for (unsigned i = 0; i < c.size; ++i) {
+          const NodeIdx leaf = c.leaves[i];
+          cost.area += area_flow[leaf] / refs[leaf];
+          cost.power += power_flow[leaf] / refs[leaf];
+          cost.delay = std::max(cost.delay, depth[leaf]);
+        }
+        cost.delay += 1.0;
+        if (best_cut == nullptr ||
+            better(cost, best_cost, options.priority, options.epsilon)) {
+          best_cost = cost;
+          best_cut = &c;
+        }
+      }
+      // Every AND node has at least the cut over its two fanins.
+      mapping.chosen[v] = *best_cut;
+      has_best[v] = true;
+      area_flow[v] = best_cost.area;
+      power_flow[v] = best_cost.power;
+      depth[v] = best_cost.delay;
+    }
+
+    // Cover extraction from the POs.
+    std::fill(mapping.in_cover.begin(), mapping.in_cover.end(), false);
+    std::vector<NodeIdx> stack;
+    for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+      stack.push_back(logic::lit_var(aig.po(i)));
+    }
+    std::vector<double> cover_refs(aig.num_nodes(), 0.0);
+    while (!stack.empty()) {
+      const NodeIdx v = stack.back();
+      stack.pop_back();
+      if (!aig.is_and(v)) {
+        continue;
+      }
+      cover_refs[v] += 1.0;
+      if (mapping.in_cover[v]) {
+        continue;
+      }
+      mapping.in_cover[v] = true;
+      const Cut& c = mapping.chosen[v];
+      for (unsigned i = 0; i < c.size; ++i) {
+        stack.push_back(c.leaves[i]);
+      }
+    }
+    // Next round uses actual cover references.
+    for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+      refs[v] = std::max(1.0, cover_refs[v]);
+    }
+  }
+
+  mapping.lut_count = 0;
+  for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    if (mapping.in_cover[v]) {
+      mapping.tt[v] = mapping.chosen[v].tt;
+      ++mapping.lut_count;
+    }
+  }
+  return mapping;
+}
+
+logic::Aig luts_to_aig(const LutMapping& mapping) {
+  const Aig& aig = *mapping.aig;
+  Aig out;
+  out.set_name(aig.name());
+  std::vector<Lit> map(aig.num_nodes(), logic::kConst0);
+  for (NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    map[logic::lit_var(aig.pi(i))] = out.add_pi(aig.pi_name(i));
+  }
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!mapping.in_cover[v]) {
+      continue;
+    }
+    const Cut& c = mapping.chosen[v];
+    std::vector<Lit> leaves;
+    leaves.reserve(c.size);
+    for (unsigned i = 0; i < c.size; ++i) {
+      leaves.push_back(map[c.leaves[i]]);
+    }
+    const auto on =
+        logic::TtVec::from_tt6(mapping.tt[v] & ~mapping.dc[v], c.size);
+    const auto dc = logic::TtVec::from_tt6(mapping.dc[v], c.size);
+    // Factor both polarities of the DC-minimized ISOP; keep the smaller.
+    const auto pos_cubes = logic::isop(on, dc);
+    // Complement polarity: its on-set is the care off-set ~(on | dc).
+    const auto neg_cubes = logic::isop(~(on | dc), dc);
+    const NodeIdx mark = out.num_nodes();
+    const Lit pos = logic::build_factored(out, pos_cubes, leaves);
+    const NodeIdx pos_cost = out.num_nodes() - mark;
+    const NodeIdx mark2 = out.num_nodes();
+    const Lit neg = logic::build_factored(out, neg_cubes, leaves);
+    const NodeIdx neg_cost = out.num_nodes() - mark2;
+    map[v] = neg_cost < pos_cost ? logic::lit_not(neg) : pos;
+  }
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
+               aig.po_name(i));
+  }
+  return out.cleanup();
+}
+
+std::size_t mfs(LutMapping& mapping, const MfsOptions& options) {
+  const Aig& aig = *mapping.aig;
+
+  // Care sets seeded by simulation: any leaf pattern observed is care.
+  logic::Simulation sim{aig, options.sim_words};
+  util::Rng rng{options.seed};
+  sim.randomize_pis(rng);
+  sim.run();
+
+  sat::Solver solver;
+  const sat::CnfMap cnf = sat::encode_aig(aig, solver);
+
+  // Process high-activity LUTs first (power-aware ordering): don't-cares
+  // found there shrink the most frequently toggling logic.
+  std::vector<NodeIdx> roots;
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (mapping.in_cover[v] && mapping.chosen[v].size >= 2) {
+      roots.push_back(v);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [&](NodeIdx a, NodeIdx b) {
+    return mapping.activity[a] > mapping.activity[b];
+  });
+
+  std::size_t found = 0;
+  std::size_t sat_calls = 0;
+  for (const NodeIdx v : roots) {
+    if (sat_calls >= options.sat_call_budget) {
+      break;
+    }
+    const Cut& c = mapping.chosen[v];
+    const unsigned n = c.size;
+    std::uint64_t observed = 0;
+    const unsigned total_bits = 64 * options.sim_words;
+    for (unsigned bit = 0; bit < total_bits; ++bit) {
+      unsigned m = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        const auto* w = sim.node_bits(c.leaves[i]);
+        if ((w[bit / 64] >> (bit % 64)) & 1ull) {
+          m |= 1u << i;
+        }
+      }
+      observed |= 1ull << m;
+    }
+    std::uint64_t dc_mask = 0;
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      if ((observed >> m) & 1ull) {
+        continue;
+      }
+      if (sat_calls >= options.sat_call_budget) {
+        break;
+      }
+      std::vector<sat::Lit> assumptions;
+      for (unsigned i = 0; i < n; ++i) {
+        const sat::Lit l = cnf.lit(logic::make_lit(c.leaves[i]));
+        assumptions.push_back(((m >> i) & 1u) != 0 ? l : sat::lit_neg(l));
+      }
+      ++sat_calls;
+      const sat::Status s = solver.solve(assumptions, options.conflict_limit);
+      if (s == sat::Status::kUnsat) {
+        dc_mask |= 1ull << m;
+        ++found;
+      }
+    }
+    mapping.dc[v] = dc_mask & logic::tt6_mask(n);
+  }
+  return found;
+}
+
+}  // namespace cryo::opt

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "logic/cuts.hpp"
+#include "opt/cost.hpp"
+
+namespace cryo::opt {
+
+/// Options for technology-independent k-LUT mapping (ABC's `if`).
+struct LutMapOptions {
+  unsigned k = 6;
+  unsigned cuts_per_node = 8;
+  CostPriority priority = CostPriority::kBaselinePowerAware;
+  double epsilon = 0.02;
+  unsigned rounds = 2;          ///< area/power-recovery refinement rounds
+  double input_activity = 0.2;  ///< PI toggle rate for the power cost
+  std::uint64_t seed = 11;
+};
+
+/// A k-LUT cover of an AIG. Nodes keep their AIG indices; `in_cover`
+/// marks the LUT roots, `chosen` holds each root's cut, `tt`/`dc` its
+/// (possibly don't-care-minimized) local function.
+struct LutMapping {
+  const logic::Aig* aig = nullptr;
+  std::vector<logic::Cut> chosen;     // indexed by AIG node
+  std::vector<bool> in_cover;         // indexed by AIG node
+  std::vector<std::uint64_t> tt;      // current function of covered roots
+  std::vector<std::uint64_t> dc;      // don't-care mask (mfs fills this)
+  std::vector<double> activity;       // per-node switching activity
+  unsigned lut_count = 0;
+
+  /// Total activity-weighted LUT count (the power proxy).
+  double switched_estimate() const;
+};
+
+/// Cut-based k-LUT mapping with the given cost priority. `choices`
+/// (optional, from SAT sweeping) gives alternative structures whose cuts
+/// are merged into their representative's cut set.
+LutMapping lut_map(const logic::Aig& aig, const LutMapOptions& options,
+                   const std::vector<std::vector<logic::Lit>>* choices = nullptr);
+
+/// Rebuild an AIG from the LUT cover (ABC's `strash` after `if`), using
+/// ISOP + factoring per LUT and honoring don't-care masks.
+logic::Aig luts_to_aig(const LutMapping& mapping);
+
+/// Options for SAT-based don't-care minimization (ABC's `mfs`).
+struct MfsOptions {
+  unsigned sim_words = 32;            ///< simulation to seed the care set
+  std::int64_t conflict_limit = 200;  ///< per-minterm SAT budget
+  std::size_t sat_call_budget = 20000;
+  std::uint64_t seed = 13;
+};
+
+/// Compute satisfiability don't-cares of every covered LUT's leaf space
+/// (unreachable leaf patterns) and record them in `mapping.dc`; high-
+/// activity LUTs are processed first (the power-aware "-p" behaviour).
+/// Returns the number of don't-care minterms found.
+std::size_t mfs(LutMapping& mapping, const MfsOptions& options = {});
+
+}  // namespace cryo::opt

@@ -1,0 +1,455 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "logic/cuts.hpp"
+#include "logic/factor.hpp"
+#include "logic/tt.hpp"
+
+namespace cryo::opt {
+
+using logic::Aig;
+using logic::Lit;
+using logic::NodeIdx;
+using logic::TtVec;
+
+// ----------------------------------------------------------- balance ----
+
+namespace {
+
+/// Collect the leaves of the maximal AND tree rooted at `lit` in the old
+/// AIG: descend through non-complemented AND fanins that have a single
+/// fanout (so sharing is preserved).
+void collect_and_leaves(const Aig& aig,
+                        const std::vector<std::uint32_t>& fanouts, Lit lit,
+                        std::vector<Lit>& leaves) {
+  const NodeIdx v = logic::lit_var(lit);
+  if (logic::lit_compl(lit) || !aig.is_and(v) || fanouts[v] > 1) {
+    leaves.push_back(lit);
+    return;
+  }
+  collect_and_leaves(aig, fanouts, aig.fanin0(v), leaves);
+  collect_and_leaves(aig, fanouts, aig.fanin1(v), leaves);
+}
+
+}  // namespace
+
+Aig balance(const Aig& input) {
+  Aig out;
+  out.set_name(input.name());
+  const auto fanouts = input.fanout_counts();
+  std::vector<Lit> map(input.num_nodes(), logic::kConst0);
+  std::vector<std::uint32_t> out_level;  // level per *new* node
+  out_level.push_back(0);
+
+  auto level_of = [&](Lit l) { return out_level[logic::lit_var(l)]; };
+  auto record_levels = [&](const Aig& aig) {
+    while (out_level.size() < aig.num_nodes()) {
+      const auto v = static_cast<NodeIdx>(out_level.size());
+      if (aig.is_and(v)) {
+        out_level.push_back(
+            1 + std::max(out_level[logic::lit_var(aig.fanin0(v))],
+                         out_level[logic::lit_var(aig.fanin1(v))]));
+      } else {
+        out_level.push_back(0);
+      }
+    }
+  };
+
+  for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+    map[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
+  }
+  record_levels(out);
+
+  for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+    if (!input.is_and(v)) {
+      continue;
+    }
+    // Only build nodes that will be referenced: every AND gets built,
+    // cleanup() drops dead ones afterwards. The root itself is always
+    // expanded (collect_and_leaves would otherwise return a multi-fanout
+    // root as its own leaf).
+    std::vector<Lit> leaves;
+    collect_and_leaves(input, fanouts, input.fanin0(v), leaves);
+    collect_and_leaves(input, fanouts, input.fanin1(v), leaves);
+    // Map leaves into the new AIG.
+    std::vector<Lit> mapped;
+    mapped.reserve(leaves.size());
+    for (Lit l : leaves) {
+      mapped.push_back(
+          logic::lit_notif(map[logic::lit_var(l)], logic::lit_compl(l)));
+    }
+    // Huffman-style: repeatedly AND the two lowest-level operands.
+    while (mapped.size() > 1) {
+      std::sort(mapped.begin(), mapped.end(), [&](Lit a, Lit b) {
+        return level_of(a) > level_of(b);  // descending; take from the back
+      });
+      const Lit a = mapped.back();
+      mapped.pop_back();
+      const Lit b = mapped.back();
+      mapped.pop_back();
+      mapped.push_back(out.land(a, b));
+      record_levels(out);
+    }
+    map[v] = mapped.front();
+  }
+  for (NodeIdx i = 0; i < input.num_pos(); ++i) {
+    const Lit po = input.po(i);
+    out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
+               input.po_name(i));
+  }
+  return out.cleanup();
+}
+
+// ----------------------------------------------------------- rewrite ----
+
+Aig rewrite(const Aig& input, unsigned k) {
+  logic::CutEnumerator cuts{input, k, 8};
+  cuts.run();
+
+  Aig out;
+  out.set_name(input.name());
+  std::vector<Lit> map(input.num_nodes(), logic::kConst0);
+  for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+    map[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
+  }
+
+  for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+    if (!input.is_and(v)) {
+      continue;
+    }
+    // Default implementation: direct AND of the mapped fanins.
+    const Lit f0 = input.fanin0(v);
+    const Lit f1 = input.fanin1(v);
+    const NodeIdx base = out.num_nodes();
+    Lit best = out.land(
+        logic::lit_notif(map[logic::lit_var(f0)], logic::lit_compl(f0)),
+        logic::lit_notif(map[logic::lit_var(f1)], logic::lit_compl(f1)));
+    NodeIdx best_cost = out.num_nodes() - base;
+
+    if (best_cost > 0) {
+      for (const logic::Cut& cut : cuts.cuts(v)) {
+        if (cut.size < 2 || cut.size > k) {
+          continue;
+        }
+        // Cut leaves precede v topologically, so they are already mapped
+        // (possibly to constants, which is still functionally correct).
+        std::vector<Lit> leaves;
+        leaves.reserve(cut.size);
+        for (unsigned i = 0; i < cut.size; ++i) {
+          leaves.push_back(map[cut.leaves[i]]);
+        }
+        const NodeIdx mark = out.num_nodes();
+        const Lit cand =
+            logic::build_from_tt6(out, cut.tt, cut.size, leaves);
+        const NodeIdx cost = out.num_nodes() - mark;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+          if (cost == 0) {
+            break;
+          }
+        }
+      }
+    }
+    map[v] = best;
+  }
+  for (NodeIdx i = 0; i < input.num_pos(); ++i) {
+    const Lit po = input.po(i);
+    out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
+               input.po_name(i));
+  }
+  return out.cleanup();
+}
+
+// ------------------------------------------------ reconvergent cones ----
+
+namespace {
+
+/// Grow a reconvergence-driven cone from node v: start from its fanins
+/// and repeatedly expand the leaf whose replacement by its fanins
+/// increases the leaf set least, until `max_leaves` would be exceeded.
+/// Returns the leaves; `cone_nodes` gets all internal nodes (topological
+/// order, v last).
+std::vector<NodeIdx> collect_cone(const Aig& aig, NodeIdx v,
+                                  unsigned max_leaves,
+                                  std::vector<NodeIdx>& cone_nodes) {
+  std::vector<NodeIdx> leaves{logic::lit_var(aig.fanin0(v)),
+                              logic::lit_var(aig.fanin1(v))};
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+
+  auto leaf_cost = [&](NodeIdx leaf) -> int {
+    if (!aig.is_and(leaf)) {
+      return 1000;  // cannot expand a PI
+    }
+    int cost = -1;  // removing the leaf itself
+    const NodeIdx a = logic::lit_var(aig.fanin0(leaf));
+    const NodeIdx b = logic::lit_var(aig.fanin1(leaf));
+    if (std::find(leaves.begin(), leaves.end(), a) == leaves.end()) {
+      ++cost;
+    }
+    if (b != a && std::find(leaves.begin(), leaves.end(), b) == leaves.end()) {
+      ++cost;
+    }
+    return cost;
+  };
+
+  for (;;) {
+    int best_cost = 1000;
+    std::size_t best_i = leaves.size();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const int c = leaf_cost(leaves[i]);
+      if (c < best_cost) {
+        best_cost = c;
+        best_i = i;
+      }
+    }
+    if (best_i == leaves.size() ||
+        leaves.size() + static_cast<std::size_t>(std::max(best_cost, 0)) >
+            max_leaves ||
+        best_cost >= 2) {
+      break;
+    }
+    const NodeIdx expand = leaves[best_i];
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(best_i));
+    for (const NodeIdx f : {logic::lit_var(aig.fanin0(expand)),
+                            logic::lit_var(aig.fanin1(expand))}) {
+      if (std::find(leaves.begin(), leaves.end(), f) == leaves.end()) {
+        leaves.push_back(f);
+      }
+    }
+    std::sort(leaves.begin(), leaves.end());
+  }
+
+  // Internal nodes: everything between leaves and v (DFS from v).
+  cone_nodes.clear();
+  std::vector<NodeIdx> stack{v};
+  std::vector<NodeIdx> visited;
+  while (!stack.empty()) {
+    const NodeIdx n = stack.back();
+    stack.pop_back();
+    if (std::find(visited.begin(), visited.end(), n) != visited.end()) {
+      continue;
+    }
+    if (std::find(leaves.begin(), leaves.end(), n) != leaves.end() ||
+        !aig.is_and(n)) {
+      continue;
+    }
+    visited.push_back(n);
+    stack.push_back(logic::lit_var(aig.fanin0(n)));
+    stack.push_back(logic::lit_var(aig.fanin1(n)));
+  }
+  std::sort(visited.begin(), visited.end());
+  cone_nodes = std::move(visited);
+  return leaves;
+}
+
+/// Local truth table of `lit` over the cone leaves.
+TtVec cone_tt(const Aig& aig, const std::vector<NodeIdx>& leaves,
+              const std::vector<NodeIdx>& cone_nodes, Lit root,
+              std::map<NodeIdx, TtVec>& memo) {
+  const auto n = static_cast<unsigned>(leaves.size());
+  if (memo.empty()) {
+    for (unsigned i = 0; i < n; ++i) {
+      memo.emplace(leaves[i], TtVec::variable(n, i));
+    }
+    memo.emplace(0, TtVec::zeros(n));
+    for (const NodeIdx c : cone_nodes) {
+      const Lit f0 = aig.fanin0(c);
+      const Lit f1 = aig.fanin1(c);
+      const TtVec& t0 = memo.at(logic::lit_var(f0));
+      const TtVec& t1 = memo.at(logic::lit_var(f1));
+      const TtVec a = logic::lit_compl(f0) ? ~t0 : t0;
+      const TtVec b = logic::lit_compl(f1) ? ~t1 : t1;
+      memo.emplace(c, a & b);
+    }
+  }
+  const TtVec& t = memo.at(logic::lit_var(root));
+  return logic::lit_compl(root) ? ~t : t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- refactor ----
+
+Aig refactor(const Aig& input, unsigned max_leaves) {
+  Aig out;
+  out.set_name(input.name());
+  const auto fanouts = input.fanout_counts();
+  std::vector<Lit> map(input.num_nodes(), logic::kConst0);
+  for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+    map[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
+  }
+
+  for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+    if (!input.is_and(v)) {
+      continue;
+    }
+    const Lit f0 = input.fanin0(v);
+    const Lit f1 = input.fanin1(v);
+    const NodeIdx base = out.num_nodes();
+    Lit best = out.land(
+        logic::lit_notif(map[logic::lit_var(f0)], logic::lit_compl(f0)),
+        logic::lit_notif(map[logic::lit_var(f1)], logic::lit_compl(f1)));
+    NodeIdx best_cost = out.num_nodes() - base;
+
+    // Refactoring pays off on multi-fanout roots of big cones; trying it
+    // everywhere is wasteful but harmless — gate on node being "fresh".
+    if (best_cost > 0 && fanouts[v] >= 1) {
+      std::vector<NodeIdx> cone_nodes;
+      const auto leaves = collect_cone(input, v, max_leaves, cone_nodes);
+      if (leaves.size() >= 3 && leaves.size() <= max_leaves &&
+          cone_nodes.size() > 2) {
+        std::map<NodeIdx, TtVec> memo;
+        const TtVec tt =
+            cone_tt(input, leaves, cone_nodes, logic::make_lit(v), memo);
+        std::vector<Lit> mapped;
+        mapped.reserve(leaves.size());
+        for (const NodeIdx l : leaves) {
+          mapped.push_back(map[l]);
+        }
+        const NodeIdx mark = out.num_nodes();
+        const Lit cand = logic::build_from_tt(out, tt, mapped);
+        const NodeIdx cost = out.num_nodes() - mark;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+    }
+    map[v] = best;
+  }
+  for (NodeIdx i = 0; i < input.num_pos(); ++i) {
+    const Lit po = input.po(i);
+    out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
+               input.po_name(i));
+  }
+  return out.cleanup();
+}
+
+// ------------------------------------------------------------- resub ----
+
+Aig resub(const Aig& input, unsigned max_leaves) {
+  Aig out;
+  out.set_name(input.name());
+  std::vector<Lit> map(input.num_nodes(), logic::kConst0);
+  for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+    map[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
+  }
+
+  for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+    if (!input.is_and(v)) {
+      continue;
+    }
+    const Lit f0 = input.fanin0(v);
+    const Lit f1 = input.fanin1(v);
+    const NodeIdx base = out.num_nodes();
+    Lit best = out.land(
+        logic::lit_notif(map[logic::lit_var(f0)], logic::lit_compl(f0)),
+        logic::lit_notif(map[logic::lit_var(f1)], logic::lit_compl(f1)));
+    NodeIdx best_cost = out.num_nodes() - base;
+
+    if (best_cost > 0) {
+      std::vector<NodeIdx> cone_nodes;
+      const auto leaves = collect_cone(input, v, max_leaves, cone_nodes);
+      if (leaves.size() <= max_leaves && cone_nodes.size() >= 2) {
+        std::map<NodeIdx, TtVec> memo;
+        const TtVec target =
+            cone_tt(input, leaves, cone_nodes, logic::make_lit(v), memo);
+        // Divisors: the cone's leaves and internal nodes other than v.
+        std::vector<std::pair<NodeIdx, TtVec>> divisors;
+        for (const NodeIdx l : leaves) {
+          divisors.emplace_back(l, memo.at(l));
+        }
+        for (const NodeIdx c : cone_nodes) {
+          if (c != v) {
+            divisors.emplace_back(c, memo.at(c));
+          }
+        }
+        // 1-resub: v == g(d1, d2) for g in {AND, OR, XOR} with phases.
+        bool done = false;
+        for (std::size_t i = 0; i < divisors.size() && !done; ++i) {
+          for (std::size_t j = i + 1; j < divisors.size() && !done; ++j) {
+            const TtVec& a = divisors[i].second;
+            const TtVec& b = divisors[j].second;
+            struct Try {
+              TtVec tt;
+              int kind;  // 0: and, 1: or, 2: xor
+              bool na, nb, no;
+            };
+            const std::array<Try, 9> tries = {{
+                {a & b, 0, false, false, false},
+                {a & ~b, 0, false, true, false},
+                {~a & b, 0, true, false, false},
+                {~(a | b), 0, true, true, false},  // nor = and of negs
+                {a | b, 1, false, false, false},
+                {a | ~b, 1, false, true, false},
+                {~a | b, 1, true, false, false},
+                {~(a & b), 1, true, true, false},  // nand = or of negs
+                {a ^ b, 2, false, false, false},
+            }};
+            for (const auto& t : tries) {
+              const bool eq_pos = t.tt == target;
+              const bool eq_neg = !eq_pos && (~t.tt == target);
+              if (!eq_pos && !eq_neg) {
+                continue;
+              }
+              const Lit da = logic::lit_notif(map[divisors[i].first], t.na);
+              const Lit db = logic::lit_notif(map[divisors[j].first], t.nb);
+              const NodeIdx mark = out.num_nodes();
+              Lit cand;
+              if (t.kind == 0) {
+                cand = out.land(da, db);
+              } else if (t.kind == 1) {
+                cand = out.lor(da, db);
+              } else {
+                cand = out.lxor(da, db);
+              }
+              if (eq_neg) {
+                cand = logic::lit_not(cand);
+              }
+              const NodeIdx cost = out.num_nodes() - mark;
+              if (cost < best_cost) {
+                best_cost = cost;
+                best = cand;
+                done = true;
+              }
+              break;
+            }
+          }
+        }
+      }
+    }
+    map[v] = best;
+  }
+  for (NodeIdx i = 0; i < input.num_pos(); ++i) {
+    const Lit po = input.po(i);
+    out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
+               input.po_name(i));
+  }
+  return out.cleanup();
+}
+
+// -------------------------------------------------------------- c2rs ----
+
+Aig compress2rs(const Aig& input) {
+  // Mirrors ABC's compress2rs spirit: b; rs; rw; rs; rf; b, iterated
+  // while the network keeps shrinking.
+  Aig current = balance(input);
+  for (int round = 0; round < 4; ++round) {
+    const NodeIdx before = current.num_ands();
+    current = resub(current);
+    current = rewrite(current);
+    current = refactor(current);
+    current = balance(current);
+    if (current.num_ands() >= before) {
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace cryo::opt

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "logic/aig.hpp"
+
+namespace cryo::opt {
+
+/// Technology-independent AIG optimization passes (paper §IV-A1).
+///
+/// All passes are purely functional: they return a new, cleaned-up AIG
+/// that is logically equivalent to the input (equivalence is enforced by
+/// construction — every local resynthesis realizes exactly the truth
+/// table of the replaced cone — and re-checked by the test suite via
+/// SAT-based CEC and bit-parallel simulation).
+
+/// AND-tree balancing: collapses maximal single-polarity AND trees and
+/// rebuilds them Huffman-style by arrival level, reducing depth.
+logic::Aig balance(const logic::Aig& input);
+
+/// DAG-aware cut rewriting: for every node, resynthesizes the function of
+/// its k-input cuts (ISOP + algebraic factoring, both polarities) and
+/// keeps the implementation that adds the fewest new nodes given the
+/// sharing already present.
+logic::Aig rewrite(const logic::Aig& input, unsigned k = 4);
+
+/// Refactoring: same resynthesis applied to large reconvergence-driven
+/// cones (up to `max_leaves` inputs).
+logic::Aig refactor(const logic::Aig& input, unsigned max_leaves = 10);
+
+/// Resubstitution: re-expresses nodes as single gates over existing
+/// divisor signals inside a reconvergent window (0- and 1-resub with
+/// complement handling), validated exactly on the window function.
+logic::Aig resub(const logic::Aig& input, unsigned max_leaves = 8);
+
+/// The `c2rs` compression script of the paper's stage (1): an alternation
+/// of resubstitution, rewriting, refactoring, and balancing, iterated
+/// while the network shrinks.
+logic::Aig compress2rs(const logic::Aig& input);
+
+}  // namespace cryo::opt

@@ -1,0 +1,74 @@
+#include "sat/cnf.hpp"
+
+#include <stdexcept>
+
+namespace cryo::sat {
+
+CnfMap encode_aig(const logic::Aig& aig, Solver& solver) {
+  CnfMap map;
+  map.node_var.resize(aig.num_nodes());
+  for (logic::NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    map.node_var[v] = solver.new_var();
+  }
+  // Constant node is false.
+  solver.add_clause(mk_lit(map.node_var[0], true));
+  for (logic::NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    const Lit n = mk_lit(map.node_var[v]);
+    const Lit a = map.lit(aig.fanin0(v));
+    const Lit b = map.lit(aig.fanin1(v));
+    // n <-> a & b
+    solver.add_clause(lit_neg(n), a);
+    solver.add_clause(lit_neg(n), b);
+    solver.add_clause(n, lit_neg(a), lit_neg(b));
+  }
+  return map;
+}
+
+CecResult check_equivalence(const logic::Aig& a, const logic::Aig& b,
+                            std::int64_t conflict_limit) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    throw std::invalid_argument{"check_equivalence: interface mismatch"};
+  }
+  Solver solver;
+  const CnfMap ma = encode_aig(a, solver);
+  const CnfMap mb = encode_aig(b, solver);
+  // Tie the PIs together.
+  for (logic::NodeIdx i = 0; i < a.num_pis(); ++i) {
+    const Lit pa = ma.lit(a.pi(i));
+    const Lit pb = mb.lit(b.pi(i));
+    solver.add_clause(lit_neg(pa), pb);
+    solver.add_clause(pa, lit_neg(pb));
+  }
+  // XOR of each PO pair; miter output = OR of XORs.
+  std::vector<Lit> ors;
+  for (logic::NodeIdx i = 0; i < a.num_pos(); ++i) {
+    const Lit pa = ma.lit(a.po(i));
+    const Lit pb = mb.lit(b.po(i));
+    const Var x = solver.new_var();
+    const Lit xl = mk_lit(x);
+    // x <-> pa ^ pb
+    solver.add_clause(lit_neg(xl), pa, pb);
+    solver.add_clause(lit_neg(xl), lit_neg(pa), lit_neg(pb));
+    solver.add_clause(xl, lit_neg(pa), pb);
+    solver.add_clause(xl, pa, lit_neg(pb));
+    ors.push_back(xl);
+  }
+  if (!solver.add_clause(std::move(ors))) {
+    return {Status::kUnsat, {}};
+  }
+
+  CecResult result;
+  result.status = solver.solve({}, conflict_limit);
+  if (result.status == Status::kSat) {
+    result.counterexample.resize(a.num_pis());
+    for (logic::NodeIdx i = 0; i < a.num_pis(); ++i) {
+      result.counterexample[i] = solver.model_value_lit(ma.lit(a.pi(i)));
+    }
+  }
+  return result;
+}
+
+}  // namespace cryo::sat

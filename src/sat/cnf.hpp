@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace cryo::sat {
+
+/// Mapping from AIG nodes to SAT variables after Tseitin encoding.
+struct CnfMap {
+  std::vector<Var> node_var;  ///< indexed by AIG node
+
+  /// SAT literal of an AIG literal.
+  Lit lit(logic::Lit l) const {
+    return mk_lit(node_var[logic::lit_var(l)], logic::lit_compl(l));
+  }
+};
+
+/// Tseitin-encode all AND nodes of the AIG into the solver. The constant
+/// node gets a variable forced to 0. Fresh variables are created for all
+/// nodes; PIs are unconstrained.
+CnfMap encode_aig(const logic::Aig& aig, Solver& solver);
+
+/// Combinational equivalence checking result.
+struct CecResult {
+  Status status = Status::kUnknown;  ///< kUnsat = equivalent
+  bool equivalent() const { return status == Status::kUnsat; }
+  bool proven() const { return status != Status::kUnknown; }
+  /// A distinguishing PI assignment when status == kSat.
+  std::vector<bool> counterexample;
+};
+
+/// SAT-based CEC of two AIGs with identical PI/PO counts: builds a miter
+/// (shared PIs, XOR per PO pair, OR of XORs asserted) and solves.
+/// `conflict_limit` < 0 means run to completion.
+CecResult check_equivalence(const logic::Aig& a, const logic::Aig& b,
+                            std::int64_t conflict_limit = -1);
+
+}  // namespace cryo::sat

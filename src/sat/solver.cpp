@@ -1,0 +1,412 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cryo::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  model_.push_back(kUndef);
+  polarity_.push_back(kFalse);
+  reason_.push_back(-1);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void Solver::attach(std::int32_t ci) {
+  const auto& c = clauses_[ci].lits;
+  watches_[lit_neg(c[0])].push_back({ci, c[1]});
+  watches_[lit_neg(c[1])].push_back({ci, c[0]});
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) {
+    return false;
+  }
+  // Root-level simplification: remove duplicates, false literals,
+  // detect tautologies and satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = -2;
+  for (Lit l : lits) {
+    if (l == prev) {
+      continue;
+    }
+    if (l == lit_neg(prev) && lit_var(l) == lit_var(prev)) {
+      return true;  // tautology
+    }
+    if (value(l) == kTrue && level_[lit_var(l)] == 0) {
+      return true;  // already satisfied
+    }
+    if (value(l) == kFalse && level_[lit_var(l)] == 0) {
+      prev = l;
+      continue;  // drop root-false literal
+    }
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (value(out[0]) == kUndef) {
+      enqueue(out[0], -1);
+      ok_ = propagate() < 0;
+      return ok_;
+    }
+    ok_ = value(out[0]) == kTrue;
+    return ok_;
+  }
+  const auto ci = static_cast<std::int32_t>(clauses_.size());
+  clauses_.push_back({std::move(out), false, 0.0});
+  attach(ci);
+  return true;
+}
+
+void Solver::enqueue(Lit l, std::int32_t reason) {
+  const Var v = lit_var(l);
+  assigns_[v] = lit_sign(l) ? kFalse : kTrue;
+  reason_[v] = reason;
+  level_[v] = static_cast<std::int32_t>(trail_lim_.size());
+  trail_.push_back(l);
+}
+
+std::int32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    auto& ws = watches_[p];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const Watcher w = ws[wi];
+      if (value(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      auto& lits = clauses_[w.clause].lits;
+      // Normalize: the false literal (~p) goes to position 1.
+      const Lit false_lit = lit_neg(p);
+      if (lits[0] == false_lit) {
+        std::swap(lits[0], lits[1]);
+      }
+      if (value(lits[0]) == kTrue) {
+        ws[keep++] = {w.clause, lits[0]};
+        continue;
+      }
+      // Look for a new watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[lit_neg(lits[1])].push_back({w.clause, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;
+      }
+      // Unit or conflict.
+      if (value(lits[0]) == kFalse) {
+        // Conflict: restore remaining watchers and return.
+        for (std::size_t rest = wi; rest < ws.size(); ++rest) {
+          ws[keep++] = ws[rest];
+        }
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      ws[keep++] = w;
+      enqueue(lits[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) {
+      a *= 1e-100;
+    }
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (auto ci : learnt_indices_) {
+      clauses_[ci].activity *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(std::int32_t conflict, std::vector<Lit>& learnt,
+                     int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(-1);  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p = -1;
+  std::size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  std::int32_t reason = conflict;
+  do {
+    Clause& c = clauses_[reason];
+    if (c.learnt) {
+      bump_clause(c);
+    }
+    for (std::size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = lit_var(q);
+      if (seen_[v] == 0 && level_[v] > 0) {
+        seen_[v] = 1;
+        bump_var(v);
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Pick the next trail literal to resolve on.
+    do {
+      --index;
+      p = trail_[index];
+    } while (seen_[lit_var(p)] == 0);
+    seen_[lit_var(p)] = 0;
+    --counter;
+    reason = reason_[lit_var(p)];
+  } while (counter > 0);
+  learnt[0] = lit_neg(p);
+
+  // Cheap clause minimization: drop literals implied by others' reasons.
+  const std::vector<Lit> to_clear(learnt.begin() + 1, learnt.end());
+  std::size_t keep = 1;
+  for (std::size_t k = 1; k < learnt.size(); ++k) {
+    const Var v = lit_var(learnt[k]);
+    const std::int32_t r = reason_[v];
+    bool redundant = false;
+    if (r >= 0) {
+      redundant = true;
+      for (const Lit q : clauses_[r].lits) {
+        if (lit_var(q) == v) {
+          continue;
+        }
+        if (seen_[lit_var(q)] == 0 && level_[lit_var(q)] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) {
+      learnt[keep++] = learnt[k];
+    }
+  }
+  // seen_ flags were needed during minimization; clear them all now
+  // (from the pre-compaction copy so dropped literals get cleared too).
+  for (const Lit l : to_clear) {
+    seen_[lit_var(l)] = 0;
+  }
+  learnt.resize(keep);
+
+  // Re-mark (cleared above) is unnecessary; compute backtrack level.
+  backtrack_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[lit_var(learnt[k])] > level_[lit_var(learnt[max_i])]) {
+        max_i = k;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[lit_var(learnt[1])];
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) {
+    return;
+  }
+  const std::int32_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(bound);) {
+    const Var v = lit_var(trail_[i]);
+    polarity_[v] = assigns_[v];
+    assigns_[v] = kUndef;
+    reason_[v] = -1;
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  Var best = -1;
+  double best_act = -1.0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == kUndef && activity_[v] > best_act) {
+      best_act = activity_[v];
+      best = v;
+    }
+  }
+  if (best < 0) {
+    return -1;
+  }
+  return mk_lit(best, polarity_[best] == kFalse);
+}
+
+void Solver::reduce_learnts() {
+  if (learnt_indices_.size() < 20000) {
+    return;
+  }
+  // Drop the lower-activity half of the learnt clauses. Watches are
+  // rebuilt wholesale, which is simple and still cheap at this cadence.
+  std::sort(learnt_indices_.begin(), learnt_indices_.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return clauses_[a].activity > clauses_[b].activity;
+            });
+  std::vector<std::int32_t> locked;
+  const std::size_t target = learnt_indices_.size() / 2;
+  std::vector<bool> drop(clauses_.size(), false);
+  for (std::size_t i = target; i < learnt_indices_.size(); ++i) {
+    const std::int32_t ci = learnt_indices_[i];
+    bool is_locked = false;
+    for (const Lit l : clauses_[ci].lits) {
+      if (reason_[lit_var(l)] == ci) {
+        is_locked = true;
+        break;
+      }
+    }
+    if (is_locked) {
+      locked.push_back(ci);
+    } else {
+      drop[ci] = true;
+      clauses_[ci].lits.clear();
+    }
+  }
+  learnt_indices_.resize(target);
+  learnt_indices_.insert(learnt_indices_.end(), locked.begin(), locked.end());
+  for (auto& ws : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : ws) {
+      if (!drop[w.clause]) {
+        ws[keep++] = w;
+      }
+    }
+    ws.resize(keep);
+  }
+}
+
+std::int64_t Solver::luby(std::int64_t x) {
+  // MiniSat's finite-subsequence formulation of the Luby sequence.
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return 1ll << seq;
+}
+
+Status Solver::solve(const std::vector<Lit>& assumptions,
+                     std::int64_t conflict_limit) {
+  if (!ok_) {
+    return Status::kUnsat;
+  }
+  backtrack(0);
+  if (propagate() >= 0) {
+    ok_ = false;
+    return Status::kUnsat;
+  }
+
+  std::int64_t conflicts_this_call = 0;
+  std::int64_t restart_count = 0;
+  std::int64_t restart_budget = 100 * luby(restart_count);
+  std::int64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++conflicts_total_;
+      ++conflicts_this_call;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return Status::kUnsat;
+      }
+      int back_level = 0;
+      analyze(conflict, learnt, back_level);
+      // Never undo assumption-level decisions beyond their level; the
+      // conflict clause will re-propagate correctly anyway.
+      backtrack(back_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        const auto ci = static_cast<std::int32_t>(clauses_.size());
+        clauses_.push_back({learnt, true, 0.0});
+        learnt_indices_.push_back(ci);
+        attach(ci);
+        bump_clause(clauses_[ci]);
+        enqueue(learnt[0], ci);
+      }
+      decay_var_activity();
+      cla_inc_ /= 0.999;
+      if (conflict_limit >= 0 && conflicts_this_call >= conflict_limit) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
+      if (conflicts_since_restart >= restart_budget) {
+        conflicts_since_restart = 0;
+        restart_budget = 100 * luby(++restart_count);
+        backtrack(0);
+        reduce_learnts();
+      }
+      continue;
+    }
+
+    // Assumption decisions first.
+    if (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value(a) == kTrue) {
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        continue;
+      }
+      if (value(a) == kFalse) {
+        backtrack(0);
+        return Status::kUnsat;  // conflicting assumptions
+      }
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      enqueue(a, -1);
+      continue;
+    }
+
+    const Lit decision = pick_branch();
+    if (decision < 0) {
+      // Full model.
+      model_ = assigns_;
+      backtrack(0);
+      return Status::kSat;
+    }
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+    enqueue(decision, -1);
+  }
+}
+
+}  // namespace cryo::sat

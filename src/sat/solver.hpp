@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cryo::sat {
+
+/// SAT variable (0-based) and literal (2*var + sign).
+using Var = std::int32_t;
+using Lit = std::int32_t;
+
+inline constexpr Lit mk_lit(Var v, bool sign = false) {
+  return (v << 1) | static_cast<Lit>(sign);
+}
+inline constexpr Var lit_var(Lit l) { return l >> 1; }
+inline constexpr bool lit_sign(Lit l) { return (l & 1) != 0; }
+inline constexpr Lit lit_neg(Lit l) { return l ^ 1; }
+
+enum class Status { kSat, kUnsat, kUnknown };
+
+/// A CDCL SAT solver in the MiniSat tradition: two-literal watches,
+/// first-UIP conflict learning, VSIDS decision order, phase saving, and
+/// Luby restarts. Used by the synthesis flow for equivalence checking,
+/// SAT sweeping (structural choices), and don't-care computation in
+/// resubstitution — the "powerful reasoning engines" of paper §IV-A1.
+class Solver {
+public:
+  Solver();
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a clause. Returns false if the formula is already unsatisfiable
+  /// at the root level.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) {
+    return add_clause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solve under assumptions. `conflict_limit` < 0 means no limit;
+  /// exceeding it returns kUnknown.
+  Status solve(const std::vector<Lit>& assumptions = {},
+               std::int64_t conflict_limit = -1);
+
+  /// Model value of a variable (valid after kSat).
+  bool model_value(Var v) const { return model_[v] == 1; }
+  bool model_value_lit(Lit l) const {
+    return model_value(lit_var(l)) != lit_sign(l);
+  }
+
+  std::int64_t num_conflicts() const { return conflicts_total_; }
+
+private:
+  static constexpr std::int8_t kTrue = 1;
+  static constexpr std::int8_t kFalse = -1;
+  static constexpr std::int8_t kUndef = 0;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+
+  struct Watcher {
+    std::int32_t clause;
+    Lit blocker;
+  };
+
+  std::int8_t value(Lit l) const {
+    const std::int8_t a = assigns_[lit_var(l)];
+    return lit_sign(l) ? static_cast<std::int8_t>(-a) : a;
+  }
+
+  void enqueue(Lit l, std::int32_t reason);
+  std::int32_t propagate();
+  void analyze(std::int32_t conflict, std::vector<Lit>& learnt,
+               int& backtrack_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void bump_clause(Clause& c);
+  void attach(std::int32_t ci);
+  void reduce_learnts();
+  static std::int64_t luby(std::int64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<std::int8_t> assigns_;
+  std::vector<std::int8_t> model_;
+  std::vector<std::int8_t> polarity_;  // saved phases
+  std::vector<std::int32_t> reason_;
+  std::vector<std::int32_t> level_;
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  bool ok_ = true;
+  std::int64_t conflicts_total_ = 0;
+  std::vector<std::int32_t> learnt_indices_;
+
+  // scratch for analyze()
+  std::vector<std::int8_t> seen_;
+};
+
+}  // namespace cryo::sat

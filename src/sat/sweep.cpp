@@ -1,0 +1,266 @@
+#include "sat/sweep.hpp"
+
+#include <unordered_map>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace cryo::sat {
+namespace {
+
+using logic::Aig;
+using logic::NodeIdx;
+
+/// Incremental Tseitin encoding of a growing AIG.
+class IncrementalCnf {
+public:
+  explicit IncrementalCnf(Solver& solver) : solver_{solver} {}
+
+  void sync(const Aig& aig) {
+    while (vars_.size() < aig.num_nodes()) {
+      const auto v = static_cast<NodeIdx>(vars_.size());
+      vars_.push_back(solver_.new_var());
+      if (v == 0) {
+        solver_.add_clause(mk_lit(vars_[0], true));
+      } else if (aig.is_and(v)) {
+        const Lit n = mk_lit(vars_[v]);
+        const Lit a = lit_of(aig.fanin0(v));
+        const Lit b = lit_of(aig.fanin1(v));
+        solver_.add_clause(lit_neg(n), a);
+        solver_.add_clause(lit_neg(n), b);
+        solver_.add_clause(n, lit_neg(a), lit_neg(b));
+      }
+    }
+  }
+
+  Lit lit_of(logic::Lit l) const {
+    return mk_lit(vars_[logic::lit_var(l)], logic::lit_compl(l));
+  }
+
+private:
+  Solver& solver_;
+  std::vector<Var> vars_;
+};
+
+/// Hash of a signature vector.
+std::uint64_t hash_sig(const std::vector<std::uint64_t>& sig) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t w : sig) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
+  SweepResult result;
+  Aig& out = result.aig;
+  out.set_name(input.name());
+
+  // --- simulation state on the *input* AIG -----------------------------
+  // Signatures grow as counterexamples come in; they always describe the
+  // input nodes (old indices), which is what candidate bucketing needs.
+  util::Rng rng{options.seed};
+  const unsigned base_words = options.sim_words;
+  std::vector<std::vector<std::uint64_t>> pi_patterns(input.num_pis());
+  for (auto& p : pi_patterns) {
+    p.resize(base_words);
+    for (auto& w : p) {
+      w = rng.next_u64();
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> sig(input.num_nodes());
+
+  auto resimulate = [&]() {
+    const std::size_t words = pi_patterns.empty() ? 0 : pi_patterns[0].size();
+    sig[0].assign(words, 0);
+    for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+      sig[logic::lit_var(input.pi(i))] = pi_patterns[i];
+    }
+    for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+      if (!input.is_and(v)) {
+        continue;
+      }
+      const logic::Lit f0 = input.fanin0(v);
+      const logic::Lit f1 = input.fanin1(v);
+      const auto& a = sig[logic::lit_var(f0)];
+      const auto& b = sig[logic::lit_var(f1)];
+      const std::uint64_t i0 = logic::lit_compl(f0) ? ~0ull : 0ull;
+      const std::uint64_t i1 = logic::lit_compl(f1) ? ~0ull : 0ull;
+      auto& s = sig[v];
+      s.resize(words);
+      for (std::size_t k = 0; k < words; ++k) {
+        s[k] = (a[k] ^ i0) & (b[k] ^ i1);
+      }
+    }
+  };
+  resimulate();
+
+  // Canonical signature: complemented so the first bit is 0 — makes the
+  // bucket key invariant under output phase.
+  auto canon = [&](NodeIdx v, bool& phase) {
+    std::vector<std::uint64_t> s = sig[v];
+    phase = (s[0] & 1ull) != 0;
+    if (phase) {
+      for (auto& w : s) {
+        w = ~w;
+      }
+    }
+    return s;
+  };
+
+  // Buckets over *already processed* input nodes.
+  struct Entry {
+    NodeIdx old_node;
+    bool phase;  // canonical phase of old node's signature
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+  auto rebuild_buckets = [&](NodeIdx processed_up_to) {
+    buckets.clear();
+    for (NodeIdx v = 1; v < processed_up_to; ++v) {
+      if (!input.is_and(v) && !input.is_pi(v)) {
+        continue;
+      }
+      bool phase = false;
+      const auto key = hash_sig(canon(v, phase));
+      buckets[key].push_back({v, phase});
+    }
+  };
+
+  // --- rebuild with merging --------------------------------------------
+  Solver solver;
+  IncrementalCnf cnf{solver};
+  std::vector<logic::Lit> repr(input.num_nodes(), logic::kConst0);
+  result.choices.assign(1, {});  // grown alongside `out`
+
+  for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+    repr[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
+  }
+  result.choices.resize(out.num_nodes());
+
+  std::vector<std::vector<bool>> pending_cex;
+  auto flush_cex = [&](NodeIdx next_node) {
+    if (pending_cex.empty()) {
+      return;
+    }
+    // Pack counterexamples into one extra simulation word per 64.
+    const std::size_t extra_words = (pending_cex.size() + 63) / 64;
+    for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+      for (std::size_t w = 0; w < extra_words; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 64 && w * 64 + b < pending_cex.size();
+             ++b) {
+          if (pending_cex[w * 64 + b][i]) {
+            word |= 1ull << b;
+          }
+        }
+        pi_patterns[i].push_back(word);
+      }
+    }
+    pending_cex.clear();
+    resimulate();
+    rebuild_buckets(next_node);
+  };
+
+  for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
+    if (input.is_pi(v)) {
+      bool phase = false;
+      buckets[hash_sig(canon(v, phase))].push_back({v, phase});
+      continue;
+    }
+    if (!input.is_and(v)) {
+      continue;
+    }
+    if (pending_cex.size() >= 64) {
+      flush_cex(v);
+    }
+    const logic::Lit f0 = input.fanin0(v);
+    const logic::Lit f1 = input.fanin1(v);
+    const logic::Lit n0 =
+        logic::lit_notif(repr[logic::lit_var(f0)], logic::lit_compl(f0));
+    const logic::Lit n1 =
+        logic::lit_notif(repr[logic::lit_var(f1)], logic::lit_compl(f1));
+    const NodeIdx before = out.num_nodes();
+    const logic::Lit cand = out.land(n0, n1);
+    result.choices.resize(out.num_nodes());
+    if (out.num_nodes() == before) {
+      // Structural or trivial merge — nothing to prove.
+      repr[v] = cand;
+      bool phase = false;
+      buckets[hash_sig(canon(v, phase))].push_back({v, phase});
+      continue;
+    }
+    cnf.sync(out);
+
+    bool merged = false;
+    bool v_phase = false;
+    const auto key = hash_sig(canon(v, v_phase));
+    auto& bucket = buckets[key];
+    for (const Entry& entry : bucket) {
+      // Candidate: v == entry (up to phases).
+      const logic::Lit other = repr[entry.old_node];
+      if (other == logic::kConst0 && entry.old_node != 0) {
+        continue;
+      }
+      const bool complemented = v_phase != entry.phase;
+      if (logic::lit_var(other) == logic::lit_var(cand)) {
+        continue;
+      }
+      // Prove cand == other ^ complemented via two SAT calls.
+      const Lit sc = cnf.lit_of(cand);
+      const Lit so = complemented ? lit_neg(cnf.lit_of(other))
+                                  : cnf.lit_of(other);
+      const Status s1 = solver.solve({sc, lit_neg(so)}, options.conflict_limit);
+      if (s1 == Status::kSat) {
+        std::vector<bool> cex(input.num_pis());
+        for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+          cex[i] = solver.model_value_lit(cnf.lit_of(out.pi(i)));
+        }
+        pending_cex.push_back(std::move(cex));
+        continue;
+      }
+      if (s1 == Status::kUnknown) {
+        ++result.unresolved;
+        continue;
+      }
+      const Status s2 = solver.solve({lit_neg(sc), so}, options.conflict_limit);
+      if (s2 == Status::kSat) {
+        std::vector<bool> cex(input.num_pis());
+        for (NodeIdx i = 0; i < input.num_pis(); ++i) {
+          cex[i] = solver.model_value_lit(cnf.lit_of(out.pi(i)));
+        }
+        pending_cex.push_back(std::move(cex));
+        continue;
+      }
+      if (s2 == Status::kUnknown) {
+        ++result.unresolved;
+        continue;
+      }
+      // Equivalent: use the established representative; keep the freshly
+      // built structure as a choice.
+      repr[v] = logic::lit_notif(other, complemented);
+      result.choices[logic::lit_var(other)].push_back(
+          logic::lit_notif(cand, complemented));
+      ++result.merged;
+      merged = true;
+      break;
+    }
+    if (!merged) {
+      repr[v] = cand;
+    }
+    bucket.push_back({v, v_phase});
+  }
+
+  for (NodeIdx i = 0; i < input.num_pos(); ++i) {
+    const logic::Lit po = input.po(i);
+    out.add_po(
+        logic::lit_notif(repr[logic::lit_var(po)], logic::lit_compl(po)),
+        input.po_name(i));
+  }
+  result.choices.resize(out.num_nodes());
+  return result;
+}
+
+}  // namespace cryo::sat

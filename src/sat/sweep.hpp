@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/aig.hpp"
+
+namespace cryo::sat {
+
+/// Options for SAT sweeping.
+struct SweepOptions {
+  unsigned sim_words = 8;            ///< initial random simulation words
+  std::int64_t conflict_limit = 500; ///< per-pair SAT budget
+  std::uint64_t seed = 5;
+};
+
+/// Result of SAT sweeping (fraiging).
+struct SweepResult {
+  logic::Aig aig;  ///< functionally reduced AIG (may contain dangling
+                   ///< "choice" structures — see `choices`)
+  /// For each node of `aig`: alternative, functionally equivalent
+  /// literals (the structural choices of ABC's dch). Empty for most.
+  std::vector<std::vector<logic::Lit>> choices;
+  unsigned merged = 0;       ///< node pairs proven equivalent and merged
+  unsigned unresolved = 0;   ///< candidate pairs abandoned at the limit
+};
+
+/// SAT sweeping: detect and merge functionally equivalent nodes (up to
+/// complementation) using random simulation for candidates and SAT for
+/// proofs, with counterexample-guided refinement. This implements both
+/// the fraig step and the structural-choice computation (`dch`) of the
+/// synthesis flow.
+SweepResult sat_sweep(const logic::Aig& input, const SweepOptions& options = {});
+
+}  // namespace cryo::sat

@@ -1,0 +1,70 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace cryo::spice {
+
+NodeId Circuit::add_node(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range{"Circuit: unknown node " + name};
+  }
+  return it->second;
+}
+
+void Circuit::add_fet(const device::FinFetParams& params, NodeId gate,
+                      NodeId drain, NodeId source, int nfins) {
+  if (nfins <= 0) {
+    throw std::invalid_argument{"Circuit::add_fet: nfins must be positive"};
+  }
+  fets_.push_back({params, gate, drain, source, nfins});
+}
+
+void Circuit::add_cap(NodeId a, NodeId b, double farads) {
+  if (farads < 0.0) {
+    throw std::invalid_argument{"Circuit::add_cap: negative capacitance"};
+  }
+  caps_.push_back({a, b, farads});
+}
+
+void Circuit::add_res(NodeId a, NodeId b, double ohms) {
+  if (ohms <= 0.0) {
+    throw std::invalid_argument{"Circuit::add_res: resistance must be positive"};
+  }
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::set_source(NodeId node, Pwl waveform) {
+  for (auto& src : sources_) {
+    if (src.node == node) {
+      src.waveform = std::move(waveform);
+      return;
+    }
+  }
+  sources_.push_back({node, std::move(waveform)});
+}
+
+bool Circuit::is_driven(NodeId node) const {
+  if (node == kGround) {
+    return true;
+  }
+  for (const auto& src : sources_) {
+    if (src.node == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/finfet.hpp"
+#include "spice/pwl.hpp"
+
+namespace cryo::spice {
+
+/// Node handle. Node 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// A transistor instance in the netlist.
+struct FetInstance {
+  device::FinFetParams params;
+  NodeId gate = kGround;
+  NodeId drain = kGround;
+  NodeId source = kGround;
+  int nfins = 1;
+};
+
+/// Linear capacitor between two nodes.
+struct CapInstance {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 0.0;
+};
+
+/// Linear resistor between two nodes.
+struct ResInstance {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 0.0;
+};
+
+/// Ideal grounded voltage source with a PWL waveform.
+struct SourceInstance {
+  NodeId node = kGround;
+  Pwl waveform;
+};
+
+/// Transistor-level circuit description (the "SPICE deck").
+///
+/// Voltage sources are ideal and grounded, which covers digital cell
+/// characterization (VDD rail + input stimuli) and lets the simulator
+/// treat driven nodes as knowns instead of adding branch currents to the
+/// MNA system.
+class Circuit {
+public:
+  Circuit() { node_names_.push_back("0"); }
+
+  /// Create (or look up) a named node.
+  NodeId add_node(const std::string& name);
+
+  /// Look up an existing node; throws std::out_of_range if unknown.
+  NodeId node(const std::string& name) const;
+
+  const std::string& node_name(NodeId id) const { return node_names_.at(id); }
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+
+  void add_fet(const device::FinFetParams& params, NodeId gate, NodeId drain,
+               NodeId source, int nfins = 1);
+  void add_cap(NodeId a, NodeId b, double farads);
+  void add_res(NodeId a, NodeId b, double ohms);
+
+  /// Drive `node` with the given waveform; re-driving replaces it.
+  void set_source(NodeId node, Pwl waveform);
+
+  const std::vector<FetInstance>& fets() const { return fets_; }
+  const std::vector<CapInstance>& caps() const { return caps_; }
+  const std::vector<ResInstance>& resistors() const { return resistors_; }
+  const std::vector<SourceInstance>& sources() const { return sources_; }
+
+  bool is_driven(NodeId node) const;
+
+private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> by_name_{{"0", kGround}};
+  std::vector<FetInstance> fets_;
+  std::vector<CapInstance> caps_;
+  std::vector<ResInstance> resistors_;
+  std::vector<SourceInstance> sources_;
+};
+
+}  // namespace cryo::spice

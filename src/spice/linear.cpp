@@ -1,0 +1,63 @@
+#include "spice/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cryo::spice {
+
+void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool solve_in_place(DenseMatrix& a, std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
+    return false;
+  }
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(perm[col], col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a.at(perm[r], col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return false;
+    }
+    std::swap(perm[col], perm[pivot]);
+
+    const double diag = a.at(perm[col], col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(perm[r], col) / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      a.at(perm[r], col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a.at(perm[r], c) -= factor * a.at(perm[col], c);
+      }
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      acc -= a.at(perm[i], c) * x[c];
+    }
+    x[i] = acc / a.at(perm[i], i);
+  }
+  b = std::move(x);
+  return true;
+}
+
+}  // namespace cryo::spice

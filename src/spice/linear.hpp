@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cryo::spice {
+
+/// Small dense square matrix in row-major order.
+///
+/// Cell-level circuits have at most a few dozen nodes, so a dense direct
+/// solver beats any sparse machinery both in code size and constant factor.
+class DenseMatrix {
+public:
+  explicit DenseMatrix(std::size_t n) : n_{n}, data_(n * n, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  std::size_t size() const { return n_; }
+  void clear();
+
+private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b in place by LU with partial pivoting.
+/// Returns false if the matrix is numerically singular. A and b are
+/// destroyed; on success b holds the solution.
+bool solve_in_place(DenseMatrix& a, std::vector<double>& b);
+
+}  // namespace cryo::spice

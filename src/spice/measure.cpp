@@ -1,0 +1,56 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::spice {
+
+std::optional<double> crossing_time(const std::vector<double>& times,
+                                    const std::vector<double>& values,
+                                    double threshold, bool rising,
+                                    double t_from) {
+  if (times.size() != values.size() || times.size() < 2) {
+    throw std::invalid_argument{"crossing_time: malformed waveform"};
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < t_from) {
+      continue;
+    }
+    const double a = values[i - 1];
+    const double b = values[i];
+    const bool crossed = rising ? (a < threshold && b >= threshold)
+                                : (a > threshold && b <= threshold);
+    if (crossed) {
+      const double frac = (threshold - a) / (b - a);
+      return times[i - 1] + frac * (times[i] - times[i - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> transition_time(const std::vector<double>& times,
+                                      const std::vector<double>& values,
+                                      double v0, double v1, double lo_frac,
+                                      double hi_frac) {
+  // "first"/"second" are in transition progress, so they work for both
+  // rising and falling swings.
+  const double first = v0 + lo_frac * (v1 - v0);
+  const double second = v0 + hi_frac * (v1 - v0);
+  const bool rising = v1 > v0;
+  const auto t_first = crossing_time(times, values, first, rising);
+  if (!t_first) {
+    return std::nullopt;
+  }
+  const auto t_second =
+      crossing_time(times, values, second, rising, *t_first);
+  if (!t_second) {
+    return std::nullopt;
+  }
+  return *t_second - *t_first;
+}
+
+bool settled(const std::vector<double>& values, double target, double tol) {
+  return !values.empty() && std::fabs(values.back() - target) <= tol;
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace cryo::spice {
+
+/// Waveform post-processing used by cell characterization — the measures a
+/// commercial characterization flow (SiliconSmart) extracts from SPICE
+/// transients.
+
+/// Time at which `values` first crosses `threshold` in the given direction
+/// (linear interpolation between samples), searching from `t_from`.
+std::optional<double> crossing_time(const std::vector<double>& times,
+                                    const std::vector<double>& values,
+                                    double threshold, bool rising,
+                                    double t_from = 0.0);
+
+/// Transition time between the lo_frac and hi_frac levels of a full swing
+/// from v0 to v1 (e.g. 10 %–90 % slew). Returns nullopt if the waveform
+/// never completes the transition.
+std::optional<double> transition_time(const std::vector<double>& times,
+                                      const std::vector<double>& values,
+                                      double v0, double v1,
+                                      double lo_frac = 0.1,
+                                      double hi_frac = 0.9);
+
+/// True if the waveform has settled within `tol` volts of `target` at its
+/// final sample.
+bool settled(const std::vector<double>& values, double target, double tol);
+
+}  // namespace cryo::spice

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace cryo::spice {
+
+/// Piecewise-linear waveform v(t), the stimulus format of the voltage
+/// sources (matches SPICE's PWL sources used by characterization decks).
+class Pwl {
+public:
+  Pwl() = default;
+
+  /// Constant waveform.
+  static Pwl constant(double value) {
+    Pwl w;
+    w.points_.push_back({0.0, value});
+    return w;
+  }
+
+  /// A single ramp from v0 to v1 starting at t_start over t_ramp seconds.
+  static Pwl ramp(double v0, double v1, double t_start, double t_ramp) {
+    Pwl w;
+    if (t_ramp <= 0.0) {
+      throw std::invalid_argument{"Pwl::ramp: ramp time must be positive"};
+    }
+    w.points_.push_back({0.0, v0});
+    w.points_.push_back({t_start, v0});
+    w.points_.push_back({t_start + t_ramp, v1});
+    return w;
+  }
+
+  void add_point(double t, double v) {
+    if (!points_.empty() && t < points_.back().t) {
+      throw std::invalid_argument{"Pwl: points must be time-ordered"};
+    }
+    points_.push_back({t, v});
+  }
+
+  /// Evaluate at time t (clamped to first/last value outside the range).
+  double at(double t) const {
+    if (points_.empty()) {
+      return 0.0;
+    }
+    if (t <= points_.front().t) {
+      return points_.front().v;
+    }
+    if (t >= points_.back().t) {
+      return points_.back().v;
+    }
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (t <= points_[i].t) {
+        const auto& lo = points_[i - 1];
+        const auto& hi = points_[i];
+        const double frac = (t - lo.t) / (hi.t - lo.t);
+        return lo.v + frac * (hi.v - lo.v);
+      }
+    }
+    return points_.back().v;
+  }
+
+  bool empty() const { return points_.empty(); }
+
+private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace cryo::spice

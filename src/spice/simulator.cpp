@@ -1,0 +1,317 @@
+#include "spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::spice {
+
+const Trace& TransientResult::trace(NodeId node) const {
+  for (const auto& t : traces) {
+    if (t.node == node) {
+      return t;
+    }
+  }
+  throw std::out_of_range{"TransientResult: node was not probed"};
+}
+
+Simulator::Simulator(const Circuit& circuit, double temperature_k)
+    : circuit_{circuit}, temperature_{temperature_k} {
+  models_.reserve(circuit.fets().size());
+  for (const auto& fet : circuit.fets()) {
+    models_.emplace_back(fet.params, temperature_k);
+  }
+  free_index_.assign(circuit.num_nodes(), -1);
+  for (NodeId n = 1; n < circuit.num_nodes(); ++n) {
+    if (!circuit.is_driven(n)) {
+      free_index_[n] = static_cast<int>(free_nodes_.size());
+      free_nodes_.push_back(n);
+    }
+  }
+}
+
+namespace {
+
+/// Current into the "hi" terminal of a FET treated as a symmetric
+/// conductor between its drain and source, with derivatives w.r.t. the
+/// gate / hi / lo node voltages.
+struct FetCurrents {
+  NodeId hi;
+  NodeId lo;
+  double i;      ///< current flowing hi -> lo through the channel
+  double di_dg;  ///< derivative w.r.t. gate voltage
+  double di_dhi;
+  double di_dlo;
+};
+
+FetCurrents eval_fet(const FetInstance& fet, const device::FinFetModel& model,
+                     const std::vector<double>& v) {
+  FetCurrents out{};
+  const double vg = v[fet.gate];
+  const double vd = v[fet.drain];
+  const double vs = v[fet.source];
+  // The physical source is whichever diffusion terminal sits at the lower
+  // (n-type) / higher (p-type) potential; swapping keeps the model in its
+  // forward region and makes pass-gates work in both directions.
+  if (fet.params.polarity == device::Polarity::kN) {
+    const bool fwd = vd >= vs;
+    out.hi = fwd ? fet.drain : fet.source;
+    out.lo = fwd ? fet.source : fet.drain;
+    const auto op =
+        model.evaluate(vg - v[out.lo], v[out.hi] - v[out.lo], fet.nfins);
+    out.i = op.ids;
+    out.di_dg = op.gm;
+    out.di_dhi = op.gds;
+    out.di_dlo = -op.gm - op.gds;
+  } else {
+    // p-type: conduction pulls the low terminal up toward the high one;
+    // the model sees source-referred magnitudes (Vsg, Vsd).
+    const bool fwd = vs >= vd;
+    out.hi = fwd ? fet.source : fet.drain;
+    out.lo = fwd ? fet.drain : fet.source;
+    const auto op =
+        model.evaluate(v[out.hi] - vg, v[out.hi] - v[out.lo], fet.nfins);
+    out.i = op.ids;
+    out.di_dg = -op.gm;
+    out.di_dhi = op.gm + op.gds;
+    out.di_dlo = -op.gds;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Simulator::assemble(const std::vector<double>& v, double gmin,
+                         const std::vector<CapStamp>* caps,
+                         std::vector<double>& leaving,
+                         DenseMatrix* jac) const {
+  std::fill(leaving.begin(), leaving.end(), 0.0);
+  if (jac != nullptr) {
+    jac->clear();
+  }
+
+  auto stamp_jac = [&](NodeId row_node, NodeId col_node, double value) {
+    if (jac == nullptr) {
+      return;
+    }
+    const int r = free_index_[row_node];
+    const int c = free_index_[col_node];
+    if (r >= 0 && c >= 0) {
+      jac->at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +=
+          value;
+    }
+  };
+
+  // FETs.
+  for (std::size_t i = 0; i < circuit_.fets().size(); ++i) {
+    const auto& fet = circuit_.fets()[i];
+    const auto fc = eval_fet(fet, models_[i], v);
+    leaving[fc.hi] += fc.i;
+    leaving[fc.lo] -= fc.i;
+    const NodeId g = fet.gate;
+    stamp_jac(fc.hi, g, fc.di_dg);
+    stamp_jac(fc.hi, fc.hi, fc.di_dhi);
+    stamp_jac(fc.hi, fc.lo, fc.di_dlo);
+    stamp_jac(fc.lo, g, -fc.di_dg);
+    stamp_jac(fc.lo, fc.hi, -fc.di_dhi);
+    stamp_jac(fc.lo, fc.lo, -fc.di_dlo);
+  }
+
+  // Resistors.
+  for (const auto& res : circuit_.resistors()) {
+    const double g = 1.0 / res.ohms;
+    const double i = g * (v[res.a] - v[res.b]);
+    leaving[res.a] += i;
+    leaving[res.b] -= i;
+    stamp_jac(res.a, res.a, g);
+    stamp_jac(res.a, res.b, -g);
+    stamp_jac(res.b, res.a, -g);
+    stamp_jac(res.b, res.b, g);
+  }
+
+  // Capacitor companion models (transient only).
+  if (caps != nullptr) {
+    for (const auto& cap : *caps) {
+      const double i = cap.geq * (v[cap.a] - v[cap.b]) + cap.ieq;
+      leaving[cap.a] += i;
+      leaving[cap.b] -= i;
+      stamp_jac(cap.a, cap.a, cap.geq);
+      stamp_jac(cap.a, cap.b, -cap.geq);
+      stamp_jac(cap.b, cap.a, -cap.geq);
+      stamp_jac(cap.b, cap.b, cap.geq);
+    }
+  }
+
+  // gmin shunts to ground on every non-ground node (keeps otherwise
+  // floating nodes defined and aids Newton convergence).
+  for (NodeId n = 1; n < circuit_.num_nodes(); ++n) {
+    leaving[n] += gmin * v[n];
+    stamp_jac(n, n, gmin);
+  }
+}
+
+bool Simulator::newton_solve(std::vector<double>& v, double gmin,
+                             const TransientOptions& options,
+                             const std::vector<CapStamp>* caps) const {
+  const std::size_t nf = free_nodes_.size();
+  if (nf == 0) {
+    return true;
+  }
+  std::vector<double> leaving(static_cast<std::size_t>(circuit_.num_nodes()));
+  DenseMatrix jac{nf};
+  std::vector<double> rhs(nf);
+
+  for (int iter = 0; iter < options.max_newton; ++iter) {
+    assemble(v, gmin, caps, leaving, &jac);
+    double worst_residual = 0.0;
+    for (std::size_t k = 0; k < nf; ++k) {
+      rhs[k] = -leaving[free_nodes_[k]];
+      worst_residual = std::max(worst_residual, std::fabs(rhs[k]));
+    }
+    if (!solve_in_place(jac, rhs)) {
+      return false;
+    }
+    double worst_step = 0.0;
+    for (std::size_t k = 0; k < nf; ++k) {
+      const double dv = std::clamp(rhs[k], -options.vstep_limit,
+                                   options.vstep_limit);
+      v[free_nodes_[k]] += dv;
+      worst_step = std::max(worst_step, std::fabs(dv));
+    }
+    // Converged when the KCL residual is tiny and the iterate has
+    // stopped moving; after many iterations accept on residual alone
+    // (derivative kinks at the source/drain swap point can make the
+    // step chatter while the solution is already exact to tolerance).
+    if (worst_residual < options.abstol &&
+        (worst_step < 1e-7 || iter > 30)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> Simulator::dc(double time) {
+  std::vector<double> v(static_cast<std::size_t>(circuit_.num_nodes()), 0.0);
+  TransientOptions options;  // Newton knobs only
+
+  auto apply_sources = [&](double scale) {
+    for (const auto& src : circuit_.sources()) {
+      v[src.node] = scale * src.waveform.at(time);
+    }
+  };
+
+  apply_sources(1.0);
+  if (newton_solve(v, options.gmin, options, nullptr)) {
+    return v;
+  }
+
+  // Source stepping: ramp the supplies up from zero, reusing each converged
+  // solution as the next starting point.
+  std::fill(v.begin(), v.end(), 0.0);
+  for (int step = 1; step <= 20; ++step) {
+    apply_sources(static_cast<double>(step) / 20.0);
+    if (!newton_solve(v, options.gmin, options, nullptr)) {
+      // Relax gmin progressively if a step fails.
+      bool ok = false;
+      for (double g = 1e-9; g >= options.gmin; g *= 1e-1) {
+        if (newton_solve(v, g, options, nullptr)) {
+          ok = true;
+        }
+      }
+      if (!ok) {
+        throw std::runtime_error{"Simulator::dc: no operating point found"};
+      }
+    }
+  }
+  return v;
+}
+
+double Simulator::source_current(const std::vector<double>& voltages,
+                                 NodeId node) const {
+  std::vector<double> leaving(static_cast<std::size_t>(circuit_.num_nodes()));
+  assemble(voltages, 0.0, nullptr, leaving, nullptr);
+  return leaving[node];
+}
+
+TransientResult Simulator::transient(const TransientOptions& options,
+                                     const std::vector<NodeId>& probes) {
+  if (options.steps < 2 || options.t_stop <= 0.0) {
+    throw std::invalid_argument{"Simulator::transient: bad options"};
+  }
+  const double h = options.t_stop / static_cast<double>(options.steps);
+
+  TransientResult result;
+  result.traces.reserve(probes.size());
+  for (NodeId p : probes) {
+    result.traces.push_back({p, {}});
+  }
+
+  std::vector<double> v = dc(0.0);
+
+  // Capacitor state: trapezoidal companion (geq fixed for fixed h).
+  std::vector<CapStamp> caps;
+  std::vector<double> cap_current(circuit_.caps().size(), 0.0);
+  caps.reserve(circuit_.caps().size());
+  for (const auto& c : circuit_.caps()) {
+    caps.push_back({c.a, c.b, 2.0 * c.farads / h, 0.0});
+  }
+
+  std::vector<double> leaving(static_cast<std::size_t>(circuit_.num_nodes()));
+  std::unordered_map<NodeId, double> prev_power;
+  std::unordered_map<NodeId, double> prev_current;
+
+  auto record = [&](double t) {
+    result.times.push_back(t);
+    for (auto& trace : result.traces) {
+      trace.values.push_back(v[trace.node]);
+    }
+  };
+
+  auto source_flows = [&](const std::vector<CapStamp>* cap_stamps) {
+    assemble(v, options.gmin, cap_stamps, leaving, nullptr);
+    std::unordered_map<NodeId, std::pair<double, double>> flows;  // (i, p)
+    for (const auto& src : circuit_.sources()) {
+      const double i = leaving[src.node];
+      flows[src.node] = {i, i * v[src.node]};
+    }
+    return flows;
+  };
+
+  record(0.0);
+  for (const auto& [node, ip] : source_flows(nullptr)) {
+    prev_current[node] = ip.first;
+    prev_power[node] = ip.second;
+    result.source_charge[node] = 0.0;
+    result.source_energy[node] = 0.0;
+  }
+
+  for (int step = 1; step <= options.steps; ++step) {
+    const double t = h * static_cast<double>(step);
+    // History terms from the previous accepted solution.
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const auto& c = circuit_.caps()[k];
+      caps[k].ieq = -caps[k].geq * (v[c.a] - v[c.b]) - cap_current[k];
+    }
+    for (const auto& src : circuit_.sources()) {
+      v[src.node] = src.waveform.at(t);
+    }
+    if (!newton_solve(v, options.gmin, options, &caps)) {
+      throw std::runtime_error{
+          "Simulator::transient: Newton failed at t = " + std::to_string(t)};
+    }
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const auto& c = circuit_.caps()[k];
+      cap_current[k] = caps[k].geq * (v[c.a] - v[c.b]) + caps[k].ieq;
+    }
+    record(t);
+    for (const auto& [node, ip] : source_flows(&caps)) {
+      result.source_charge[node] += 0.5 * h * (prev_current[node] + ip.first);
+      result.source_energy[node] += 0.5 * h * (prev_power[node] + ip.second);
+      prev_current[node] = ip.first;
+      prev_power[node] = ip.second;
+    }
+  }
+  return result;
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "device/finfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/linear.hpp"
+
+namespace cryo::spice {
+
+/// Transient analysis options.
+struct TransientOptions {
+  double t_stop = 1e-9;      ///< simulation end time [s]
+  int steps = 200;           ///< fixed trapezoidal steps
+  double gmin = 1e-12;       ///< convergence shunt conductance [S]
+  int max_newton = 60;       ///< Newton iterations per step
+  double abstol = 1e-11;     ///< residual current tolerance [A]
+  double vstep_limit = 0.3;  ///< per-iteration voltage damping [V]
+};
+
+/// A recorded node waveform.
+struct Trace {
+  NodeId node = kGround;
+  std::vector<double> values;  ///< one sample per time point
+};
+
+/// Result of a transient run.
+struct TransientResult {
+  std::vector<double> times;
+  std::vector<Trace> traces;
+  /// Energy delivered by each source node over the run [J]
+  /// (positive = the source injected energy into the circuit).
+  std::unordered_map<NodeId, double> source_energy;
+  /// Charge delivered by each source node [C].
+  std::unordered_map<NodeId, double> source_charge;
+
+  const Trace& trace(NodeId node) const;
+};
+
+/// Newton–Raphson / trapezoidal transistor-level simulator.
+///
+/// The temperature is fixed per instance: all FinFET models are
+/// instantiated at construction with their per-temperature derived
+/// quantities precomputed — this is what makes characterizing the same
+/// netlist at 300 K and 10 K a pure re-run with a different `temperature`.
+class Simulator {
+public:
+  Simulator(const Circuit& circuit, double temperature_k);
+
+  /// DC operating point at waveform time `time` (default: t = 0 values).
+  /// Returns the full node-voltage vector (index = NodeId).
+  /// Falls back to source stepping if plain Newton fails; throws
+  /// std::runtime_error if no operating point can be found.
+  std::vector<double> dc(double time = 0.0);
+
+  /// Total current delivered by the source driving `node` at the given
+  /// operating point [A] (used for leakage measurement).
+  double source_current(const std::vector<double>& voltages,
+                        NodeId node) const;
+
+  /// Transient run from the DC operating point at t = 0.
+  TransientResult transient(const TransientOptions& options,
+                            const std::vector<NodeId>& probes);
+
+  double temperature() const { return temperature_; }
+
+private:
+  /// Trapezoidal companion model of one capacitor for the current step.
+  struct CapStamp {
+    NodeId a;
+    NodeId b;
+    double geq;  ///< 2C/h
+    double ieq;  ///< history current source
+  };
+
+  /// Compute per-node current *leaving* each node through all elements,
+  /// and accumulate the free-node Jacobian when `jac` is non-null.
+  void assemble(const std::vector<double>& v, double gmin,
+                const std::vector<CapStamp>* caps,
+                std::vector<double>& leaving, DenseMatrix* jac) const;
+
+  /// Newton iteration on the free nodes; driven nodes of `v` must already
+  /// hold their prescribed values. Returns true on convergence.
+  bool newton_solve(std::vector<double>& v, double gmin,
+                    const TransientOptions& options,
+                    const std::vector<CapStamp>* caps) const;
+
+  const Circuit& circuit_;
+  double temperature_;
+  std::vector<device::FinFetModel> models_;  // parallel to circuit_.fets()
+  std::vector<int> free_index_;              // NodeId -> unknown index or -1
+  std::vector<NodeId> free_nodes_;
+};
+
+}  // namespace cryo::spice

@@ -1,0 +1,111 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryo::sta {
+
+StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
+  const std::uint32_t nets = netlist.num_nets;
+  StaResult result;
+  result.arrival.assign(nets, 0.0);
+  result.slew.assign(nets, options.input_slew);
+  result.activity =
+      netlist.simulate_activity(options.input_activity, options.sim_words,
+                                options.seed);
+
+  // Net loads: sum of the input-pin capacitances hanging on each net,
+  // plus the fanout-based wire-load estimate.
+  std::vector<double> load(nets, 0.0);
+  std::vector<unsigned> fanouts(nets, 0);
+  for (const auto& gate : netlist.gates) {
+    const auto inputs = gate.cell->input_names();
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      const auto* pin = gate.cell->find_pin(inputs[i]);
+      if (pin != nullptr) {
+        load[gate.fanins[i]] += pin->capacitance;
+      }
+      ++fanouts[gate.fanins[i]];
+    }
+  }
+  for (const std::uint32_t po : netlist.pos) {
+    load[po] += options.output_load;
+    ++fanouts[po];
+  }
+  if (options.wire_cap_base > 0.0 || options.wire_cap_per_fanout > 0.0) {
+    for (std::uint32_t n = 0; n < nets; ++n) {
+      if (fanouts[n] > 0) {
+        load[n] += options.wire_cap_base +
+                   options.wire_cap_per_fanout * fanouts[n];
+      }
+    }
+  }
+
+  const double vdd = netlist.library != nullptr ? netlist.library->voltage : 0.7;
+
+  // Forward propagation (gates are topologically ordered).
+  for (const auto& gate : netlist.gates) {
+    const auto inputs = gate.cell->input_names();
+    double out_arrival = 0.0;
+    double out_slew = options.input_slew;
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      const auto* arc = gate.cell->arc_from(inputs[i]);
+      if (arc == nullptr) {
+        continue;
+      }
+      const double in_slew = result.slew[gate.fanins[i]];
+      const double out_load = load[gate.output];
+      const double delay =
+          std::max(arc->cell_rise.lookup(in_slew, out_load),
+                   arc->cell_fall.lookup(in_slew, out_load));
+      const double tr =
+          std::max(arc->rise_transition.lookup(in_slew, out_load),
+                   arc->fall_transition.lookup(in_slew, out_load));
+      out_arrival =
+          std::max(out_arrival, result.arrival[gate.fanins[i]] + delay);
+      out_slew = std::max(out_slew, tr);
+    }
+    result.arrival[gate.output] = out_arrival;
+    result.slew[gate.output] = out_slew;
+  }
+
+  for (const std::uint32_t po : netlist.pos) {
+    result.critical_delay = std::max(result.critical_delay, result.arrival[po]);
+  }
+
+  // ------------------------------ power ---------------------------------
+  const double freq = 1.0 / options.clock_period;
+  for (const auto& gate : netlist.gates) {
+    result.power.leakage += gate.cell->leakage_power;
+    // Internal power: the output toggles `activity` times per cycle; each
+    // toggle consumes the arc's internal energy (mean of rise/fall) —
+    // attributed to the worst-slew input arc, a common approximation.
+    const auto inputs = gate.cell->input_names();
+    double energy = 0.0;
+    int narcs = 0;
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      const auto* parc = gate.cell->power_arc_from(inputs[i]);
+      if (parc == nullptr) {
+        continue;
+      }
+      const double in_slew = result.slew[gate.fanins[i]];
+      const double out_load = load[gate.output];
+      energy += 0.5 * (parc->rise_power.lookup(in_slew, out_load) +
+                       parc->fall_power.lookup(in_slew, out_load));
+      ++narcs;
+    }
+    if (narcs > 0) {
+      energy /= narcs;
+      result.power.internal +=
+          energy * result.activity[gate.output] * freq;
+    }
+  }
+  // Net switching power: 1/2 C V^2 per toggle.
+  for (std::uint32_t n = 0; n < nets; ++n) {
+    result.power.switching +=
+        0.5 * load[n] * vdd * vdd * result.activity[n] * freq;
+  }
+  return result;
+}
+
+}  // namespace cryo::sta

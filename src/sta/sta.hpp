@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "map/netlist.hpp"
+
+namespace cryo::sta {
+
+/// Signoff analysis options.
+struct StaOptions {
+  double input_slew = 10e-12;    ///< slew presented at the PIs [s]
+  double output_load = 1e-15;    ///< load on each PO [F]
+  double clock_period = 1e-9;    ///< [s]; activities are toggles/cycle
+  double input_activity = 0.2;   ///< PI toggle rate
+  /// Fanout-based wire-load model: every net adds `wire_cap_base` plus
+  /// `wire_cap_per_fanout` per sink pin (a standard pre-layout estimate;
+  /// set both to 0 for the lumped-pin-only model).
+  double wire_cap_base = 0.0;
+  double wire_cap_per_fanout = 0.0;
+  unsigned sim_words = 16;
+  std::uint64_t seed = 23;
+};
+
+/// Power report, PrimeTime-style categories (paper Fig. 2(c)):
+/// leakage (static), internal (cell-internal switching from the liberty
+/// tables), and net switching (load capacitance charging).
+struct PowerReport {
+  double leakage = 0.0;    ///< [W]
+  double internal = 0.0;   ///< [W]
+  double switching = 0.0;  ///< [W]
+  double total() const { return leakage + internal + switching; }
+};
+
+/// Static timing + power analysis result.
+struct StaResult {
+  double critical_delay = 0.0;      ///< worst PO arrival [s]
+  PowerReport power;
+  std::vector<double> arrival;      ///< per net [s]
+  std::vector<double> slew;         ///< per net [s]
+  std::vector<double> activity;     ///< per net [toggles/cycle]
+};
+
+/// NLDM-based static timing analysis and power signoff of a mapped
+/// netlist. Net loads are the sum of fanout pin capacitances (+ PO
+/// loads); delays/slews/internal energies come from bilinear NLDM
+/// lookups, worst-case over rise/fall.
+StaResult analyze(const map::Netlist& netlist, const StaOptions& options = {});
+
+}  // namespace cryo::sta

@@ -1,0 +1,126 @@
+#include "util/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::util {
+
+OptimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  const std::size_t n = start.size();
+  if (n == 0) {
+    throw std::invalid_argument{"nelder_mead: empty start point"};
+  }
+
+  OptimizeResult result;
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    const double f = objective(x);
+    return std::isfinite(f) ? f : 1e300;
+  };
+
+  // Build initial simplex around the start point.
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double& coord = simplex[i + 1][i];
+    coord += coord != 0.0 ? options.initial_step * coord
+                          : options.initial_step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    fvals[i] = eval(simplex[i]);
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  std::vector<std::size_t> order(n + 1);
+  while (evals < options.max_evaluations) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    if (fvals[worst] - fvals[best] < options.f_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) {
+        continue;
+      }
+      for (std::size_t d = 0; d < n; ++d) {
+        centroid[d] += simplex[i][d];
+      }
+    }
+    for (double& c : centroid) {
+      c /= static_cast<double>(n);
+    }
+
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        x[d] = centroid[d] + coeff * (centroid[d] - simplex[worst][d]);
+      }
+      return x;
+    };
+
+    const auto reflected = blend(kAlpha);
+    const double f_reflected = eval(reflected);
+    if (f_reflected < fvals[best]) {
+      const auto expanded = blend(kGamma);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        fvals[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < fvals[second_worst]) {
+      simplex[worst] = reflected;
+      fvals[worst] = f_reflected;
+      continue;
+    }
+    const auto contracted = blend(-kRho);
+    const double f_contracted = eval(contracted);
+    if (f_contracted < fvals[worst]) {
+      simplex[worst] = contracted;
+      fvals[worst] = f_contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) {
+        continue;
+      }
+      for (std::size_t d = 0; d < n; ++d) {
+        simplex[i][d] =
+            simplex[best][d] + kSigma * (simplex[i][d] - simplex[best][d]);
+      }
+      fvals[i] = eval(simplex[i]);
+    }
+  }
+
+  const auto best_it = std::min_element(fvals.begin(), fvals.end());
+  result.x = simplex[static_cast<std::size_t>(best_it - fvals.begin())];
+  result.value = *best_it;
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace cryo::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace cryo::util {
+
+/// Result of a derivative-free minimization.
+struct OptimizeResult {
+  std::vector<double> x;       ///< best point found
+  double value = 0.0;          ///< objective at `x`
+  int evaluations = 0;         ///< number of objective evaluations
+  bool converged = false;      ///< simplex collapsed below tolerance
+};
+
+/// Options for Nelder–Mead.
+struct NelderMeadOptions {
+  int max_evaluations = 4000;
+  double f_tolerance = 1e-10;   ///< stop when simplex f-spread below this
+  double initial_step = 0.1;    ///< relative perturbation to build simplex
+};
+
+/// Nelder–Mead downhill-simplex minimization.
+///
+/// Used for compact-model parameter extraction (fitting the cryogenic
+/// FinFET model against measured I-V data), where the objective is smooth
+/// but derivatives w.r.t. model parameters are unavailable analytically.
+OptimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace cryo::util

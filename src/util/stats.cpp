@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cryo::util {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  s.median = percentile_sorted(values, 0.5);
+  s.p5 = percentile_sorted(values, 0.05);
+  s.p95 = percentile_sorted(values, 0.95);
+  return s;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument{"geomean requires positive values"};
+    }
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument{"Histogram requires hi > lo and bins > 0"};
+  }
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) {
+    add(v);
+  }
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%10.4g, %10.4g) %6zu |", bin_low(i),
+                  bin_high(i), counts_[i]);
+    out << buf << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument{"fit_linear requires two equally sized samples"};
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  fit.slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+}  // namespace cryo::util

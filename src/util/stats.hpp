@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cryo::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p5 = 0.0;   ///< 5th percentile
+  double p95 = 0.0;  ///< 95th percentile
+};
+
+/// Compute summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(std::vector<double> values);
+
+/// Geometric mean; values must be strictly positive.
+double geomean(const std::vector<double>& values);
+
+/// Linear interpolated percentile (q in [0,1]) of a *sorted* sample.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// A fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the
+/// first/last bin so distribution plots never silently drop data.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  /// Render as an ASCII bar chart, one line per bin.
+  std::string render(std::size_t width = 50) const;
+
+private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace cryo::util

@@ -1,0 +1,51 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cryo::util {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    const std::size_t stop = end == std::string_view::npos ? text.size() : end;
+    if (stop > start) {
+      tokens.emplace_back(text.substr(start, stop - start));
+    }
+    start = stop + 1;
+  }
+  return tokens;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto* ws = " \t\r\n";
+  const std::size_t first = text.find_first_not_of(ws);
+  if (first == std::string_view::npos) {
+    return {};
+  }
+  const std::size_t last = text.find_last_not_of(ws);
+  return text.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace cryo::util

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cryo::util {
+
+/// Split on any of the given delimiter characters; empty tokens dropped.
+std::vector<std::string> split(std::string_view text, std::string_view delims);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cryo::util

@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cryo::util {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument{"Table row width mismatch"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f %%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::si(double value, const std::string& unit, int precision) {
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+      {1e-18, "a"},
+  };
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale || (&p == &kPrefixes[std::size(kPrefixes) - 1])) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*f %s%s", precision, value / p.scale,
+                    p.prefix, unit.c_str());
+      return buf;
+    }
+  }
+  return num(value, precision) + " " + unit;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << ' ';
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"cannot open CSV output: " + path};
+  }
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace cryo::util

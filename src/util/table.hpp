@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cryo::util {
+
+/// Text table builder used by the bench harnesses to print paper-style
+/// result rows, with an optional CSV dump so figures can be re-plotted.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 3);
+  /// Format a value as a signed percentage, e.g. "-6.21 %".
+  static std::string pct(double fraction, int precision = 2);
+  /// Engineering notation with SI suffix (e.g. 1.2e-9 s -> "1.2 ns").
+  static std::string si(double value, const std::string& unit, int precision = 3);
+
+  /// Render with aligned columns.
+  std::string render() const;
+
+  /// Write as CSV to `path`. Throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cryo::util

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/calibration.hpp"
+#include "device/finfet.hpp"
+#include "device/measurement.hpp"
+#include "device/physics.hpp"
+
+namespace {
+
+using namespace cryo::device;
+
+TEST(Physics, ThermalVoltageAt300K) {
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_THROW(thermal_voltage(0.0), std::invalid_argument);
+}
+
+TEST(Physics, EffectiveThermalVoltageSaturatesAtBandTail) {
+  const double wt = 5.5e-3;
+  // At room temperature: Boltzmann-dominated.
+  EXPECT_NEAR(effective_thermal_voltage(300.0, wt), thermal_voltage(300.0),
+              1e-3);
+  // Deep cryogenic: saturates at Wt, never below.
+  EXPECT_NEAR(effective_thermal_voltage(4.0, wt), wt, 1e-5);
+  EXPECT_GE(effective_thermal_voltage(10.0, wt), wt);
+}
+
+TEST(Physics, EffectiveThermalVoltageMonotonicInTemperature) {
+  double prev = 0.0;
+  for (double t = 4.0; t <= 300.0; t += 4.0) {
+    const double v = effective_thermal_voltage(t, 5e-3);
+    EXPECT_GT(v, prev * 0.999);
+    prev = v;
+  }
+}
+
+TEST(Physics, SubthresholdSlopeFollowsPaperTrends) {
+  // ~65-70 mV/dec at 300 K, floors near ~14-16 mV/dec at 10 K (not the
+  // unphysical Boltzmann 2 mV/dec).
+  const double ss300 = subthreshold_slope(300.0, 1.12, 5.5e-3);
+  const double ss10 = subthreshold_slope(10.0, 1.12, 5.5e-3);
+  EXPECT_NEAR(ss300 * 1e3, 67.0, 3.0);
+  EXPECT_NEAR(ss10 * 1e3, 14.0, 2.0);
+  // Without band tails it would collapse to the Boltzmann limit:
+  EXPECT_LT(subthreshold_slope(10.0, 1.12, 0.0) * 1e3, 3.0);
+}
+
+TEST(Physics, MobilityImprovesAndSaturates) {
+  const double m300 = mobility_factor(300.0, 0.5857);
+  const double m77 = mobility_factor(77.0, 0.5857);
+  const double m10 = mobility_factor(10.0, 0.5857);
+  const double m4 = mobility_factor(4.0, 0.5857);
+  EXPECT_GT(m77, m300);
+  EXPECT_GT(m10, m77);
+  // Saturation: 10 K -> 4 K gains little.
+  EXPECT_NEAR(m4 / m10, 1.0, 0.01);
+  // Paper ref [9]: ~58 % improvement at deep cryo.
+  EXPECT_NEAR(m10 / m300, 1.58, 0.03);
+}
+
+TEST(Physics, VthShiftPositiveAtCryo) {
+  EXPECT_NEAR(vth_shift(300.0, 0.45e-3, 0.35), 0.0, 1e-12);
+  const double shift10 = vth_shift(10.0, 0.45e-3, 0.35);
+  EXPECT_GT(shift10, 0.08);
+  EXPECT_LT(shift10, 0.20);
+}
+
+class FinFetModelTrends : public ::testing::TestWithParam<Polarity> {};
+
+TEST_P(FinFetModelTrends, IonRoughlyTemperatureIndependent) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  const FinFetModel warm{params, 300.0};
+  const FinFetModel cold{params, 10.0};
+  const double ratio = cold.ion(0.7) / warm.ion(0.7);
+  // Paper: "ON current remains almost the same" (Fig. 1b,c).
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.30);
+}
+
+TEST_P(FinFetModelTrends, LeakageCollapsesAtCryo) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  const FinFetModel warm{params, 300.0};
+  const FinFetModel cold{params, 10.0};
+  const double ratio = cold.ioff(0.7) / warm.ioff(0.7);
+  // Several orders of magnitude down (paper: "100x or more").
+  EXPECT_LT(ratio, 1e-3);
+  EXPECT_GT(cold.ioff(0.7), 0.0);  // floor keeps it physical
+}
+
+TEST_P(FinFetModelTrends, MonotonicInVgs) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  for (const double temp : {300.0, 77.0, 10.0}) {
+    const FinFetModel model{params, temp};
+    double prev = -1.0;
+    for (double vgs = 0.0; vgs <= 0.9; vgs += 0.01) {
+      const double i = model.ids(vgs, 0.7);
+      // Non-decreasing: deep subthreshold at 10 K sits on the constant
+      // leakage floor, so equality is allowed there.
+      EXPECT_GE(i, prev) << "vgs=" << vgs << " T=" << temp;
+      prev = i;
+    }
+  }
+}
+
+TEST_P(FinFetModelTrends, MonotonicInVds) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  for (const double temp : {300.0, 10.0}) {
+    const FinFetModel model{params, temp};
+    double prev = -1.0;
+    for (double vds = 0.0; vds <= 0.9; vds += 0.01) {
+      const double i = model.ids(0.7, vds);
+      EXPECT_GE(i, prev) << "vds=" << vds;
+      prev = i;
+    }
+  }
+}
+
+TEST_P(FinFetModelTrends, DerivativesMatchFiniteDifferences) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  const FinFetModel model{params, 77.0};
+  const double h = 1e-6;
+  for (double vgs : {0.1, 0.3, 0.5, 0.7}) {
+    for (double vds : {0.05, 0.35, 0.7}) {
+      const auto op = model.evaluate(vgs, vds);
+      const double gm_fd =
+          (model.ids(vgs + h, vds) - model.ids(vgs - h, vds)) / (2 * h);
+      const double gds_fd =
+          (model.ids(vgs, vds + h) - model.ids(vgs, vds - h)) / (2 * h);
+      EXPECT_NEAR(op.gm, gm_fd, std::max(1e-9, std::fabs(gm_fd) * 1e-4));
+      EXPECT_NEAR(op.gds, gds_fd, std::max(1e-9, std::fabs(gds_fd) * 1e-4));
+    }
+  }
+}
+
+TEST_P(FinFetModelTrends, NfinsScalesLinearly) {
+  const auto params = GetParam() == Polarity::kN ? nominal_nfet_5nm()
+                                                 : nominal_pfet_5nm();
+  const FinFetModel model{params, 300.0};
+  EXPECT_NEAR(model.ids(0.7, 0.7, 4), 4.0 * model.ids(0.7, 0.7, 1), 1e-12);
+  EXPECT_NEAR(model.cgg(3), 3.0 * model.cgg(1), 1e-24);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolarities, FinFetModelTrends,
+                         ::testing::Values(Polarity::kN, Polarity::kP));
+
+TEST(FinFetModel, VthIncreasesMonotonicallyAsTemperatureDrops) {
+  const auto params = nominal_nfet_5nm();
+  double prev = 0.0;
+  for (double t : {300.0, 200.0, 100.0, 50.0, 10.0}) {
+    const FinFetModel model{params, t};
+    EXPECT_GT(model.vth(), prev) << "T=" << t;
+    prev = model.vth();
+  }
+}
+
+TEST(FinFetModel, ConstantCurrentVthExtractionTracksModelVth) {
+  const auto params = nominal_nfet_5nm();
+  const FinFetModel model{params, 300.0};
+  const double vth = model.extract_vth_constant_current(0.05, 1e-7);
+  EXPECT_NEAR(vth, model.vth(), 0.1);
+}
+
+TEST(FinFetModel, GateCapacitanceShrinksSlightlyAtCryo) {
+  const auto params = nominal_nfet_5nm();
+  const FinFetModel warm{params, 300.0};
+  const FinFetModel cold{params, 10.0};
+  const double ratio = cold.cgg() / warm.cgg();
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.9);
+}
+
+TEST(FinFetModel, RejectsBadTemperature) {
+  EXPECT_THROW((FinFetModel{nominal_nfet_5nm(), -5.0}), std::invalid_argument);
+  EXPECT_THROW((FinFetModel{nominal_nfet_5nm(), 600.0}), std::invalid_argument);
+}
+
+TEST(Measurement, CampaignCoversPlan) {
+  const ReferenceDevice device{Polarity::kN};
+  MeasurementPlan plan;
+  plan.vgs_steps = 11;
+  const auto set = device.measure(plan);
+  EXPECT_EQ(set.points.size(),
+            plan.temperatures_k.size() * plan.vds_values.size() * 11);
+  EXPECT_EQ(set.nfins, plan.nfins);
+}
+
+TEST(Measurement, NoiseIsSmallRelativeToSignal) {
+  const ReferenceDevice device{Polarity::kN};
+  MeasurementPlan plan;
+  plan.relative_noise = 0.01;
+  const auto set = device.measure(plan);
+  const FinFetModel truth{device.true_params(), 300.0};
+  for (const auto& pt : set.points) {
+    if (pt.temperature_k != 300.0 || pt.ids < 1e-6) {
+      continue;
+    }
+    const double ideal = truth.ids(pt.vgs, pt.vds, set.nfins);
+    EXPECT_NEAR(pt.ids / ideal, 1.0, 0.06);
+  }
+}
+
+TEST(Calibration, RecoversReferenceDevice) {
+  const ReferenceDevice device{Polarity::kN};
+  const auto set = device.measure(MeasurementPlan{});
+  const auto result = calibrate(set, nominal_nfet_5nm(), 4000);
+  // Fit quality: better than a tenth of a decade RMS.
+  EXPECT_LT(result.rms_log_error, 0.1);
+  // Extracted parameters land near the hidden truth.
+  EXPECT_NEAR(result.params.vth300, device.true_params().vth300, 0.03);
+  EXPECT_NEAR(result.params.band_tail_v / device.true_params().band_tail_v,
+              1.0, 0.3);
+}
+
+TEST(Calibration, CurveErrorsCoverEveryCondition) {
+  const ReferenceDevice device{Polarity::kP};
+  MeasurementPlan plan;
+  const auto set = device.measure(plan);
+  const auto errors = curve_errors(nominal_pfet_5nm(), set);
+  EXPECT_EQ(errors.size(),
+            plan.temperatures_k.size() * plan.vds_values.size());
+}
+
+TEST(Calibration, EmptySetThrows) {
+  EXPECT_THROW(calibrate(MeasurementSet{}, nominal_nfet_5nm()),
+               std::invalid_argument);
+}
+
+}  // namespace

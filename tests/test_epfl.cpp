@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "epfl/benchmarks.hpp"
+#include "epfl/wordlib.hpp"
+#include "logic/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo::epfl;
+using cryo::logic::Aig;
+
+/// Evaluate an AIG on one input assignment (LSB-first words laid out as
+/// consecutive PIs).
+std::vector<bool> eval(const Aig& aig, const std::vector<bool>& inputs) {
+  cryo::logic::Simulation sim{aig, 1};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    sim.set_pi_word(static_cast<cryo::logic::NodeIdx>(i), 0,
+                    inputs[i] ? ~0ull : 0ull);
+  }
+  sim.run();
+  std::vector<bool> outs;
+  for (cryo::logic::NodeIdx o = 0; o < aig.num_pos(); ++o) {
+    outs.push_back((sim.signature(aig.po(o)) & 1ull) != 0);
+  }
+  return outs;
+}
+
+std::vector<bool> to_bits(unsigned long long value, unsigned bits) {
+  std::vector<bool> out(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    out[i] = ((value >> i) & 1ull) != 0;
+  }
+  return out;
+}
+
+unsigned long long from_bits(const std::vector<bool>& bits, unsigned offset,
+                             unsigned count) {
+  unsigned long long value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    if (bits[offset + i]) {
+      value |= 1ull << i;
+    }
+  }
+  return value;
+}
+
+std::vector<bool> concat(std::initializer_list<std::vector<bool>> parts) {
+  std::vector<bool> out;
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+class RandomVectors : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomVectors, AdderComputesSum) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const Aig aig = make_adder(16);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = rng.next_below(1ull << 16);
+    const auto b = rng.next_below(1ull << 16);
+    const auto out = eval(aig, concat({to_bits(a, 16), to_bits(b, 16)}));
+    EXPECT_EQ(from_bits(out, 0, 17), a + b);
+  }
+}
+
+TEST_P(RandomVectors, MultiplierComputesProduct) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 10};
+  const Aig aig = make_multiplier(8);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = rng.next_below(256);
+    const auto b = rng.next_below(256);
+    const auto out = eval(aig, concat({to_bits(a, 8), to_bits(b, 8)}));
+    EXPECT_EQ(from_bits(out, 0, 16), a * b);
+  }
+}
+
+TEST_P(RandomVectors, SquareMatchesMultiplier) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 20};
+  const Aig aig = make_square(8);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = rng.next_below(256);
+    const auto out = eval(aig, to_bits(a, 8));
+    EXPECT_EQ(from_bits(out, 0, 16), a * a);
+  }
+}
+
+TEST_P(RandomVectors, DividerComputesQuotientAndRemainder) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 30};
+  const Aig aig = make_div(8);
+  for (int t = 0; t < 20; ++t) {
+    const auto n = rng.next_below(256);
+    const auto d = 1 + rng.next_below(255);
+    const auto out = eval(aig, concat({to_bits(n, 8), to_bits(d, 8)}));
+    EXPECT_EQ(from_bits(out, 0, 8), n / d) << n << "/" << d;
+    EXPECT_EQ(from_bits(out, 8, 8), n % d) << n << "%" << d;
+  }
+}
+
+TEST_P(RandomVectors, SqrtComputesIntegerRoot) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 40};
+  const Aig aig = make_sqrt(16);
+  for (int t = 0; t < 20; ++t) {
+    const auto v = rng.next_below(1ull << 16);
+    const auto out = eval(aig, to_bits(v, 16));
+    const auto root = from_bits(out, 0, 8);
+    EXPECT_EQ(root, static_cast<unsigned long long>(
+                        std::sqrt(static_cast<double>(v))))
+        << "sqrt(" << v << ")";
+  }
+}
+
+TEST_P(RandomVectors, MaxSelectsMaximum) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 50};
+  const Aig aig = make_max(16, 4);
+  for (int t = 0; t < 20; ++t) {
+    unsigned long long w[4];
+    std::vector<bool> inputs;
+    unsigned long long expected = 0;
+    for (auto& x : w) {
+      x = rng.next_below(1ull << 16);
+      expected = std::max(expected, x);
+      const auto bits = to_bits(x, 16);
+      inputs.insert(inputs.end(), bits.begin(), bits.end());
+    }
+    const auto out = eval(aig, inputs);
+    EXPECT_EQ(from_bits(out, 0, 16), expected);
+  }
+}
+
+TEST_P(RandomVectors, BarrelShifterShifts) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 60};
+  const Aig aig = make_bar(16);
+  for (int t = 0; t < 20; ++t) {
+    const auto v = rng.next_below(1ull << 16);
+    const auto sh = rng.next_below(16);
+    for (const bool left : {true, false}) {
+      auto inputs = concat({to_bits(v, 16), to_bits(sh, 4)});
+      inputs.push_back(left);
+      const auto out = eval(aig, inputs);
+      const auto expected =
+          left ? ((v << sh) & 0xFFFFull) : (v >> sh);
+      EXPECT_EQ(from_bits(out, 0, 16), expected)
+          << v << (left ? "<<" : ">>") << sh;
+    }
+  }
+}
+
+TEST_P(RandomVectors, PriorityEncoderFindsFirstOne) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 70};
+  const Aig aig = make_priority(16);
+  for (int t = 0; t < 20; ++t) {
+    const auto v = rng.next_below(1ull << 16);
+    const auto out = eval(aig, to_bits(v, 16));
+    const bool valid = out[4];
+    EXPECT_EQ(valid, v != 0);
+    if (v != 0) {
+      unsigned expected = 0;
+      while (((v >> expected) & 1ull) == 0) {
+        ++expected;
+      }
+      EXPECT_EQ(from_bits(out, 0, 4), expected);
+    }
+  }
+}
+
+TEST_P(RandomVectors, VoterComputesMajority) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 80};
+  const Aig aig = make_voter(15);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<bool> votes(15);
+    int ones = 0;
+    for (auto&& v : votes) {
+      v = rng.next_bool();
+      ones += v ? 1 : 0;
+    }
+    const auto out = eval(aig, votes);
+    EXPECT_EQ(out[0], ones >= 8) << "ones=" << ones;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomVectors, ::testing::Range(1, 4));
+
+TEST(Generators, DecoderIsOneHot) {
+  const Aig aig = make_dec(4);
+  for (unsigned v = 0; v < 16; ++v) {
+    const auto out = eval(aig, to_bits(v, 4));
+    for (unsigned i = 0; i < 16; ++i) {
+      EXPECT_EQ(out[i], i == v);
+    }
+  }
+}
+
+TEST(Generators, ArbiterGrantsOneHotRoundRobin) {
+  const Aig aig = make_arbiter(8);
+  cryo::util::Rng rng{5};
+  for (int t = 0; t < 40; ++t) {
+    const auto req = rng.next_below(256);
+    const auto ptr = rng.next_below(8);
+    const auto out =
+        eval(aig, concat({to_bits(req, 8), to_bits(ptr, 3)}));
+    int grants = 0;
+    int granted = -1;
+    for (int i = 0; i < 8; ++i) {
+      if (out[static_cast<std::size_t>(i)]) {
+        ++grants;
+        granted = i;
+      }
+    }
+    EXPECT_EQ(out[8], req != 0);  // "any"
+    EXPECT_EQ(grants, req != 0 ? 1 : 0);
+    if (req != 0) {
+      // The grant must be a requester, and it is the first one at or
+      // after the pointer in ring order.
+      EXPECT_TRUE((req >> granted) & 1u);
+      for (unsigned step = 0; step < 8; ++step) {
+        const unsigned pos = (static_cast<unsigned>(ptr) + step) % 8;
+        if ((req >> pos) & 1u) {
+          EXPECT_EQ(static_cast<unsigned>(granted), pos);
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Generators, Int2FloatNormalizes) {
+  const Aig aig = make_int2float(16);
+  cryo::util::Rng rng{9};
+  for (int t = 0; t < 30; ++t) {
+    const auto v = 1 + rng.next_below((1ull << 16) - 1);
+    const auto out = eval(aig, to_bits(v, 16));
+    const auto exponent = from_bits(out, 0, 4);
+    unsigned expected_exp = 0;
+    while ((v >> (expected_exp + 1)) != 0) {
+      ++expected_exp;
+    }
+    EXPECT_EQ(exponent, expected_exp) << "v=" << v;
+    EXPECT_TRUE(out[12]);  // nonzero flag
+  }
+  const auto zero_out = eval(aig, to_bits(0, 16));
+  EXPECT_FALSE(zero_out[12]);
+}
+
+TEST(Generators, Log2ExponentCorrect) {
+  const Aig aig = make_log2(16);
+  cryo::util::Rng rng{11};
+  for (int t = 0; t < 30; ++t) {
+    const auto v = 1 + rng.next_below((1ull << 16) - 1);
+    const auto out = eval(aig, to_bits(v, 16));
+    unsigned expected = 0;
+    while ((v >> (expected + 1)) != 0) {
+      ++expected;
+    }
+    EXPECT_EQ(from_bits(out, 0, 4), expected) << "v=" << v;
+  }
+}
+
+TEST(Generators, RouterGrantsAreConsistent) {
+  const Aig aig = make_router(4);
+  cryo::util::Rng rng{13};
+  // inputs: v[4], then d0..d3 (2 bits each).
+  for (int t = 0; t < 40; ++t) {
+    std::vector<bool> inputs;
+    std::vector<bool> valid(4);
+    std::vector<unsigned> dest(4);
+    for (auto&& v : valid) {
+      v = rng.next_bool();
+      inputs.push_back(v);
+    }
+    for (auto& d : dest) {
+      d = static_cast<unsigned>(rng.next_below(4));
+      inputs.push_back((d & 1u) != 0);
+      inputs.push_back((d & 2u) != 0);
+    }
+    const auto out = eval(aig, inputs);
+    // Outputs per port: src (2 bits) + busy.
+    for (unsigned port = 0; port < 4; ++port) {
+      const bool busy = out[port * 3 + 2];
+      const auto src = from_bits(out, port * 3, 2);
+      bool expected_busy = false;
+      unsigned expected_src = 0;
+      for (unsigned p = 0; p < 4; ++p) {
+        if (valid[p] && dest[p] == port) {
+          expected_busy = true;
+          expected_src = p;
+          break;  // lowest index wins
+        }
+      }
+      EXPECT_EQ(busy, expected_busy) << "port " << port;
+      if (expected_busy) {
+        EXPECT_EQ(src, expected_src) << "port " << port;
+      }
+    }
+  }
+}
+
+TEST(Generators, SinIsMonotoneOnFirstQuadrant) {
+  // CORDIC sine on [0, pi/2): check monotone growth at a few points.
+  const unsigned bits = 12;
+  const Aig aig = make_sin(bits);
+  // theta fixed point: [0, 2^(bits-3)) ~ radians * 2^(bits-3).
+  unsigned long long prev = 0;
+  bool monotone = true;
+  for (unsigned long long theta = 0; theta < (1ull << (bits - 3));
+       theta += (1ull << (bits - 6))) {
+    const auto out = eval(aig, to_bits(theta, bits));
+    const auto y = from_bits(out, 0, bits - 1);  // positive range
+    if (theta > 0 && y + 2 < prev) {
+      monotone = false;
+    }
+    prev = y;
+  }
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Suite, FullSuiteShapes) {
+  const auto suite = epfl_suite();
+  ASSERT_EQ(suite.size(), 20u);
+  int arithmetic = 0;
+  for (const auto& b : suite) {
+    EXPECT_GT(b.aig.num_ands(), 50u) << b.name;
+    EXPECT_GT(b.aig.num_pos(), 0u) << b.name;
+    arithmetic += b.arithmetic ? 1 : 0;
+  }
+  EXPECT_EQ(arithmetic, 10);
+}
+
+TEST(Suite, DeterministicGeneration) {
+  const auto a = make_ctrl();
+  const auto b = make_ctrl();
+  EXPECT_EQ(a.num_ands(), b.num_ands());
+  EXPECT_TRUE(cryo::logic::simulate_equal(a, b));
+}
+
+TEST(WordLib, PopcountAndComparisons) {
+  Aig aig;
+  const Word w = input_word(aig, "w", 7);
+  output_word(aig, "c", popcount(aig, w));
+  cryo::util::Rng rng{3};
+  for (int t = 0; t < 30; ++t) {
+    const auto v = rng.next_below(128);
+    const auto out = eval(aig, to_bits(v, 7));
+    EXPECT_EQ(from_bits(out, 0, 3), static_cast<unsigned>(
+                                        __builtin_popcountll(v)));
+  }
+}
+
+}  // namespace

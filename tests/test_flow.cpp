@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "cells/characterize.hpp"
+#include "core/experiment.hpp"
+#include "core/flow.hpp"
+#include "logic/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo;
+
+class FlowTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 48e-12};
+    options.loads = {2e-16, 1e-15, 4e-15};
+    options.include_sequential = false;
+    lib_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 10.0, options));
+    matcher_ = new map::CellMatcher(*lib_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_;
+    delete lib_;
+    matcher_ = nullptr;
+    lib_ = nullptr;
+  }
+  static liberty::Library* lib_;
+  static map::CellMatcher* matcher_;
+};
+
+liberty::Library* FlowTest::lib_ = nullptr;
+map::CellMatcher* FlowTest::matcher_ = nullptr;
+
+/// Netlist-vs-AIG functional agreement on random vectors.
+void expect_equiv(const map::Netlist& net, const logic::Aig& aig,
+                  std::uint64_t seed) {
+  util::Rng rng{seed};
+  for (int trial = 0; trial < 48; ++trial) {
+    std::vector<bool> inputs(net.pis.size());
+    for (auto&& b : inputs) {
+      b = rng.next_bool();
+    }
+    const auto got = net.evaluate(inputs);
+    logic::Simulation sim{aig, 1};
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      sim.set_pi_word(static_cast<logic::NodeIdx>(i), 0,
+                      inputs[i] ? ~0ull : 0ull);
+    }
+    sim.run();
+    for (logic::NodeIdx o = 0; o < aig.num_pos(); ++o) {
+      ASSERT_EQ(got[o], (sim.signature(aig.po(o)) & 1ull) != 0)
+          << "output " << o;
+    }
+  }
+}
+
+class FlowOnSuite : public FlowTest, public ::testing::WithParamInterface<int> {
+};
+
+TEST_P(FlowOnSuite, EndToEndPreservesFunction) {
+  const auto suite = epfl::mini_suite();
+  const auto& bench = suite[static_cast<std::size_t>(GetParam())];
+  for (const auto priority :
+       {opt::CostPriority::kBaselinePowerAware,
+        opt::CostPriority::kPowerAreaDelay,
+        opt::CostPriority::kPowerDelayArea}) {
+    core::FlowOptions options;
+    options.priority = priority;
+    const auto result = core::synthesize(bench.aig, *matcher_, options);
+    EXPECT_GT(result.netlist.gate_count(), 0u) << bench.name;
+    expect_equiv(result.netlist, bench.aig, 100 + GetParam());
+    // Optimization reduced (or at least did not explode) the network.
+    EXPECT_LE(result.after_power_stage, result.initial_ands * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MiniSuite, FlowOnSuite, ::testing::Range(0, 5));
+
+TEST_F(FlowTest, FlagsCanBeDisabled) {
+  const auto aig = epfl::make_adder(8);
+  core::FlowOptions options;
+  options.use_choices = false;
+  options.use_mfs = false;
+  const auto result = core::synthesize(aig, *matcher_, options);
+  expect_equiv(result.netlist, aig, 7);
+}
+
+TEST_F(FlowTest, ComparisonRowsAreConsistent) {
+  const auto suite = epfl::mini_suite();
+  core::ExperimentOptions options;
+  const auto row = core::compare_circuit(suite[0], *matcher_, options);
+  EXPECT_EQ(row.circuit, suite[0].name);
+  EXPECT_GT(row.baseline.total_power, 0.0);
+  EXPECT_GT(row.pad.total_power, 0.0);
+  EXPECT_GT(row.pda.total_power, 0.0);
+  EXPECT_GT(row.clock_period, 0.0);
+  // The normalized clock is the slowest variant.
+  EXPECT_GE(row.clock_period, row.baseline.delay - 1e-15);
+  EXPECT_GE(row.clock_period, row.pad.delay - 1e-15);
+  EXPECT_GE(row.clock_period, row.pda.delay - 1e-15);
+  // Saving/overhead definitions are self-consistent.
+  EXPECT_NEAR(row.power_saving_pad(),
+              1.0 - row.pad.total_power / row.baseline.total_power, 1e-12);
+  EXPECT_NEAR(row.delay_overhead_pda(),
+              row.pda.delay / row.baseline.delay - 1.0, 1e-12);
+}
+
+TEST_F(FlowTest, SuiteComparisonRunsAllCircuits) {
+  const auto suite = epfl::mini_suite();
+  core::ExperimentOptions options;
+  const auto rows = core::run_synthesis_comparison(suite, *matcher_, options);
+  ASSERT_EQ(rows.size(), suite.size());
+  for (const auto& row : rows) {
+    EXPECT_GT(row.baseline.gates, 0u) << row.circuit;
+    // Savings are bounded: nothing pathological on either side.
+    EXPECT_GT(row.power_saving_pad(), -1.0) << row.circuit;
+    EXPECT_LT(row.power_saving_pad(), 1.0) << row.circuit;
+  }
+}
+
+TEST_F(FlowTest, CryoLibraryLeakageShareNegligible) {
+  // End-to-end restatement of Fig. 2(c) at 10 K through the full flow.
+  const auto aig = epfl::make_adder(16);
+  core::FlowOptions options;
+  const auto result = core::synthesize(aig, *matcher_, options);
+  const auto signoff = sta::analyze(result.netlist, {});
+  EXPECT_LT(signoff.power.leakage / signoff.power.total(), 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "logic/aig.hpp"
+#include "logic/cuts.hpp"
+#include "logic/factor.hpp"
+#include "logic/simulate.hpp"
+#include "logic/tt.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo::logic;
+
+TEST(Aig, TrivialAndRules) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  const Lit b = aig.add_pi();
+  EXPECT_EQ(aig.land(a, kConst0), kConst0);
+  EXPECT_EQ(aig.land(a, kConst1), a);
+  EXPECT_EQ(aig.land(a, a), a);
+  EXPECT_EQ(aig.land(a, lit_not(a)), kConst0);
+  const Lit ab = aig.land(a, b);
+  EXPECT_EQ(aig.land(b, a), ab);  // structural hashing + commutativity
+  EXPECT_EQ(aig.num_ands(), 1u);
+}
+
+TEST(Aig, PisBeforeAndsEnforced) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  (void)aig.land(a, lit_not(a));  // no node created
+  const Lit b = aig.add_pi();     // still fine: no AND yet
+  (void)aig.land(a, b);
+  EXPECT_THROW(aig.add_pi(), std::logic_error);
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  const Lit b = aig.add_pi();
+  const Lit c = aig.add_pi();
+  const Lit ab = aig.land(a, b);
+  const Lit abc = aig.land(ab, c);
+  aig.add_po(abc);
+  EXPECT_EQ(aig.depth(), 2u);
+  const auto levels = aig.levels();
+  EXPECT_EQ(levels[lit_var(ab)], 1u);
+  EXPECT_EQ(levels[lit_var(abc)], 2u);
+}
+
+TEST(Aig, CleanupDropsDanglingKeepsFunction) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  const Lit b = aig.add_pi();
+  const Lit keep = aig.land(a, b);
+  (void)aig.land(a, lit_not(b));  // dangling
+  aig.add_po(lit_not(keep), "f");
+  const Aig clean = aig.cleanup();
+  EXPECT_EQ(clean.num_ands(), 1u);
+  EXPECT_EQ(clean.po_name(0), "f");
+  EXPECT_TRUE(simulate_equal(aig, clean));
+}
+
+TEST(Aig, XorMuxMajSemantics) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  const Lit b = aig.add_pi();
+  const Lit c = aig.add_pi();
+  aig.add_po(aig.lxor(a, b));
+  aig.add_po(aig.lmux(a, b, c));
+  aig.add_po(aig.lmaj(a, b, c));
+  Simulation sim{aig, 1};
+  // Exhaustive 8 patterns packed into one word.
+  sim.set_pi_word(0, 0, 0xaa);
+  sim.set_pi_word(1, 0, 0xcc);
+  sim.set_pi_word(2, 0, 0xf0);
+  sim.run();
+  EXPECT_EQ(sim.signature(aig.po(0)) & 0xff, 0x66ull);  // a^b
+  EXPECT_EQ(sim.signature(aig.po(1)) & 0xff, 0xd8ull);  // a?b:c (mux tt)
+  EXPECT_EQ(sim.signature(aig.po(2)) & 0xff, 0xe8ull);  // maj
+}
+
+// ------------------------------------------------------------- tt6 ------
+
+TEST(Tt6, CofactorsAndSupport) {
+  // f = A & B over 2 vars: tt = 0x8.
+  EXPECT_EQ(tt6_cofactor1(0x8, 0) & tt6_mask(2), 0xcull);  // f|A=1 = B
+  EXPECT_EQ(tt6_cofactor0(0x8, 0) & tt6_mask(2), 0x0ull);
+  EXPECT_TRUE(tt6_has_var(0x8, 2, 0));
+  EXPECT_TRUE(tt6_has_var(0x8, 2, 1));
+  // g = A over 2 vars: tt = 0xa — no dependence on B.
+  EXPECT_FALSE(tt6_has_var(0xa, 2, 1));
+}
+
+TEST(Tt6, ShrinkRemovesVacuousVars) {
+  std::vector<unsigned> support;
+  // f(A,B,C) = A & C: tt over 3 vars.
+  std::uint64_t tt = 0;
+  for (unsigned m = 0; m < 8; ++m) {
+    if ((m & 1) && (m & 4)) {
+      tt |= 1ull << m;
+    }
+  }
+  const std::uint64_t s = tt6_shrink(tt, 3, support);
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0], 0u);
+  EXPECT_EQ(support[1], 2u);
+  EXPECT_EQ(s, 0x8ull);  // AND over the reduced support
+}
+
+TEST(Tt6, TransformPermutesAndPhases) {
+  // f(x0, x1) = x0 & !x1 : tt bits where x0=1,x1=0 -> minterm 1 -> 0x2.
+  const std::uint64_t f = 0x2;
+  // Swap inputs: g(x0,x1) = f(x1, x0) = x1 & !x0 -> minterm 2 -> 0x4.
+  EXPECT_EQ(tt6_transform(f, 2, {1, 0}, 0, false), 0x4ull);
+  // Invert input 1 of f: g = x0 & x1 -> 0x8.
+  EXPECT_EQ(tt6_transform(f, 2, {0, 1}, 0b10, false), 0x8ull);
+  // Output inversion.
+  EXPECT_EQ(tt6_transform(f, 2, {0, 1}, 0, true), (~f) & 0xfull);
+}
+
+TEST(TtVec, BasicOps) {
+  const auto a = TtVec::variable(3, 0);
+  const auto b = TtVec::variable(3, 1);
+  EXPECT_EQ((a & b).to_tt6(), 0x88ull);
+  EXPECT_EQ((a | b).to_tt6(), 0xeeull);
+  EXPECT_EQ((a ^ b).to_tt6(), 0x66ull);
+  EXPECT_EQ((~a).to_tt6(), 0x55ull);
+  EXPECT_TRUE(TtVec::zeros(3).is_zero());
+  EXPECT_TRUE(TtVec::ones(3).is_ones());
+}
+
+TEST(TtVec, LargeVariableAndCofactor) {
+  // 8-variable table: var 7 lives across words.
+  const auto v7 = TtVec::variable(8, 7);
+  EXPECT_TRUE(v7.has_var(7));
+  EXPECT_FALSE(v7.has_var(0));
+  EXPECT_TRUE(v7.cofactor(7, true).is_ones());
+  EXPECT_TRUE(v7.cofactor(7, false).is_zero());
+}
+
+class IsopRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IsopRandom, CoverEqualsFunction) {
+  const unsigned n = GetParam();
+  cryo::util::Rng rng{n * 977 + 5};
+  for (int trial = 0; trial < 30; ++trial) {
+    TtVec f{n};
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+      f.set_bit(m, rng.next_bool());
+    }
+    const auto cubes = isop(f, TtVec::zeros(n));
+    EXPECT_TRUE(sop_to_tt(cubes, n) == f) << "n=" << n;
+  }
+}
+
+TEST_P(IsopRandom, DontCaresRespected) {
+  const unsigned n = GetParam();
+  cryo::util::Rng rng{n * 1337};
+  for (int trial = 0; trial < 20; ++trial) {
+    TtVec on{n};
+    TtVec dc{n};
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+      const int r = static_cast<int>(rng.next_below(3));
+      if (r == 0) {
+        on.set_bit(m, true);
+      } else if (r == 1) {
+        dc.set_bit(m, true);
+      }
+    }
+    const auto cubes = isop(on, dc);
+    const TtVec cover = sop_to_tt(cubes, n);
+    // on <= cover <= on | dc
+    EXPECT_TRUE((on & ~cover).is_zero());
+    EXPECT_TRUE((cover & ~(on | dc)).is_zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsopRandom, ::testing::Values(2u, 4u, 6u, 8u));
+
+// ------------------------------------------------------------ factor ----
+
+class FactorRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FactorRandom, BuildFromTtRealizesFunction) {
+  const unsigned n = GetParam();
+  cryo::util::Rng rng{n * 31 + 7};
+  for (int trial = 0; trial < 20; ++trial) {
+    TtVec f{n};
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+      f.set_bit(m, rng.next_bool());
+    }
+    Aig aig;
+    std::vector<Lit> leaves;
+    for (unsigned i = 0; i < n; ++i) {
+      leaves.push_back(aig.add_pi());
+    }
+    const Lit out = build_from_tt(aig, f, leaves);
+    aig.add_po(out);
+    // Exhaustive check via simulation.
+    Simulation sim{aig, 1};
+    for (unsigned i = 0; i < n; ++i) {
+      std::uint64_t w = 0;
+      for (unsigned m = 0; m < (1u << n); ++m) {
+        if ((m >> i) & 1u) {
+          w |= 1ull << m;
+        }
+      }
+      sim.set_pi_word(i, 0, w);
+    }
+    sim.run();
+    const std::uint64_t got = sim.signature(aig.po(0)) & tt6_mask(n);
+    std::uint64_t want = 0;
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      if (f.bit(m)) {
+        want |= 1ull << m;
+      }
+    }
+    EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactorRandom,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(Factor, BalancedAndReducesDepth) {
+  Aig aig;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 16; ++i) {
+    lits.push_back(aig.add_pi());
+  }
+  aig.add_po(build_and_balanced(aig, lits));
+  EXPECT_EQ(aig.depth(), 4u);  // log2(16)
+}
+
+TEST(Factor, ConstantsHandled) {
+  Aig aig;
+  EXPECT_EQ(build_and_balanced(aig, {}), kConst1);
+  EXPECT_EQ(build_or_balanced(aig, {}), kConst0);
+  const auto zero = TtVec::zeros(2);
+  EXPECT_EQ(build_from_tt(aig, zero, {aig.add_pi(), aig.add_pi()}), kConst0);
+}
+
+// -------------------------------------------------------------- cuts ----
+
+TEST(Cuts, FunctionsAgreeWithSimulation) {
+  // Random AIG; every enumerated cut's truth table must match simulation
+  // of the root given simulated leaves.
+  cryo::util::Rng rng{99};
+  Aig aig;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(aig.add_pi());
+  }
+  for (int i = 0; i < 60; ++i) {
+    const Lit a = lit_notif(pool[rng.next_below(pool.size())], rng.next_bool());
+    const Lit b = lit_notif(pool[rng.next_below(pool.size())], rng.next_bool());
+    pool.push_back(aig.land(a, b));
+  }
+  aig.add_po(pool.back());
+
+  Simulation sim{aig, 4};
+  sim.randomize_pis(rng);
+  sim.run();
+
+  CutEnumerator cuts{aig, 4, 8};
+  cuts.run();
+  int checked = 0;
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    for (const Cut& c : cuts.cuts(v)) {
+      // Evaluate the cut function on the simulated leaf values, compare
+      // with the simulated root value, bit by bit.
+      for (unsigned word = 0; word < 4; ++word) {
+        for (unsigned bit = 0; bit < 64; bit += 17) {
+          unsigned m = 0;
+          for (unsigned i = 0; i < c.size; ++i) {
+            if ((sim.node_bits(c.leaves[i])[word] >> bit) & 1ull) {
+              m |= 1u << i;
+            }
+          }
+          const bool cut_value = tt6_bit(c.tt, m);
+          const bool sim_value = (sim.node_bits(v)[word] >> bit) & 1ull;
+          ASSERT_EQ(cut_value, sim_value) << "node " << v;
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(Cuts, RespectsKAndIncludesTrivial) {
+  Aig aig;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 8; ++i) {
+    pis.push_back(aig.add_pi());
+  }
+  Lit acc = pis[0];
+  for (int i = 1; i < 8; ++i) {
+    acc = aig.land(acc, pis[i]);
+  }
+  aig.add_po(acc);
+  CutEnumerator cuts{aig, 4, 6};
+  cuts.run();
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    bool trivial_found = false;
+    for (const Cut& c : cuts.cuts(v)) {
+      EXPECT_LE(c.size, 4u);
+      trivial_found |= c.size == 1 && c.leaves[0] == v;
+    }
+    EXPECT_TRUE(trivial_found);
+  }
+}
+
+TEST(Simulation, ActivityBounds) {
+  Aig aig;
+  const Lit a = aig.add_pi();
+  const Lit b = aig.add_pi();
+  aig.add_po(aig.land(a, b));
+  Simulation sim{aig, 8};
+  cryo::util::Rng rng{3};
+  sim.randomize_pis_markov(rng, 0.2);
+  sim.run();
+  for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
+    EXPECT_GE(sim.activity(v), 0.0);
+    EXPECT_LE(sim.activity(v), 1.0);
+  }
+  // PI toggle rate should be near the requested 0.2.
+  EXPECT_NEAR(sim.activity(lit_var(a)), 0.2, 0.06);
+  // AND output toggles no more often than the sum of its inputs.
+  EXPECT_LE(sim.activity(lit_var(aig.po(0))),
+            sim.activity(lit_var(a)) + sim.activity(lit_var(b)) + 1e-12);
+}
+
+TEST(Simulation, EqualCircuitsCompareEqual) {
+  Aig a;
+  const Lit x = a.add_pi();
+  const Lit y = a.add_pi();
+  a.add_po(a.lxor(x, y));
+  Aig b;
+  const Lit p = b.add_pi();
+  const Lit q = b.add_pi();
+  // Different structure, same function: (p|q) & !(p&q).
+  b.add_po(b.land(b.lor(p, q), lit_not(b.land(p, q))));
+  EXPECT_TRUE(simulate_equal(a, b));
+  Aig c;
+  const Lit r = c.add_pi();
+  const Lit s = c.add_pi();
+  c.add_po(c.land(r, s));
+  EXPECT_FALSE(simulate_equal(a, c));
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "cells/characterize.hpp"
+#include "epfl/benchmarks.hpp"
+#include "logic/simulate.hpp"
+#include "map/mapper.hpp"
+#include "sat/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cryo::logic::Aig;
+using namespace cryo::map;
+
+/// Shared characterized mini-library (built once for the whole file).
+class MapTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cryo::cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 48e-12};
+    options.loads = {2e-16, 1e-15, 4e-15};
+    options.include_sequential = false;
+    lib_ = new cryo::liberty::Library(
+        cryo::cells::characterize(cryo::cells::mini_catalog(), 10.0, options));
+    matcher_ = new CellMatcher(*lib_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_;
+    delete lib_;
+    matcher_ = nullptr;
+    lib_ = nullptr;
+  }
+  static cryo::liberty::Library* lib_;
+  static CellMatcher* matcher_;
+};
+
+cryo::liberty::Library* MapTest::lib_ = nullptr;
+CellMatcher* MapTest::matcher_ = nullptr;
+
+TEST_F(MapTest, MatcherFindsBasicFunctions) {
+  // AND2 (tt 0x8 over 2 vars) must be implementable.
+  const auto* and_matches = matcher_->find(0x8, 2);
+  ASSERT_NE(and_matches, nullptr);
+  EXPECT_FALSE(and_matches->empty());
+  // NAND2 directly.
+  ASSERT_NE(matcher_->find(0x7, 2), nullptr);
+  // XOR2.
+  ASSERT_NE(matcher_->find(0x6, 2), nullptr);
+  // MUX (tt 0xCA over (A,B,S)).
+  ASSERT_NE(matcher_->find(0xCA, 3), nullptr);
+  EXPECT_NE(matcher_->inverter(), nullptr);
+  EXPECT_NE(matcher_->buffer(), nullptr);
+}
+
+TEST_F(MapTest, MatcherHandlesPermutedAndPhasedVariants) {
+  // !(A) & B (tt over (A,B): minterm A=0,B=1 -> bit 2): 0x4.
+  const auto* matches = matcher_->find(0x4, 2);
+  ASSERT_NE(matches, nullptr);  // NAND/NOR/AOI with phases can realize it
+  EXPECT_FALSE(matches->empty());
+}
+
+Aig random_aig(std::uint64_t seed, int pis, int nodes, int pos) {
+  cryo::util::Rng rng{seed};
+  Aig aig;
+  std::vector<cryo::logic::Lit> pool;
+  for (int i = 0; i < pis; ++i) {
+    pool.push_back(aig.add_pi());
+  }
+  for (int i = 0; i < nodes; ++i) {
+    const auto a = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                          rng.next_bool());
+    const auto b = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                          rng.next_bool());
+    pool.push_back(aig.land(a, b));
+  }
+  for (int i = 0; i < pos; ++i) {
+    aig.add_po(cryo::logic::lit_notif(
+        pool[pool.size() - 1 - rng.next_below(pool.size() / 2)],
+        rng.next_bool()));
+  }
+  return aig;
+}
+
+/// The mapped netlist must compute exactly the AIG's function.
+void expect_netlist_equals_aig(const Netlist& net, const Aig& aig,
+                               std::uint64_t seed) {
+  cryo::util::Rng rng{seed};
+  ASSERT_EQ(net.pis.size(), aig.num_pis());
+  ASSERT_EQ(net.pos.size(), aig.num_pos());
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<bool> inputs(net.pis.size());
+    for (auto&& b : inputs) {
+      b = rng.next_bool();
+    }
+    const auto got = net.evaluate(inputs);
+    // Reference via AIG simulation.
+    cryo::logic::Simulation sim{aig, 1};
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      sim.set_pi_word(static_cast<cryo::logic::NodeIdx>(i), 0,
+                      inputs[i] ? ~0ull : 0ull);
+    }
+    sim.run();
+    for (cryo::logic::NodeIdx o = 0; o < aig.num_pos(); ++o) {
+      const bool want = (sim.signature(aig.po(o)) & 1ull) != 0;
+      ASSERT_EQ(got[o], want) << "output " << o << " trial " << trial;
+    }
+  }
+}
+
+class MapRandom : public MapTest,
+                  public ::testing::WithParamInterface<int> {};
+
+TEST_P(MapRandom, MappedNetlistIsEquivalent) {
+  const Aig aig = random_aig(static_cast<std::uint64_t>(GetParam()) * 13 + 1,
+                             8, 120, 6);
+  TechMapOptions options;
+  const Netlist net = tech_map(aig, *matcher_, options);
+  EXPECT_GT(net.gate_count(), 0u);
+  expect_netlist_equals_aig(net, aig, 500 + GetParam());
+}
+
+TEST_P(MapRandom, AllPrioritiesProduceValidNetlists) {
+  const Aig aig = random_aig(static_cast<std::uint64_t>(GetParam()) * 7 + 3,
+                             8, 100, 4);
+  for (const auto priority :
+       {cryo::opt::CostPriority::kBaselinePowerAware,
+        cryo::opt::CostPriority::kPowerAreaDelay,
+        cryo::opt::CostPriority::kPowerDelayArea}) {
+    TechMapOptions options;
+    options.priority = priority;
+    const Netlist net = tech_map(aig, *matcher_, options);
+    expect_netlist_equals_aig(net, aig, 900 + GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapRandom, ::testing::Range(1, 7));
+
+TEST_F(MapTest, StructuredCircuitsMapCorrectly) {
+  for (const auto& bench : cryo::epfl::mini_suite()) {
+    TechMapOptions options;
+    const Netlist net = tech_map(bench.aig, *matcher_, options);
+    expect_netlist_equals_aig(net, bench.aig, 77);
+  }
+}
+
+TEST_F(MapTest, ChoicesPreserveEquivalence) {
+  const Aig aig = cryo::epfl::make_voter(15);
+  const auto sweep = cryo::sat::sat_sweep(aig);
+  TechMapOptions options;
+  const Netlist net = tech_map(sweep.aig, *matcher_, options, &sweep.choices);
+  expect_netlist_equals_aig(net, aig, 31);
+}
+
+TEST_F(MapTest, ConstantOutputsUseTies) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  aig.add_po(aig.land(a, cryo::logic::lit_not(a)), "zero");  // const 0
+  aig.add_po(cryo::logic::kConst1, "one");
+  TechMapOptions options;
+  const Netlist net = tech_map(aig, *matcher_, options);
+  const auto out = net.evaluate({true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST_F(MapTest, InverterSharing) {
+  // Two POs that both need !a: the inverter must be instantiated once.
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(cryo::logic::lit_not(aig.land(a, b)));
+  aig.add_po(cryo::logic::lit_not(aig.land(a, cryo::logic::lit_not(b))));
+  TechMapOptions options;
+  const Netlist net = tech_map(aig, *matcher_, options);
+  expect_netlist_equals_aig(net, aig, 5);
+}
+
+TEST_F(MapTest, AreaPriorityGivesSmallestArea) {
+  const Aig aig = random_aig(4242, 10, 250, 8);
+  TechMapOptions base;
+  base.priority = cryo::opt::CostPriority::kBaselinePowerAware;
+  TechMapOptions pad;
+  pad.priority = cryo::opt::CostPriority::kPowerAreaDelay;
+  const Netlist net_base = tech_map(aig, *matcher_, base);
+  const Netlist net_pad = tech_map(aig, *matcher_, pad);
+  // The area-first baseline should not lose on area by a wide margin.
+  EXPECT_LE(net_base.total_area(), net_pad.total_area() * 1.25);
+}
+
+TEST(NetlistStandalone, SimulateActivityBounds) {
+  cryo::cells::CharOptions options;
+  options.slews = {8e-12};
+  options.loads = {1e-15};
+  options.include_sequential = false;
+  const auto lib = cryo::cells::characterize(
+      std::vector<cryo::cells::CellSpec>{cryo::cells::mini_catalog()[0],
+                                         cryo::cells::mini_catalog()[3]},
+      300.0, options);
+  CellMatcher matcher{lib};
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(aig.lnand(a, b));
+  const Netlist net = tech_map(aig, matcher);
+  const auto activity = net.simulate_activity(0.3, 8, 7);
+  for (double act : activity) {
+    EXPECT_GE(act, 0.0);
+    EXPECT_LE(act, 1.0);
+  }
+}
+
+}  // namespace

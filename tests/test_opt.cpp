@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "epfl/benchmarks.hpp"
+#include "logic/simulate.hpp"
+#include "opt/cost.hpp"
+#include "opt/lut_map.hpp"
+#include "opt/passes.hpp"
+#include "sat/cnf.hpp"
+#include "sat/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cryo::logic::Aig;
+using namespace cryo::opt;
+
+Aig random_aig(std::uint64_t seed, int pis, int nodes, int pos) {
+  cryo::util::Rng rng{seed};
+  Aig aig;
+  std::vector<cryo::logic::Lit> pool;
+  for (int i = 0; i < pis; ++i) {
+    pool.push_back(aig.add_pi());
+  }
+  for (int i = 0; i < nodes; ++i) {
+    const auto a = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                          rng.next_bool());
+    const auto b = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                          rng.next_bool());
+    pool.push_back(aig.land(a, b));
+  }
+  for (int i = 0; i < pos; ++i) {
+    aig.add_po(cryo::logic::lit_notif(
+        pool[pool.size() - 1 - rng.next_below(pool.size() / 2)],
+        rng.next_bool()));
+  }
+  return aig;
+}
+
+// Each pass must preserve functionality on randomized networks (checked
+// by simulation) and on structured circuits (checked by SAT-based CEC).
+using PassFn = Aig (*)(const Aig&);
+
+struct NamedPass {
+  const char* name;
+  PassFn fn;
+};
+
+class PassEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+public:
+  static constexpr NamedPass kPasses[] = {
+      {"balance", +[](const Aig& a) { return balance(a); }},
+      {"rewrite", +[](const Aig& a) { return rewrite(a, 4); }},
+      {"refactor", +[](const Aig& a) { return refactor(a, 10); }},
+      {"resub", +[](const Aig& a) { return resub(a, 8); }},
+      {"compress2rs", +[](const Aig& a) { return compress2rs(a); }},
+  };
+};
+
+TEST_P(PassEquivalence, RandomNetworksStayEquivalent) {
+  const auto [pass_index, seed] = GetParam();
+  const NamedPass& pass = kPasses[pass_index];
+  const Aig input = random_aig(static_cast<std::uint64_t>(seed), 8, 150, 6);
+  const Aig output = pass.fn(input);
+  EXPECT_TRUE(cryo::logic::simulate_equal(input, output, 32))
+      << pass.name << " seed " << seed;
+  // Pass results never grow the PO/PI interface.
+  EXPECT_EQ(output.num_pis(), input.num_pis());
+  EXPECT_EQ(output.num_pos(), input.num_pos());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPassesManySeeds, PassEquivalence,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(1, 6)));
+
+TEST(Passes, SatProofOnStructuredCircuit) {
+  const Aig adder = cryo::epfl::make_adder(8);
+  const Aig optimized = compress2rs(adder);
+  const auto cec = cryo::sat::check_equivalence(adder, optimized, 500000);
+  ASSERT_TRUE(cec.proven());
+  EXPECT_TRUE(cec.equivalent());
+}
+
+TEST(Passes, BalanceReducesDepthOfChains) {
+  Aig aig;
+  cryo::logic::Lit acc = aig.add_pi();
+  std::vector<cryo::logic::Lit> pis{acc};
+  for (int i = 0; i < 15; ++i) {
+    const auto p = aig.add_pi();
+    pis.push_back(p);
+  }
+  for (int i = 1; i <= 15; ++i) {
+    acc = aig.land(acc, pis[static_cast<std::size_t>(i)]);
+  }
+  aig.add_po(acc);
+  EXPECT_EQ(aig.depth(), 15u);
+  const Aig balanced = balance(aig);
+  EXPECT_EQ(balanced.depth(), 4u);
+  EXPECT_TRUE(cryo::logic::simulate_equal(aig, balanced));
+}
+
+TEST(Passes, RewriteShrinksRedundantLogic) {
+  // Build mux via a wasteful expansion; rewriting should shrink it.
+  Aig aig;
+  const auto s = aig.add_pi();
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  // f = (s&a&a) | (!s&b) | (s&a&b&!b)  — redundant terms.
+  const auto t1 = aig.land(aig.land(s, a), a);
+  const auto t2 = aig.land(cryo::logic::lit_not(s), b);
+  const auto t3 =
+      aig.land(aig.land(s, a), aig.land(b, cryo::logic::lit_not(b)));
+  aig.add_po(aig.lor(aig.lor(t1, t2), t3));
+  const Aig out = rewrite(aig);
+  EXPECT_LE(out.num_ands(), aig.num_ands());
+  EXPECT_TRUE(cryo::logic::simulate_equal(aig, out));
+}
+
+TEST(Cost, PriorityOrdering) {
+  const Cost cheap_power{1.0, 10.0, 10.0};
+  const Cost cheap_area{10.0, 1.0, 10.0};
+  const Cost cheap_delay{10.0, 10.0, 1.0};
+  EXPECT_TRUE(better(cheap_power, cheap_area, CostPriority::kPowerAreaDelay));
+  EXPECT_TRUE(better(cheap_power, cheap_delay, CostPriority::kPowerDelayArea));
+  EXPECT_TRUE(
+      better(cheap_area, cheap_power, CostPriority::kBaselinePowerAware));
+  // Within-epsilon ties fall through to the next criterion.
+  const Cost a{1.0, 5.0, 9.0};
+  const Cost b{1.005, 5.0, 2.0};
+  EXPECT_TRUE(better(b, a, CostPriority::kPowerDelayArea, 0.02));
+}
+
+TEST(Cost, ToString) {
+  EXPECT_EQ(to_string(CostPriority::kPowerAreaDelay), "p->a->d");
+  EXPECT_EQ(to_string(CostPriority::kPowerDelayArea), "p->d->a");
+}
+
+class LutMapSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutMapSuite, CoverIsFunctionallyCorrect) {
+  const Aig input = random_aig(static_cast<std::uint64_t>(GetParam()) + 400,
+                               10, 200, 8);
+  LutMapOptions options;
+  const LutMapping mapping = lut_map(input, options);
+  EXPECT_GT(mapping.lut_count, 0u);
+  const Aig back = luts_to_aig(mapping);
+  EXPECT_TRUE(cryo::logic::simulate_equal(input, back, 32));
+  // LUT mapping into k-feasible cuts compresses node count vs AND2.
+  EXPECT_LE(mapping.lut_count, input.num_ands());
+}
+
+TEST_P(LutMapSuite, MfsKeepsEquivalenceWhileFindingDontCares) {
+  const Aig input = random_aig(static_cast<std::uint64_t>(GetParam()) + 900,
+                               8, 150, 4);
+  LutMapOptions options;
+  LutMapping mapping = lut_map(input, options);
+  MfsOptions mfs_options;
+  mfs_options.sat_call_budget = 2000;
+  (void)mfs(mapping, mfs_options);
+  const Aig back = luts_to_aig(mapping);
+  EXPECT_TRUE(cryo::logic::simulate_equal(input, back, 32))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LutMapSuite, ::testing::Range(1, 6));
+
+TEST(LutMap, ChoicesImproveOrMatchQuality) {
+  const Aig voter = cryo::epfl::make_voter(15);
+  const Aig compact = compress2rs(voter);
+  LutMapOptions options;
+  const auto plain = lut_map(compact, options);
+
+  const auto sweep = cryo::sat::sat_sweep(compact);
+  const auto with_choices = lut_map(sweep.aig, options, &sweep.choices);
+  const Aig back = luts_to_aig(with_choices);
+  EXPECT_TRUE(cryo::logic::simulate_equal(voter, back, 32));
+  // Choices can only expand the candidate space; allow small noise.
+  EXPECT_LE(with_choices.lut_count, plain.lut_count + 2);
+}
+
+TEST(LutMap, PowerPriorityReducesSwitchedEstimate) {
+  const Aig input = random_aig(777, 10, 300, 8);
+  LutMapOptions base;
+  base.priority = CostPriority::kBaselinePowerAware;
+  LutMapOptions power;
+  power.priority = CostPriority::kPowerAreaDelay;
+  const auto m_base = lut_map(input, base);
+  const auto m_power = lut_map(input, power);
+  // The power-first mapping should not be substantially worse on its own
+  // objective.
+  EXPECT_LE(m_power.switched_estimate(),
+            m_base.switched_estimate() * 1.10);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Robustness and cross-cutting property tests: parser fuzzing, pass
+// idempotence, wire-load sanity, don't-care discovery, suite-wide AIGER
+// round-trips.
+
+#include <gtest/gtest.h>
+
+#include "cells/characterize.hpp"
+#include "core/flow.hpp"
+#include "epfl/benchmarks.hpp"
+#include "liberty/function.hpp"
+#include "liberty/library.hpp"
+#include "logic/aiger.hpp"
+#include "logic/simulate.hpp"
+#include "map/mapper.hpp"
+#include "opt/lut_map.hpp"
+#include "opt/passes.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo;
+
+/// The liberty parser must never crash on mutated input: either it
+/// parses, or it throws std::runtime_error / std::exception.
+class LibertyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibertyFuzz, MutatedLibraryNeverCrashes) {
+  // A small but structurally complete library as the seed corpus.
+  liberty::Library lib;
+  lib.name = "fuzz";
+  liberty::Cell cell;
+  cell.name = "INV";
+  cell.area = 1.0;
+  liberty::Pin a;
+  a.name = "A";
+  a.capacitance = 1e-15;
+  liberty::Pin y;
+  y.name = "Y";
+  y.is_output = true;
+  y.function = "!A";
+  cell.pins = {a, y};
+  liberty::TimingArc arc;
+  arc.related_pin = "A";
+  arc.cell_rise = liberty::NldmTable{{1e-12, 2e-12}, {1e-16, 2e-16},
+                                     {1e-12, 2e-12, 3e-12, 4e-12}};
+  arc.cell_fall = arc.cell_rise;
+  arc.rise_transition = arc.cell_rise;
+  arc.fall_transition = arc.cell_rise;
+  cell.arcs.push_back(arc);
+  lib.cells.push_back(cell);
+  std::string text = to_liberty(lib);
+
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 7};
+  // Apply a handful of random mutations: deletions, flips, truncations.
+  for (int m = 0; m < 8; ++m) {
+    if (text.empty()) {
+      break;
+    }
+    const auto pos = rng.next_below(text.size());
+    switch (rng.next_below(3)) {
+      case 0:
+        text.erase(pos, 1 + rng.next_below(4));
+        break;
+      case 1:
+        text[pos] = static_cast<char>('!' + rng.next_below(90));
+        break;
+      default:
+        text.resize(pos);
+        break;
+    }
+  }
+  try {
+    const auto parsed = liberty::parse_liberty(text);
+    (void)parsed;
+  } catch (const std::exception&) {
+    // Throwing is the contract; crashing is not.
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LibertyFuzz, ::testing::Range(1, 30));
+
+/// The AIGER reader must never crash on mutated files either.
+class AigerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AigerFuzz, MutatedAigerNeverCrashes) {
+  std::string text = logic::write_aiger_ascii(epfl::make_dec(4));
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 17 + 3};
+  for (int m = 0; m < 6; ++m) {
+    if (text.empty()) {
+      break;
+    }
+    const auto pos = rng.next_below(text.size());
+    if (rng.next_bool()) {
+      text[pos] = static_cast<char>('0' + rng.next_below(10));
+    } else {
+      text.erase(pos, 1);
+    }
+  }
+  try {
+    const auto parsed = logic::read_aiger(text);
+    (void)parsed;
+  } catch (const std::exception&) {
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz, ::testing::Range(1, 30));
+
+TEST(Passes, CompressIsIdempotentEnough) {
+  // Running c2rs twice must not grow the network and must preserve the
+  // function.
+  const auto input = epfl::make_voter(31);
+  const auto once = opt::compress2rs(input);
+  const auto twice = opt::compress2rs(once);
+  EXPECT_LE(twice.num_ands(), once.num_ands());
+  EXPECT_TRUE(logic::simulate_equal(input, twice, 32));
+}
+
+TEST(Passes, CleanupIsIdempotent) {
+  const auto input = epfl::make_priority(32);
+  const auto once = input.cleanup();
+  const auto twice = once.cleanup();
+  EXPECT_EQ(once.num_ands(), twice.num_ands());
+  EXPECT_TRUE(logic::simulate_equal(once, twice));
+}
+
+TEST(Mfs, FindsDontCaresBehindCorrelatedLeaves) {
+  // A network where a LUT's leaves are correlated (x and !x feed the
+  // same cut through reconvergence): half the leaf space is unreachable.
+  logic::Aig aig;
+  const auto x = aig.add_pi();
+  const auto y = aig.add_pi();
+  const auto z = aig.add_pi();
+  const auto a = aig.land(x, y);
+  const auto b = aig.land(logic::lit_not(x), z);
+  // Root whose cut {a, b} can never see a=b=1 (they conflict on x).
+  const auto root = aig.lor(a, b);
+  aig.add_po(root);
+  opt::LutMapOptions options;
+  options.k = 2;
+  auto mapping = opt::lut_map(aig, options);
+  const std::size_t found = opt::mfs(mapping);
+  EXPECT_GT(found, 0u);
+  // Equivalence must survive the don't-care minimization.
+  const auto back = opt::luts_to_aig(mapping);
+  EXPECT_TRUE(logic::simulate_equal(aig, back, 16));
+}
+
+TEST(Aiger, WholeSuiteRoundTrips) {
+  for (const auto& bench : epfl::mini_suite()) {
+    const auto text = logic::write_aiger_binary(bench.aig.cleanup());
+    const auto parsed = logic::read_aiger(text);
+    EXPECT_TRUE(logic::simulate_equal(bench.aig.cleanup(), parsed, 16))
+        << bench.name;
+  }
+}
+
+TEST(WireLoad, IncreasesDelayAndPower) {
+  cells::CharOptions options;
+  options.slews = {4e-12, 16e-12, 48e-12};
+  options.loads = {2e-16, 1e-15, 4e-15};
+  options.include_sequential = false;
+  const auto lib = cells::characterize(cells::mini_catalog(), 10.0, options);
+  const map::CellMatcher matcher{lib};
+  const auto aig = epfl::make_adder(16);
+  const auto net = map::tech_map(aig, matcher);
+
+  sta::StaOptions bare;
+  sta::StaOptions wired;
+  wired.wire_cap_base = 0.1e-15;
+  wired.wire_cap_per_fanout = 0.2e-15;
+  const auto r_bare = sta::analyze(net, bare);
+  const auto r_wired = sta::analyze(net, wired);
+  EXPECT_GT(r_wired.critical_delay, r_bare.critical_delay);
+  EXPECT_GT(r_wired.power.switching, r_bare.power.switching);
+  // Leakage is load-independent.
+  EXPECT_NEAR(r_wired.power.leakage, r_bare.power.leakage,
+              r_bare.power.leakage * 1e-9);
+}
+
+TEST(Library, FullCatalogFunctionsRoundTripThroughLiberty) {
+  // Write the full catalog's *interface* (functions, pins) through the
+  // liberty writer/parser using scalar tables, and confirm the matcher
+  // sees identical functions. Catches unit or quoting regressions on
+  // every cell shape in the catalog.
+  liberty::Library lib;
+  lib.name = "iface";
+  lib.temperature_k = 10.0;
+  for (const auto& spec : cells::standard_catalog()) {
+    if (spec.sequential) {
+      continue;
+    }
+    liberty::Cell cell;
+    cell.name = spec.name;
+    cell.area = spec.area;
+    for (const auto& in : spec.inputs) {
+      liberty::Pin p;
+      p.name = in;
+      p.capacitance = 1e-15;
+      cell.pins.push_back(p);
+    }
+    liberty::Pin out;
+    out.name = spec.output;
+    out.is_output = true;
+    out.function = spec.function_string();
+    cell.pins.push_back(out);
+    lib.cells.push_back(cell);
+  }
+  const auto parsed = liberty::parse_liberty(to_liberty(lib));
+  ASSERT_EQ(parsed.cells.size(), lib.cells.size());
+  for (std::size_t i = 0; i < lib.cells.size(); ++i) {
+    const auto inputs = lib.cells[i].input_names();
+    EXPECT_EQ(liberty::function_truth_table(
+                  parsed.cells[i].output_pin()->function, inputs),
+              liberty::function_truth_table(
+                  lib.cells[i].output_pin()->function, inputs))
+        << lib.cells[i].name;
+  }
+}
+
+TEST(Determinism, FullFlowIsReproducible) {
+  cells::CharOptions options;
+  options.slews = {8e-12};
+  options.loads = {1e-15};
+  options.include_sequential = false;
+  const auto lib = cells::characterize(cells::mini_catalog(), 10.0, options);
+  const map::CellMatcher matcher{lib};
+  const auto aig = epfl::make_router(4);
+  core::FlowOptions flow;
+  const auto a = core::synthesize(aig, matcher, flow);
+  const auto b = core::synthesize(aig, matcher, flow);
+  EXPECT_EQ(a.netlist.gate_count(), b.netlist.gate_count());
+  EXPECT_EQ(a.netlist.total_area(), b.netlist.total_area());
+  const auto sa = sta::analyze(a.netlist, {});
+  const auto sb = sta::analyze(b.netlist, {});
+  EXPECT_DOUBLE_EQ(sa.critical_delay, sb.critical_delay);
+  EXPECT_DOUBLE_EQ(sa.power.total(), sb.power.total());
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "logic/simulate.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "sat/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo::sat;
+
+TEST(Solver, TrivialSatAndUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_clause(mk_lit(a), mk_lit(b)));
+  EXPECT_EQ(s.solve(), Status::kSat);
+  EXPECT_TRUE(s.model_value(a) || s.model_value(b));
+
+  Solver u;
+  const Var x = u.new_var();
+  u.add_clause(mk_lit(x));
+  u.add_clause(mk_lit(x, true));
+  EXPECT_EQ(u.solve(), Status::kUnsat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) {
+    v.push_back(s.new_var());
+  }
+  s.add_clause(mk_lit(v[0]));
+  for (int i = 0; i + 1 < 20; ++i) {
+    s.add_clause(mk_lit(v[i], true), mk_lit(v[i + 1]));  // v[i] -> v[i+1]
+  }
+  EXPECT_EQ(s.solve(), Status::kSat);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(s.model_value(v[i]));
+  }
+}
+
+TEST(Solver, Assumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause(mk_lit(a, true), mk_lit(b));  // a -> b
+  EXPECT_EQ(s.solve({mk_lit(a), mk_lit(b, true)}), Status::kUnsat);
+  EXPECT_EQ(s.solve({mk_lit(a)}), Status::kSat);
+  EXPECT_TRUE(s.model_value(b));
+  // The solver is reusable after assumption solves.
+  EXPECT_EQ(s.solve({mk_lit(b, true)}), Status::kSat);
+  EXPECT_FALSE(s.model_value(a));
+}
+
+/// Pigeonhole principle PHP(n+1, n): always UNSAT, needs real search.
+TEST(Solver, PigeonholeUnsat) {
+  const int holes = 5;
+  const int pigeons = 6;
+  Solver s;
+  std::vector<std::vector<Var>> in(pigeons, std::vector<Var>(holes));
+  for (auto& row : in) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(mk_lit(in[p][h]));
+    }
+    s.add_clause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause(mk_lit(in[p1][h], true), mk_lit(in[p2][h], true));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Status::kUnsat);
+}
+
+TEST(Solver, ConflictLimitReturnsUnknown) {
+  // A hard pigeonhole with a one-conflict budget.
+  const int holes = 8;
+  const int pigeons = 9;
+  Solver s;
+  std::vector<std::vector<Var>> in(pigeons, std::vector<Var>(holes));
+  for (auto& row : in) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(mk_lit(in[p][h]));
+    }
+    s.add_clause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause(mk_lit(in[p1][h], true), mk_lit(in[p2][h], true));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve({}, 1), Status::kUnknown);
+}
+
+/// Random 3-SAT instances cross-checked against brute force.
+class Random3Sat : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3Sat, AgreesWithBruteForce) {
+  cryo::util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const int num_vars = 12;
+  const int num_clauses = 50;
+
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(mk_lit(static_cast<Var>(rng.next_below(num_vars)),
+                              rng.next_bool()));
+    }
+    clauses.push_back(clause);
+  }
+
+  bool brute_sat = false;
+  for (unsigned m = 0; m < (1u << num_vars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const bool val = ((m >> lit_var(l)) & 1u) != 0;
+        any |= val != lit_sign(l);
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) {
+    s.new_var();
+  }
+  bool trivially_unsat = false;
+  for (const auto& clause : clauses) {
+    if (!s.add_clause(clause)) {
+      trivially_unsat = true;
+    }
+  }
+  const Status status = trivially_unsat ? Status::kUnsat : s.solve();
+  EXPECT_EQ(status == Status::kSat, brute_sat) << "seed " << GetParam();
+  if (status == Status::kSat) {
+    // Verify the model actually satisfies every clause.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        any |= s.model_value_lit(l);
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3Sat, ::testing::Range(1, 21));
+
+// --------------------------------------------------------------- CNF ----
+
+cryo::logic::Aig xor_chain(unsigned n) {
+  cryo::logic::Aig aig;
+  std::vector<cryo::logic::Lit> pis;
+  for (unsigned i = 0; i < n; ++i) {
+    pis.push_back(aig.add_pi());
+  }
+  cryo::logic::Lit acc = cryo::logic::kConst0;
+  for (const auto pi : pis) {
+    acc = aig.lxor(acc, pi);
+  }
+  aig.add_po(acc);
+  return aig;
+}
+
+TEST(Cec, EquivalentStructuresProveEqual) {
+  // XOR chain vs reversed-order XOR chain.
+  cryo::logic::Aig a = xor_chain(8);
+  cryo::logic::Aig b;
+  {
+    std::vector<cryo::logic::Lit> pis;
+    for (int i = 0; i < 8; ++i) {
+      pis.push_back(b.add_pi());
+    }
+    cryo::logic::Lit acc = cryo::logic::kConst0;
+    for (int i = 7; i >= 0; --i) {
+      acc = b.lxor(acc, pis[static_cast<std::size_t>(i)]);
+    }
+    b.add_po(acc);
+  }
+  const auto result = check_equivalence(a, b);
+  EXPECT_TRUE(result.proven());
+  EXPECT_TRUE(result.equivalent());
+}
+
+TEST(Cec, InequivalentGivesCounterexample) {
+  cryo::logic::Aig a = xor_chain(4);
+  cryo::logic::Aig b;
+  {
+    std::vector<cryo::logic::Lit> pis;
+    for (int i = 0; i < 4; ++i) {
+      pis.push_back(b.add_pi());
+    }
+    b.add_po(b.land(pis[0], pis[1]));  // definitely not the XOR
+  }
+  const auto result = check_equivalence(a, b);
+  EXPECT_TRUE(result.proven());
+  EXPECT_FALSE(result.equivalent());
+  ASSERT_EQ(result.counterexample.size(), 4u);
+  // The counterexample must actually distinguish the circuits.
+  unsigned xor_val = 0;
+  for (const bool bit : result.counterexample) {
+    xor_val ^= bit ? 1u : 0u;
+  }
+  const bool and_val = result.counterexample[0] && result.counterexample[1];
+  EXPECT_NE(xor_val != 0, and_val);
+}
+
+TEST(Cec, InterfaceMismatchThrows) {
+  cryo::logic::Aig a = xor_chain(3);
+  cryo::logic::Aig b = xor_chain(4);
+  EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- sweep ----
+
+TEST(Sweep, MergesFunctionallyEqualNodes) {
+  // Build the same function twice with different structure.
+  cryo::logic::Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto c = aig.add_pi();
+  // f1 = (a & b) & c
+  const auto f1 = aig.land(aig.land(a, b), c);
+  // f2 = a & (b & c) — structurally different, functionally equal.
+  const auto f2 = aig.land(a, aig.land(b, c));
+  aig.add_po(f1, "x");
+  aig.add_po(f2, "y");
+  const auto result = sat_sweep(aig);
+  EXPECT_GE(result.merged, 1u);
+  EXPECT_TRUE(cryo::logic::simulate_equal(aig, result.aig.cleanup()));
+  // Both POs now point at the same node.
+  EXPECT_EQ(cryo::logic::lit_var(result.aig.po(0)),
+            cryo::logic::lit_var(result.aig.po(1)));
+}
+
+TEST(Sweep, DetectsComplementEquivalence) {
+  cryo::logic::Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto nand_ab = aig.lnand(a, b);
+  const auto or_nn = aig.lor(cryo::logic::lit_not(a), cryo::logic::lit_not(b));
+  aig.add_po(nand_ab);
+  aig.add_po(or_nn);
+  // NAND(a,b) == !a | !b: strashing may or may not catch it; sweeping must.
+  const auto result = sat_sweep(aig);
+  EXPECT_EQ(cryo::logic::lit_var(result.aig.po(0)),
+            cryo::logic::lit_var(result.aig.po(1)));
+  EXPECT_TRUE(cryo::logic::simulate_equal(aig, result.aig.cleanup()));
+}
+
+TEST(Sweep, PreservesFunctionOnRandomNetworks) {
+  cryo::util::Rng rng{123};
+  for (int trial = 0; trial < 5; ++trial) {
+    cryo::logic::Aig aig;
+    std::vector<cryo::logic::Lit> pool;
+    for (int i = 0; i < 8; ++i) {
+      pool.push_back(aig.add_pi());
+    }
+    for (int i = 0; i < 120; ++i) {
+      const auto a = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                            rng.next_bool());
+      const auto b = cryo::logic::lit_notif(pool[rng.next_below(pool.size())],
+                                            rng.next_bool());
+      pool.push_back(aig.land(a, b));
+    }
+    for (int i = 0; i < 6; ++i) {
+      aig.add_po(pool[pool.size() - 1 - static_cast<std::size_t>(i) * 7]);
+    }
+    const auto result = sat_sweep(aig);
+    EXPECT_TRUE(cryo::logic::simulate_equal(aig, result.aig.cleanup()))
+        << "trial " << trial;
+    EXPECT_LE(result.aig.cleanup().num_ands(), aig.num_ands());
+  }
+}
+
+}  // namespace

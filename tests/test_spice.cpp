@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/finfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/linear.hpp"
+#include "spice/measure.hpp"
+#include "spice/pwl.hpp"
+#include "spice/simulator.hpp"
+
+namespace {
+
+using namespace cryo::spice;
+using cryo::device::nominal_nfet_5nm;
+using cryo::device::nominal_pfet_5nm;
+
+TEST(Linear, SolvesKnownSystem) {
+  DenseMatrix a{2};
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> b{5.0, 10.0};
+  ASSERT_TRUE(solve_in_place(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Linear, RequiresPivoting) {
+  DenseMatrix a{2};
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> b{2.0, 3.0};
+  ASSERT_TRUE(solve_in_place(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Linear, DetectsSingular) {
+  DenseMatrix a{2};
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(solve_in_place(a, b));
+}
+
+TEST(Pwl, RampShape) {
+  const auto w = Pwl::ramp(0.0, 1.0, 10e-12, 20e-12);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(10e-12), 0.0);
+  EXPECT_NEAR(w.at(20e-12), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.at(1.0), 1.0);
+}
+
+TEST(Pwl, RejectsUnorderedPoints) {
+  Pwl w;
+  w.add_point(1.0, 0.0);
+  EXPECT_THROW(w.add_point(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Circuit, NodeManagement) {
+  Circuit ckt;
+  const NodeId a = ckt.add_node("a");
+  EXPECT_EQ(ckt.add_node("a"), a);  // idempotent
+  EXPECT_EQ(ckt.node("a"), a);
+  EXPECT_THROW(ckt.node("missing"), std::out_of_range);
+  EXPECT_TRUE(ckt.is_driven(kGround));
+  EXPECT_FALSE(ckt.is_driven(a));
+  ckt.set_source(a, Pwl::constant(1.0));
+  EXPECT_TRUE(ckt.is_driven(a));
+}
+
+TEST(Circuit, RejectsBadElements) {
+  Circuit ckt;
+  const NodeId a = ckt.add_node("a");
+  EXPECT_THROW(ckt.add_res(a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_cap(a, kGround, -1e-15), std::invalid_argument);
+  EXPECT_THROW(ckt.add_fet(nominal_nfet_5nm(), a, a, kGround, 0),
+               std::invalid_argument);
+}
+
+/// RC divider: V(out) should settle to V * R2/(R1+R2).
+TEST(Simulator, ResistiveDividerDc) {
+  Circuit ckt;
+  const NodeId vin = ckt.add_node("in");
+  const NodeId mid = ckt.add_node("mid");
+  ckt.add_res(vin, mid, 1000.0);
+  ckt.add_res(mid, kGround, 3000.0);
+  ckt.set_source(vin, Pwl::constant(1.0));
+  Simulator sim{ckt, 300.0};
+  const auto v = sim.dc();
+  EXPECT_NEAR(v[mid], 0.75, 1e-6);
+}
+
+/// RC step response: v(t) = V(1 - exp(-t/RC)).
+TEST(Simulator, RcStepMatchesAnalytic) {
+  Circuit ckt;
+  const NodeId vin = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  const double r = 10e3;
+  const double c = 1e-15;
+  ckt.add_res(vin, out, r);
+  ckt.add_cap(out, kGround, c);
+  ckt.set_source(vin, Pwl::ramp(0.0, 1.0, 0.0, 1e-15));  // ~step
+  Simulator sim{ckt, 300.0};
+  TransientOptions opt;
+  opt.t_stop = 100e-12;  // = 10 tau
+  opt.steps = 1000;
+  const auto res = sim.transient(opt, {out});
+  const auto& trace = res.trace(out).values;
+  for (std::size_t i = 10; i < res.times.size(); i += 100) {
+    const double expected = 1.0 - std::exp(-res.times[i] / (r * c));
+    EXPECT_NEAR(trace[i], expected, 0.02) << "t=" << res.times[i];
+  }
+  // Energy drawn from the source for charging C to V:  C*V^2 total.
+  EXPECT_NEAR(res.source_energy.at(vin), c * 1.0, 0.05 * c);
+}
+
+TEST(Simulator, InverterDcTransferIsInverting) {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.add_fet(nominal_nfet_5nm(), in, out, kGround, 2);
+  ckt.add_fet(nominal_pfet_5nm(), in, out, vdd, 3);
+  ckt.set_source(vdd, Pwl::constant(0.7));
+  double prev = 1e9;
+  for (double vin = 0.0; vin <= 0.7; vin += 0.05) {
+    ckt.set_source(in, Pwl::constant(vin));
+    Simulator sim{ckt, 300.0};
+    const auto v = sim.dc();
+    EXPECT_LE(v[out], prev + 1e-6);
+    prev = v[out];
+  }
+  ckt.set_source(in, Pwl::constant(0.0));
+  {
+    Simulator sim{ckt, 300.0};
+    EXPECT_NEAR(sim.dc()[out], 0.7, 1e-3);
+  }
+  ckt.set_source(in, Pwl::constant(0.7));
+  {
+    Simulator sim{ckt, 300.0};
+    EXPECT_NEAR(sim.dc()[out], 0.0, 1e-3);
+  }
+}
+
+class InverterDelayAtTemps : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverterDelayAtTemps, ReasonableDelayAndFullSwing) {
+  const double temp = GetParam();
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.add_fet(nominal_nfet_5nm(), in, out, kGround, 2);
+  ckt.add_fet(nominal_pfet_5nm(), in, out, vdd, 3);
+  ckt.add_cap(out, kGround, 1e-15);
+  ckt.set_source(vdd, Pwl::constant(0.7));
+  ckt.set_source(in, Pwl::ramp(0.0, 0.7, 20e-12, 10e-12));
+  Simulator sim{ckt, temp};
+  TransientOptions opt;
+  opt.t_stop = 200e-12;
+  opt.steps = 400;
+  const auto res = sim.transient(opt, {in, out});
+  const auto t_in = crossing_time(res.times, res.trace(in).values, 0.35, true);
+  const auto t_out =
+      crossing_time(res.times, res.trace(out).values, 0.35, false);
+  ASSERT_TRUE(t_in.has_value());
+  ASSERT_TRUE(t_out.has_value());
+  const double delay = *t_out - *t_in;
+  EXPECT_GT(delay, 0.5e-12);
+  EXPECT_LT(delay, 50e-12);
+  EXPECT_TRUE(settled(res.trace(out).values, 0.0, 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, InverterDelayAtTemps,
+                         ::testing::Values(300.0, 200.0, 77.0, 10.0));
+
+TEST(Simulator, PassGateConductsBothDirections) {
+  // Transmission gate driven from either side must transfer the value
+  // (exercises the source/drain swap path of the FET stamp).
+  for (const bool forward : {true, false}) {
+    Circuit ckt;
+    const NodeId vdd = ckt.add_node("vdd");
+    const NodeId a = ckt.add_node("a");
+    const NodeId b = ckt.add_node("b");
+    const NodeId en = ckt.add_node("en");
+    const NodeId enb = ckt.add_node("enb");
+    ckt.add_fet(nominal_nfet_5nm(), en, forward ? b : a, forward ? a : b, 2);
+    ckt.add_fet(nominal_pfet_5nm(), enb, forward ? b : a, forward ? a : b, 2);
+    ckt.add_cap(b, kGround, 1e-15);
+    ckt.set_source(vdd, Pwl::constant(0.7));
+    ckt.set_source(en, Pwl::constant(0.7));
+    ckt.set_source(enb, Pwl::constant(0.0));
+    ckt.set_source(a, Pwl::constant(0.7));
+    Simulator sim{ckt, 300.0};
+    const auto v = sim.dc();
+    EXPECT_NEAR(v[b], 0.7, 0.01) << "forward=" << forward;
+  }
+}
+
+TEST(Measure, CrossingAndTransition) {
+  const std::vector<double> t{0, 1, 2, 3, 4};
+  const std::vector<double> v{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto cross = crossing_time(t, v, 0.5, true);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_NEAR(*cross, 2.0, 1e-12);
+  const auto rise = transition_time(t, v, 0.0, 1.0);
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_NEAR(*rise, 3.2, 1e-9);  // 10% at 0.4, 90% at 3.6
+  EXPECT_FALSE(crossing_time(t, v, 0.5, false).has_value());
+}
+
+TEST(Measure, FallingTransition) {
+  const std::vector<double> t{0, 1, 2, 3, 4};
+  const std::vector<double> v{1.0, 0.75, 0.5, 0.25, 0.0};
+  const auto fall = transition_time(t, v, 1.0, 0.0);
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_NEAR(*fall, 3.2, 1e-9);
+}
+
+TEST(Simulator, LeakageDropsAtCryo) {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.add_fet(nominal_nfet_5nm(), in, out, kGround, 2);
+  ckt.add_fet(nominal_pfet_5nm(), in, out, vdd, 3);
+  ckt.set_source(vdd, Pwl::constant(0.7));
+  ckt.set_source(in, Pwl::constant(0.0));
+  Simulator warm{ckt, 300.0};
+  Simulator cold{ckt, 10.0};
+  const double i_warm = warm.source_current(warm.dc(), vdd);
+  const double i_cold = cold.source_current(cold.dc(), vdd);
+  EXPECT_LT(i_cold, i_warm * 1e-2);
+  EXPECT_GT(i_cold, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "cells/characterize.hpp"
+#include "epfl/benchmarks.hpp"
+#include "map/mapper.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace cryo;
+
+class StaTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 48e-12};
+    options.loads = {2e-16, 1e-15, 4e-15};
+    options.include_sequential = false;
+    warm_lib_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 300.0, options));
+    cold_lib_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 10.0, options));
+    warm_matcher_ = new map::CellMatcher(*warm_lib_);
+    cold_matcher_ = new map::CellMatcher(*cold_lib_);
+  }
+  static void TearDownTestSuite() {
+    delete warm_matcher_;
+    delete cold_matcher_;
+    delete warm_lib_;
+    delete cold_lib_;
+    warm_matcher_ = nullptr;
+    cold_matcher_ = nullptr;
+    warm_lib_ = nullptr;
+    cold_lib_ = nullptr;
+  }
+  static liberty::Library* warm_lib_;
+  static liberty::Library* cold_lib_;
+  static map::CellMatcher* warm_matcher_;
+  static map::CellMatcher* cold_matcher_;
+};
+
+liberty::Library* StaTest::warm_lib_ = nullptr;
+liberty::Library* StaTest::cold_lib_ = nullptr;
+map::CellMatcher* StaTest::warm_matcher_ = nullptr;
+map::CellMatcher* StaTest::cold_matcher_ = nullptr;
+
+/// One-gate netlist: the arrival of its output equals the arc delay.
+TEST_F(StaTest, SingleGateDelayMatchesTable) {
+  logic::Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(aig.land(a, b));  // positive-phase PO -> single cell
+  const auto net = map::tech_map(aig, *warm_matcher_);
+  ASSERT_EQ(net.gate_count(), 1u);
+  sta::StaOptions options;
+  options.input_slew = 16e-12;
+  options.output_load = 1e-15;
+  const auto result = sta::analyze(net, options);
+
+  const auto* cell = net.gates[0].cell;
+  const auto* arc = cell->arc_from(cell->input_names()[0]);
+  ASSERT_NE(arc, nullptr);
+  const double expected = std::max(arc->cell_rise.lookup(16e-12, 1e-15),
+                                   arc->cell_fall.lookup(16e-12, 1e-15));
+  EXPECT_NEAR(result.critical_delay, expected, expected * 1e-9);
+}
+
+TEST_F(StaTest, ChainDelayAddsUp) {
+  // Inverter chain of 4: critical delay ~ sum of stage delays and grows
+  // monotonically with length.
+  double prev = 0.0;
+  for (int len : {1, 2, 4, 8}) {
+    logic::Aig aig;
+    const auto first = aig.add_pi();
+    const auto second = aig.add_pi();
+    auto x = first;
+    for (int i = 0; i < len; ++i) {
+      x = aig.lnand(x, second);  // an uncollapsible inverting stage
+    }
+    aig.add_po(x);
+    const auto net = map::tech_map(aig, *warm_matcher_);
+    const auto result = sta::analyze(net, {});
+    // Mapping may merge stages into wider cells, so allow slack while
+    // still requiring the overall growth trend.
+    EXPECT_GE(result.critical_delay, prev * 0.7);
+    prev = result.critical_delay;
+  }
+  EXPECT_GT(prev, 5e-12);
+}
+
+TEST_F(StaTest, PowerCategoriesArePositiveAndScaleWithClock) {
+  const auto bench = epfl::make_adder(8);
+  const auto net = map::tech_map(bench, *warm_matcher_);
+  sta::StaOptions fast;
+  fast.clock_period = 1e-9;
+  sta::StaOptions slow;
+  slow.clock_period = 2e-9;
+  const auto r_fast = sta::analyze(net, fast);
+  const auto r_slow = sta::analyze(net, slow);
+  EXPECT_GT(r_fast.power.leakage, 0.0);
+  EXPECT_GT(r_fast.power.internal, 0.0);
+  EXPECT_GT(r_fast.power.switching, 0.0);
+  // Dynamic power halves at half the frequency; leakage unchanged.
+  EXPECT_NEAR(r_slow.power.internal, r_fast.power.internal / 2.0,
+              r_fast.power.internal * 0.01);
+  EXPECT_NEAR(r_slow.power.switching, r_fast.power.switching / 2.0,
+              r_fast.power.switching * 0.01);
+  EXPECT_NEAR(r_slow.power.leakage, r_fast.power.leakage,
+              r_fast.power.leakage * 1e-9);
+}
+
+TEST_F(StaTest, LeakageShareCollapsesAtCryo) {
+  // The headline of paper Fig. 2(c).
+  const auto bench = epfl::make_adder(16);
+  sta::StaOptions options;
+  const auto warm_net = map::tech_map(bench, *warm_matcher_);
+  const auto cold_net = map::tech_map(bench, *cold_matcher_);
+  const auto warm = sta::analyze(warm_net, options);
+  const auto cold = sta::analyze(cold_net, options);
+  const double warm_share = warm.power.leakage / warm.power.total();
+  const double cold_share = cold.power.leakage / cold.power.total();
+  EXPECT_GT(warm_share, 0.005);
+  EXPECT_LT(cold_share, warm_share / 50.0);
+}
+
+TEST_F(StaTest, ActivityAffectsDynamicPower) {
+  const auto bench = epfl::make_adder(8);
+  const auto net = map::tech_map(bench, *warm_matcher_);
+  sta::StaOptions low;
+  low.input_activity = 0.05;
+  sta::StaOptions high;
+  high.input_activity = 0.45;
+  const auto r_low = sta::analyze(net, low);
+  const auto r_high = sta::analyze(net, high);
+  EXPECT_GT(r_high.power.switching, r_low.power.switching * 1.5);
+}
+
+TEST_F(StaTest, ArrivalsAreMonotoneAlongPaths) {
+  const auto bench = epfl::make_priority(16);
+  const auto net = map::tech_map(bench, *warm_matcher_);
+  const auto result = sta::analyze(net, {});
+  for (const auto& gate : net.gates) {
+    for (const auto fanin : gate.fanins) {
+      EXPECT_GE(result.arrival[gate.output], result.arrival[fanin]);
+    }
+  }
+  EXPECT_GT(result.critical_delay, 0.0);
+}
+
+}  // namespace

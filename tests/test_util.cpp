@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "util/optimize.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cryo::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsBounded) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng{11};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_NEAR(percentile_sorted(sorted, 0.5), 5.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 1.0), 10.0, 1e-12);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-1.0);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Optimize, QuadraticBowl) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-3);
+}
+
+TEST(Optimize, Rosenbrock2D) {
+  NelderMeadOptions options;
+  options.max_evaluations = 20000;
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-2);
+}
+
+TEST(Optimize, RejectsEmptyStart) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      std::invalid_argument);
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto tokens = split("a, b,,c", ", ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[2], "c");
+  EXPECT_EQ(trim("  x \n"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_TRUE(starts_with("TIEHI", "TIE"));
+  EXPECT_FALSE(starts_with("T", "TIE"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Table, RenderAndCsv) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", Table::num(1.5, 2)});
+  t.add_row({"beta, with comma", Table::pct(-0.0621)});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("-6.21 %"), std::string::npos);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cryo_table_test.csv")
+          .string();
+  t.write_csv(path);
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_NE(line.find("\"beta, with comma\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, SiFormatting) {
+  EXPECT_EQ(Table::si(1.5e-9, "s", 1), "1.5 ns");
+  EXPECT_EQ(Table::si(2.5e-6, "W", 1), "2.5 uW");
+}
+
+}  // namespace
