@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activity.dir/ablation_activity.cpp.o"
+  "CMakeFiles/ablation_activity.dir/ablation_activity.cpp.o.d"
+  "ablation_activity"
+  "ablation_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

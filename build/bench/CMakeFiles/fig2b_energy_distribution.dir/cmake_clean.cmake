@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_energy_distribution.dir/fig2b_energy_distribution.cpp.o"
+  "CMakeFiles/fig2b_energy_distribution.dir/fig2b_energy_distribution.cpp.o.d"
+  "fig2b_energy_distribution"
+  "fig2b_energy_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_energy_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

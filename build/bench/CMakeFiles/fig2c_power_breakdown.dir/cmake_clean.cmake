@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_power_breakdown.dir/fig2c_power_breakdown.cpp.o"
+  "CMakeFiles/fig2c_power_breakdown.dir/fig2c_power_breakdown.cpp.o.d"
+  "fig2c_power_breakdown"
+  "fig2c_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_synthesis.dir/fig3_synthesis.cpp.o"
+  "CMakeFiles/fig3_synthesis.dir/fig3_synthesis.cpp.o.d"
+  "fig3_synthesis"
+  "fig3_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubit_controller.dir/qubit_controller.cpp.o"
+  "CMakeFiles/qubit_controller.dir/qubit_controller.cpp.o.d"
+  "qubit_controller"
+  "qubit_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubit_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

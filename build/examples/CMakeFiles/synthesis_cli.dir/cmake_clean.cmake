@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_cli.dir/synthesis_cli.cpp.o"
+  "CMakeFiles/synthesis_cli.dir/synthesis_cli.cpp.o.d"
+  "synthesis_cli"
+  "synthesis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

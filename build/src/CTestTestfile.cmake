@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("device")
+subdirs("spice")
+subdirs("liberty")
+subdirs("logic")
+subdirs("sat")
+subdirs("opt")
+subdirs("cells")
+subdirs("map")
+subdirs("sta")
+subdirs("epfl")
+subdirs("core")

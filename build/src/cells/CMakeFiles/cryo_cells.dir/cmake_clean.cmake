@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_cells.dir/catalog.cpp.o"
+  "CMakeFiles/cryo_cells.dir/catalog.cpp.o.d"
+  "CMakeFiles/cryo_cells.dir/characterize.cpp.o"
+  "CMakeFiles/cryo_cells.dir/characterize.cpp.o.d"
+  "libcryo_cells.a"
+  "libcryo_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

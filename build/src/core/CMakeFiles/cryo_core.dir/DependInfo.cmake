@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/cryo_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/cryo_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/cryo_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/cryo_core.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/cryo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/cryo_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/cryo_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/epfl/CMakeFiles/cryo_epfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cryo_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/cryo_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/cryo_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

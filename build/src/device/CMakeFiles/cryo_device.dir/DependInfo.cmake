@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cpp" "src/device/CMakeFiles/cryo_device.dir/calibration.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/calibration.cpp.o.d"
+  "/root/repo/src/device/finfet.cpp" "src/device/CMakeFiles/cryo_device.dir/finfet.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/finfet.cpp.o.d"
+  "/root/repo/src/device/measurement.cpp" "src/device/CMakeFiles/cryo_device.dir/measurement.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/measurement.cpp.o.d"
+  "/root/repo/src/device/physics.cpp" "src/device/CMakeFiles/cryo_device.dir/physics.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/physics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epfl/benchmarks.cpp" "src/epfl/CMakeFiles/cryo_epfl.dir/benchmarks.cpp.o" "gcc" "src/epfl/CMakeFiles/cryo_epfl.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/epfl/wordlib.cpp" "src/epfl/CMakeFiles/cryo_epfl.dir/wordlib.cpp.o" "gcc" "src/epfl/CMakeFiles/cryo_epfl.dir/wordlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/cryo_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_epfl.dir/benchmarks.cpp.o"
+  "CMakeFiles/cryo_epfl.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/cryo_epfl.dir/wordlib.cpp.o"
+  "CMakeFiles/cryo_epfl.dir/wordlib.cpp.o.d"
+  "libcryo_epfl.a"
+  "libcryo_epfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_epfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/cell.cpp" "src/liberty/CMakeFiles/cryo_liberty.dir/cell.cpp.o" "gcc" "src/liberty/CMakeFiles/cryo_liberty.dir/cell.cpp.o.d"
+  "/root/repo/src/liberty/function.cpp" "src/liberty/CMakeFiles/cryo_liberty.dir/function.cpp.o" "gcc" "src/liberty/CMakeFiles/cryo_liberty.dir/function.cpp.o.d"
+  "/root/repo/src/liberty/nldm.cpp" "src/liberty/CMakeFiles/cryo_liberty.dir/nldm.cpp.o" "gcc" "src/liberty/CMakeFiles/cryo_liberty.dir/nldm.cpp.o.d"
+  "/root/repo/src/liberty/parser.cpp" "src/liberty/CMakeFiles/cryo_liberty.dir/parser.cpp.o" "gcc" "src/liberty/CMakeFiles/cryo_liberty.dir/parser.cpp.o.d"
+  "/root/repo/src/liberty/writer.cpp" "src/liberty/CMakeFiles/cryo_liberty.dir/writer.cpp.o" "gcc" "src/liberty/CMakeFiles/cryo_liberty.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

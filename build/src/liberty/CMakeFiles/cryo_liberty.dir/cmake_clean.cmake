@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_liberty.dir/cell.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/cell.cpp.o.d"
+  "CMakeFiles/cryo_liberty.dir/function.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/function.cpp.o.d"
+  "CMakeFiles/cryo_liberty.dir/nldm.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/nldm.cpp.o.d"
+  "CMakeFiles/cryo_liberty.dir/parser.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/parser.cpp.o.d"
+  "CMakeFiles/cryo_liberty.dir/writer.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/writer.cpp.o.d"
+  "libcryo_liberty.a"
+  "libcryo_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/aig.cpp" "src/logic/CMakeFiles/cryo_logic.dir/aig.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/aig.cpp.o.d"
+  "/root/repo/src/logic/aiger.cpp" "src/logic/CMakeFiles/cryo_logic.dir/aiger.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/aiger.cpp.o.d"
+  "/root/repo/src/logic/blif.cpp" "src/logic/CMakeFiles/cryo_logic.dir/blif.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/blif.cpp.o.d"
+  "/root/repo/src/logic/cuts.cpp" "src/logic/CMakeFiles/cryo_logic.dir/cuts.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/cuts.cpp.o.d"
+  "/root/repo/src/logic/factor.cpp" "src/logic/CMakeFiles/cryo_logic.dir/factor.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/factor.cpp.o.d"
+  "/root/repo/src/logic/simulate.cpp" "src/logic/CMakeFiles/cryo_logic.dir/simulate.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/simulate.cpp.o.d"
+  "/root/repo/src/logic/tt.cpp" "src/logic/CMakeFiles/cryo_logic.dir/tt.cpp.o" "gcc" "src/logic/CMakeFiles/cryo_logic.dir/tt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

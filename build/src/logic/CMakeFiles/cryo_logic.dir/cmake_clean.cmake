@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_logic.dir/aig.cpp.o"
+  "CMakeFiles/cryo_logic.dir/aig.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/aiger.cpp.o"
+  "CMakeFiles/cryo_logic.dir/aiger.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/blif.cpp.o"
+  "CMakeFiles/cryo_logic.dir/blif.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/cuts.cpp.o"
+  "CMakeFiles/cryo_logic.dir/cuts.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/factor.cpp.o"
+  "CMakeFiles/cryo_logic.dir/factor.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/simulate.cpp.o"
+  "CMakeFiles/cryo_logic.dir/simulate.cpp.o.d"
+  "CMakeFiles/cryo_logic.dir/tt.cpp.o"
+  "CMakeFiles/cryo_logic.dir/tt.cpp.o.d"
+  "libcryo_logic.a"
+  "libcryo_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

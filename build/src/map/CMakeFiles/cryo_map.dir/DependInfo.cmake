@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/mapper.cpp" "src/map/CMakeFiles/cryo_map.dir/mapper.cpp.o" "gcc" "src/map/CMakeFiles/cryo_map.dir/mapper.cpp.o.d"
+  "/root/repo/src/map/matcher.cpp" "src/map/CMakeFiles/cryo_map.dir/matcher.cpp.o" "gcc" "src/map/CMakeFiles/cryo_map.dir/matcher.cpp.o.d"
+  "/root/repo/src/map/netlist.cpp" "src/map/CMakeFiles/cryo_map.dir/netlist.cpp.o" "gcc" "src/map/CMakeFiles/cryo_map.dir/netlist.cpp.o.d"
+  "/root/repo/src/map/verilog.cpp" "src/map/CMakeFiles/cryo_map.dir/verilog.cpp.o" "gcc" "src/map/CMakeFiles/cryo_map.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/cryo_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/cryo_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cryo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cryo_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

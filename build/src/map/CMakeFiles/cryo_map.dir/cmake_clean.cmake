@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_map.dir/mapper.cpp.o"
+  "CMakeFiles/cryo_map.dir/mapper.cpp.o.d"
+  "CMakeFiles/cryo_map.dir/matcher.cpp.o"
+  "CMakeFiles/cryo_map.dir/matcher.cpp.o.d"
+  "CMakeFiles/cryo_map.dir/netlist.cpp.o"
+  "CMakeFiles/cryo_map.dir/netlist.cpp.o.d"
+  "CMakeFiles/cryo_map.dir/verilog.cpp.o"
+  "CMakeFiles/cryo_map.dir/verilog.cpp.o.d"
+  "libcryo_map.a"
+  "libcryo_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cost.cpp" "src/opt/CMakeFiles/cryo_opt.dir/cost.cpp.o" "gcc" "src/opt/CMakeFiles/cryo_opt.dir/cost.cpp.o.d"
+  "/root/repo/src/opt/lut_map.cpp" "src/opt/CMakeFiles/cryo_opt.dir/lut_map.cpp.o" "gcc" "src/opt/CMakeFiles/cryo_opt.dir/lut_map.cpp.o.d"
+  "/root/repo/src/opt/passes.cpp" "src/opt/CMakeFiles/cryo_opt.dir/passes.cpp.o" "gcc" "src/opt/CMakeFiles/cryo_opt.dir/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/cryo_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cryo_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

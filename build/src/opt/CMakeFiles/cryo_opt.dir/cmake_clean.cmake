@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_opt.dir/cost.cpp.o"
+  "CMakeFiles/cryo_opt.dir/cost.cpp.o.d"
+  "CMakeFiles/cryo_opt.dir/lut_map.cpp.o"
+  "CMakeFiles/cryo_opt.dir/lut_map.cpp.o.d"
+  "CMakeFiles/cryo_opt.dir/passes.cpp.o"
+  "CMakeFiles/cryo_opt.dir/passes.cpp.o.d"
+  "libcryo_opt.a"
+  "libcryo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_sat.dir/cnf.cpp.o"
+  "CMakeFiles/cryo_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/cryo_sat.dir/solver.cpp.o"
+  "CMakeFiles/cryo_sat.dir/solver.cpp.o.d"
+  "CMakeFiles/cryo_sat.dir/sweep.cpp.o"
+  "CMakeFiles/cryo_sat.dir/sweep.cpp.o.d"
+  "libcryo_sat.a"
+  "libcryo_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_spice.dir/circuit.cpp.o"
+  "CMakeFiles/cryo_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/cryo_spice.dir/linear.cpp.o"
+  "CMakeFiles/cryo_spice.dir/linear.cpp.o.d"
+  "CMakeFiles/cryo_spice.dir/measure.cpp.o"
+  "CMakeFiles/cryo_spice.dir/measure.cpp.o.d"
+  "CMakeFiles/cryo_spice.dir/simulator.cpp.o"
+  "CMakeFiles/cryo_spice.dir/simulator.cpp.o.d"
+  "libcryo_spice.a"
+  "libcryo_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

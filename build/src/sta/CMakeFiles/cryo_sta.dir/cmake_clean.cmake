@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_sta.dir/sta.cpp.o"
+  "CMakeFiles/cryo_sta.dir/sta.cpp.o.d"
+  "libcryo_sta.a"
+  "libcryo_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_util.dir/optimize.cpp.o"
+  "CMakeFiles/cryo_util.dir/optimize.cpp.o.d"
+  "CMakeFiles/cryo_util.dir/stats.cpp.o"
+  "CMakeFiles/cryo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cryo_util.dir/strings.cpp.o"
+  "CMakeFiles/cryo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cryo_util.dir/table.cpp.o"
+  "CMakeFiles/cryo_util.dir/table.cpp.o.d"
+  "libcryo_util.a"
+  "libcryo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

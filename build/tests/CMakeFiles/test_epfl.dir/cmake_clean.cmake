@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epfl.dir/test_epfl.cpp.o"
+  "CMakeFiles/test_epfl.dir/test_epfl.cpp.o.d"
+  "test_epfl"
+  "test_epfl.pdb"
+  "test_epfl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_liberty[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_cells[1]_include.cmake")
+include("/root/repo/build/tests/test_map[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_epfl[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
