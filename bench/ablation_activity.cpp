@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cryo;
 
@@ -25,19 +26,29 @@ int main() {
   subset.push_back({"dec", false, epfl::make_dec()});
   subset.push_back({"router", false, epfl::make_router()});
 
+  const std::vector<double> rates{0.05, 0.1, 0.2, 0.35, 0.5};
+
+  // Independent (rate, circuit) experiments: fan out across the pool,
+  // then assemble the table rows in rate-major order.
+  util::ScopedTimer timer{"ablation_activity grid"};
+  const auto rows = util::parallel_map(
+      rates.size() * subset.size(), [&](std::size_t k) {
+        core::ExperimentOptions options;
+        options.flow.input_activity = rates[k / subset.size()];
+        options.sta.input_activity = rates[k / subset.size()];
+        return core::compare_circuit(subset[k % subset.size()], matcher,
+                                     options);
+      });
+
   util::Table table{
       {"activity", "circuit", "base P [uW]", "power saving", "delay overhead"}};
-  for (const double rate : {0.05, 0.1, 0.2, 0.35, 0.5}) {
-    for (const auto& benchmark : subset) {
-      core::ExperimentOptions options;
-      options.flow.input_activity = rate;
-      options.sta.input_activity = rate;
-      const auto row = core::compare_circuit(benchmark, matcher, options);
-      table.add_row({util::Table::num(rate, 2), benchmark.name,
-                     util::Table::num(row.baseline.total_power * 1e6, 2),
-                     util::Table::pct(row.power_saving_pad()),
-                     util::Table::pct(row.delay_overhead_pad())});
-    }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    table.add_row({util::Table::num(rates[k / subset.size()], 2),
+                   subset[k % subset.size()].name,
+                   util::Table::num(row.baseline.total_power * 1e6, 2),
+                   util::Table::pct(row.power_saving_pad()),
+                   util::Table::pct(row.delay_overhead_pad())});
   }
   table.write_csv(bench::csv_path("ablation_activity.csv"));
   std::printf("%s\n", table.render().c_str());

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cryo;
 
@@ -24,16 +25,28 @@ int main() {
   subset.push_back({"voter", false, epfl::make_voter()});
   subset.push_back({"priority", false, epfl::make_priority()});
 
+  const std::vector<double> epsilons{0.0, 0.01, 0.02, 0.05, 0.10};
+
+  // The (epsilon, circuit) grid points are independent experiments: run
+  // them across the pool and emit the table rows in epsilon-major order.
+  util::ScopedTimer timer{"ablation_epsilon grid"};
+  const auto rows = util::parallel_map(
+      epsilons.size() * subset.size(), [&](std::size_t k) {
+        core::ExperimentOptions options;
+        options.flow.epsilon = epsilons[k / subset.size()];
+        // compare_circuit already fans its three scenarios out; grid
+        // points nested inside a worker run those inline.
+        return core::compare_circuit(subset[k % subset.size()], matcher,
+                                     options);
+      });
+
   util::Table table{{"epsilon", "circuit", "power saving", "delay overhead"}};
-  for (const double epsilon : {0.0, 0.01, 0.02, 0.05, 0.10}) {
-    for (const auto& benchmark : subset) {
-      core::ExperimentOptions options;
-      options.flow.epsilon = epsilon;
-      const auto row = core::compare_circuit(benchmark, matcher, options);
-      table.add_row({util::Table::num(epsilon, 2), benchmark.name,
-                     util::Table::pct(row.power_saving_pad()),
-                     util::Table::pct(row.delay_overhead_pad())});
-    }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    table.add_row({util::Table::num(epsilons[k / subset.size()], 2),
+                   subset[k % subset.size()].name,
+                   util::Table::pct(row.power_saving_pad()),
+                   util::Table::pct(row.delay_overhead_pad())});
   }
   table.write_csv(bench::csv_path("ablation_epsilon.csv"));
   std::printf("%s\n", table.render().c_str());

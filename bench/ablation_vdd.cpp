@@ -16,6 +16,7 @@
 #include "epfl/benchmarks.hpp"
 #include "sta/sta.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace cryo;
 
@@ -27,6 +28,11 @@ int main() {
                      "leakage share", "energy/cycle [fJ]"}};
   for (const double temp : {300.0, 10.0}) {
     for (const double vdd : {0.45, 0.55, 0.70}) {
+      // characterize() is internally parallel across cells; the timer
+      // makes the per-corner SPICE cost visible.
+      util::ScopedTimer corner_timer{
+          "ablation_vdd corner T=" + util::Table::num(temp, 0) +
+          " Vdd=" + util::Table::num(vdd, 2)};
       cells::CharOptions char_options;
       char_options.vdd = vdd;
       char_options.include_sequential = false;

@@ -5,6 +5,7 @@
 
 #include "cells/characterize.hpp"
 #include "liberty/library.hpp"
+#include "util/timer.hpp"
 
 namespace cryo::bench {
 
@@ -17,13 +18,17 @@ inline std::filesystem::path output_dir() {
 }
 
 /// Characterized full-catalog library at a corner, cached as a liberty
-/// file under `cryoeda_out/` (the first run costs ~30 s of SPICE per
-/// corner; subsequent runs parse the .lib).
+/// file under `cryoeda_out/` (the first run costs SPICE time per corner,
+/// spread across CRYOEDA_THREADS workers; subsequent runs parse the
+/// .lib — stale/corrupt caches are detected and re-characterized).
 inline liberty::Library corner_library(double temperature_k) {
   const auto path =
       output_dir() /
       ("cryoeda_lib_" + std::to_string(static_cast<int>(temperature_k)) +
        "K.lib");
+  util::ScopedTimer timer{
+      "corner_library " +
+      std::to_string(static_cast<int>(temperature_k)) + " K"};
   return cells::load_or_characterize(path.string(), cells::standard_catalog(),
                                      temperature_k);
 }

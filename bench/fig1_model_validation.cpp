@@ -15,6 +15,7 @@
 #include "device/calibration.hpp"
 #include "device/measurement.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace cryo;
 
@@ -31,7 +32,10 @@ int main() {
 
     const auto start = is_n ? device::nominal_nfet_5nm()
                             : device::nominal_pfet_5nm();
+    util::ScopedTimer calib_timer{"fig1 calibrate", /*log=*/false};
     const auto calib = device::calibrate(measurements, start);
+    std::fprintf(stderr, "[time] fig1 calibrate %s: %.3f s\n",
+                 is_n ? "nfet" : "pfet", calib_timer.elapsed_s());
     std::printf(
         "calibration: %d objective evaluations, RMS log10(I) error %.4f "
         "(max %.4f)\n\n",

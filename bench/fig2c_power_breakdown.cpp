@@ -12,6 +12,7 @@
 #include "map/mapper.hpp"
 #include "sta/sta.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cryo;
 
@@ -29,28 +30,49 @@ int main() {
   int count = 0;
 
   const auto suite = epfl::epfl_suite();
-  for (const auto& benchmark : suite) {
-    std::fprintf(stderr, "  synthesizing %s...\n", benchmark.name.c_str());
-    for (const bool cold : {false, true}) {
-      const auto& matcher = cold ? cold_matcher : warm_matcher;
-      core::FlowOptions flow;  // conventional baseline synthesis
-      const auto result = core::synthesize(benchmark.aig, matcher, flow);
-      const auto signoff = sta::analyze(result.netlist, {});
-      const double total = signoff.power.total();
-      const double shares[3] = {signoff.power.leakage / total,
-                                signoff.power.internal / total,
-                                signoff.power.switching / total};
-      auto* acc = cold ? cold_shares : warm_shares;
-      for (int i = 0; i < 3; ++i) {
-        acc[i] += shares[i];
-      }
-      rows.add_row({benchmark.name, cold ? "10 K" : "300 K",
-                    util::Table::pct(shares[0], 4),
-                    util::Table::pct(shares[1], 2),
-                    util::Table::pct(shares[2], 2),
-                    util::Table::num(total * 1e6, 2)});
+  // Each (circuit, corner) synthesis+signoff is independent: fan the
+  // 2 x |suite| runs out across the worker pool and accumulate the rows
+  // in deterministic (circuit-major, warm-then-cold) order afterwards.
+  struct Breakdown {
+    double shares[3] = {0, 0, 0};
+    double total = 0.0;
+  };
+  util::ScopedTimer timer{"fig2c synthesis fleet"};
+  const auto results = util::parallel_map(
+      suite.size() * 2, [&](std::size_t k) {
+        const auto& benchmark = suite[k / 2];
+        const bool cold = (k % 2) != 0;
+        if (!cold) {
+          std::fprintf(stderr, "  synthesizing %s...\n",
+                       benchmark.name.c_str());
+        }
+        const auto& matcher = cold ? cold_matcher : warm_matcher;
+        core::FlowOptions flow;  // conventional baseline synthesis
+        const auto result = core::synthesize(benchmark.aig, matcher, flow);
+        const auto signoff = sta::analyze(result.netlist, {});
+        Breakdown out;
+        out.total = signoff.power.total();
+        out.shares[0] = signoff.power.leakage / out.total;
+        out.shares[1] = signoff.power.internal / out.total;
+        out.shares[2] = signoff.power.switching / out.total;
+        return out;
+      });
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& benchmark = suite[k / 2];
+    const bool cold = (k % 2) != 0;
+    const auto& breakdown = results[k];
+    auto* acc = cold ? cold_shares : warm_shares;
+    for (int i = 0; i < 3; ++i) {
+      acc[i] += breakdown.shares[i];
     }
-    ++count;
+    rows.add_row({benchmark.name, cold ? "10 K" : "300 K",
+                  util::Table::pct(breakdown.shares[0], 4),
+                  util::Table::pct(breakdown.shares[1], 2),
+                  util::Table::pct(breakdown.shares[2], 2),
+                  util::Table::num(breakdown.total * 1e6, 2)});
+    if (cold) {
+      ++count;
+    }
   }
   rows.write_csv(bench::csv_path("fig2c_breakdown.csv"));
   std::printf("%s\n", rows.render().c_str());

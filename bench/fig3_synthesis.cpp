@@ -20,6 +20,7 @@
 #include "core/experiment.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cryo;
 
@@ -32,7 +33,12 @@ int main() {
   options.verbose = true;
 
   const auto suite = epfl::epfl_suite();
+  std::fprintf(stderr, "synthesis fleet: %zu circuits x 3 scenarios on %d "
+               "threads\n", suite.size(), util::resolve_threads(0));
+  util::ScopedTimer fleet_timer{"fig3 synthesis fleet", /*log=*/false};
   const auto rows = core::run_synthesis_comparison(suite, matcher, options);
+  std::fprintf(stderr, "[time] fig3 synthesis fleet: %.3f s\n",
+               fleet_timer.elapsed_s());
 
   util::Table table{{"circuit", "base P [uW]", "base D [ps]", "base gates",
                      "dP p->a->d", "dP p->d->a", "dD p->a->d", "dD p->d->a"}};

@@ -1,18 +1,26 @@
 // Micro-benchmarks (google-benchmark) of the synthesis kernels: AIG
 // construction/strashing, bit-parallel simulation, cut enumeration, SAT
-// solving, the optimization passes, and the compact-model evaluation that
-// dominates characterization.
+// solving, the optimization passes, the compact-model evaluation that
+// dominates characterization, and the thread-count scaling of the
+// parallel characterization/synthesis drivers (Arg = worker count).
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "cells/catalog.hpp"
+#include "cells/characterize.hpp"
+#include "core/experiment.hpp"
 #include "device/finfet.hpp"
 #include "epfl/benchmarks.hpp"
 #include "logic/cuts.hpp"
 #include "logic/simulate.hpp"
+#include "map/mapper.hpp"
 #include "opt/passes.hpp"
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -73,6 +81,70 @@ void BM_SatCecAdder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SatCecAdder);
+
+// --- thread-count scaling of the parallel drivers (Arg = workers) ---
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    cryo::util::parallel_for(
+        out.size(), [&](std::size_t i) { out[i] = 1.5 * double(i); },
+        threads);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->UseRealTime();
+
+// SPICE characterization of the mini catalog on a reduced grid: the
+// workload behind the `>= 2x at 4 threads` acceptance criterion.
+void BM_CharacterizeCells(benchmark::State& state) {
+  cryo::cells::CharOptions options;
+  options.slews = {4e-12, 16e-12, 64e-12};
+  options.loads = {2e-16, 8e-16, 3.2e-15};
+  options.include_sequential = false;
+  options.threads = static_cast<int>(state.range(0));
+  const auto catalog = cryo::cells::mini_catalog();
+  for (auto _ : state) {
+    const auto lib = cryo::cells::characterize(catalog, 10.0, options);
+    benchmark::DoNotOptimize(lib.cells.size());
+  }
+}
+BENCHMARK(BM_CharacterizeCells)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Per-benchmark synthesis+STA fleet over a small suite.
+void BM_SynthesisFleet(benchmark::State& state) {
+  static const auto lib = [] {
+    cryo::cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 64e-12};
+    options.loads = {2e-16, 8e-16, 3.2e-15};
+    return cryo::cells::characterize(cryo::cells::mini_catalog(), 10.0,
+                                     options);
+  }();
+  static const cryo::map::CellMatcher matcher{lib};
+  static const auto suite = [] {
+    auto full = cryo::epfl::epfl_suite();
+    full.resize(4);
+    return full;
+  }();
+  cryo::core::ExperimentOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto rows =
+        cryo::core::run_synthesis_comparison(suite, matcher, options);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_SynthesisFleet)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -185,6 +185,8 @@ bench/CMakeFiles/fig1_model_validation.dir/fig1_model_validation.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/liberty/nldm.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/device/calibration.hpp \
  /root/repo/src/device/measurement.hpp /root/repo/src/device/finfet.hpp \
  /root/repo/src/device/physics.hpp /root/repo/src/util/table.hpp

@@ -185,4 +185,6 @@ bench/CMakeFiles/fig2a_delay_distribution.dir/fig2a_delay_distribution.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/liberty/nldm.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/stats.hpp /root/repo/src/util/table.hpp

@@ -182,13 +182,20 @@ bench/CMakeFiles/kernels.dir/kernels.cpp.o: /root/repo/bench/kernels.cpp \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/device/finfet.hpp /root/repo/src/device/physics.hpp \
- /root/repo/src/epfl/benchmarks.hpp /root/repo/src/logic/aig.hpp \
+ /root/repo/src/cells/catalog.hpp /root/repo/src/cells/characterize.hpp \
+ /root/repo/src/liberty/library.hpp /root/repo/src/liberty/cell.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/liberty/nldm.hpp /root/repo/src/core/experiment.hpp \
+ /root/repo/src/core/flow.hpp /root/repo/src/logic/aig.hpp \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/logic/lit.hpp \
- /root/repo/src/logic/cuts.hpp /usr/include/c++/12/array \
+ /root/repo/src/map/mapper.hpp /root/repo/src/map/matcher.hpp \
+ /usr/include/c++/12/array /root/repo/src/map/netlist.hpp \
+ /root/repo/src/opt/cost.hpp /root/repo/src/sta/sta.hpp \
+ /root/repo/src/epfl/benchmarks.hpp /root/repo/src/device/finfet.hpp \
+ /root/repo/src/device/physics.hpp /root/repo/src/logic/cuts.hpp \
  /root/repo/src/logic/tt.hpp /root/repo/src/logic/simulate.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -212,4 +219,40 @@ bench/CMakeFiles/kernels.dir/kernels.cpp.o: /root/repo/bench/kernels.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/opt/passes.hpp \
- /root/repo/src/sat/cnf.hpp /root/repo/src/sat/solver.hpp
+ /root/repo/src/sat/cnf.hpp /root/repo/src/sat/solver.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

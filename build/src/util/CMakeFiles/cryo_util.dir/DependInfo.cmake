@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/cryo_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/cryo_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/cryo_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/cryo_util.dir/strings.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/cryo_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/cryo_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/cryo_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/cryo_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

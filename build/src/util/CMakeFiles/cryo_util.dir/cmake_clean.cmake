@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cryo_util.dir/strings.cpp.o.d"
   "CMakeFiles/cryo_util.dir/table.cpp.o"
   "CMakeFiles/cryo_util.dir/table.cpp.o.d"
+  "CMakeFiles/cryo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cryo_util.dir/thread_pool.cpp.o.d"
   "libcryo_util.a"
   "libcryo_util.pdb"
 )

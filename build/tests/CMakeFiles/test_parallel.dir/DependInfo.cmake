@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cryo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/epfl/CMakeFiles/cryo_epfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/cryo_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/cryo_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/cryo_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cryo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cryo_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cryo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/cryo_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/cryo_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -18,3 +18,4 @@ include("/root/repo/build/tests/test_epfl[1]_include.cmake")
 include("/root/repo/build/tests/test_flow[1]_include.cmake")
 include("/root/repo/build/tests/test_io[1]_include.cmake")
 include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite,
+# then rebuild the parallel tests under ThreadSanitizer and run them.
+#
+#   scripts/tier1.sh [build-dir]
+#
+# CRYOEDA_THREADS is honored by the parallel characterization / flow
+# drivers; the suite itself asserts thread-count independence.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: ThreadSanitizer pass over the parallel tests =="
+cmake -B "$BUILD-tsan" -S . -DCRYOEDA_TSAN=ON >/dev/null
+cmake --build "$BUILD-tsan" -j "$(nproc)" --target test_parallel
+"$BUILD-tsan"/tests/test_parallel
+
+echo "tier-1: OK"

@@ -1,5 +1,6 @@
 #include "cells/characterize.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include "logic/tt.hpp"
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cryo::cells {
 namespace {
@@ -311,23 +313,38 @@ liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
     std::vector<double> fall_slew;
     std::vector<double> rise_energy;
     std::vector<double> fall_energy;
-    for (const double slew : options.slews) {
-      for (const double load : options.loads) {
-        // Input edge that makes the output rise:
-        const bool in_rising_for_rise = positive;
-        const ArcPoint rise = measure_point(
-            spec, temperature_k, options, pin, *others, in_rising_for_rise,
-            slew, load, cell.leakage_power);
-        const ArcPoint fall = measure_point(
-            spec, temperature_k, options, pin, *others, !in_rising_for_rise,
-            slew, load, cell.leakage_power);
-        rise_delay.push_back(rise.delay);
-        rise_slew.push_back(rise.out_slew);
-        rise_energy.push_back(rise.energy);
-        fall_delay.push_back(fall.delay);
-        fall_slew.push_back(fall.out_slew);
-        fall_energy.push_back(fall.energy);
-      }
+    // Grid points are independent transients: measure them in parallel
+    // and assemble in index order, so the tables are identical to the
+    // serial slew-major/load-minor loop.
+    struct PointPair {
+      ArcPoint rise;
+      ArcPoint fall;
+    };
+    const std::size_t nloads = options.loads.size();
+    const auto points = util::parallel_map(
+        options.slews.size() * nloads,
+        [&](std::size_t k) {
+          const double slew = options.slews[k / nloads];
+          const double load = options.loads[k % nloads];
+          // Input edge that makes the output rise:
+          const bool in_rising_for_rise = positive;
+          PointPair point;
+          point.rise = measure_point(spec, temperature_k, options, pin,
+                                     *others, in_rising_for_rise, slew, load,
+                                     cell.leakage_power);
+          point.fall = measure_point(spec, temperature_k, options, pin,
+                                     *others, !in_rising_for_rise, slew, load,
+                                     cell.leakage_power);
+          return point;
+        },
+        options.threads);
+    for (const auto& point : points) {
+      rise_delay.push_back(point.rise.delay);
+      rise_slew.push_back(point.rise.out_slew);
+      rise_energy.push_back(point.rise.energy);
+      fall_delay.push_back(point.fall.delay);
+      fall_slew.push_back(point.fall.out_slew);
+      fall_energy.push_back(point.fall.energy);
     }
     arc.cell_rise = make_table(options, rise_delay);
     arc.cell_fall = make_table(options, fall_delay);
@@ -465,52 +482,72 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
   std::vector<double> fall_slew;
   std::vector<double> rise_energy;
   std::vector<double> fall_energy;
-  for (const double slew : options.slews) {
-    for (const double load : options.loads) {
-      for (const bool d_high : {true, false}) {
-        Circuit ckt;
-        const NodeId vdd = ckt.add_node("VDD");
-        const NodeId q = build_dff_circuit(ckt, spec, vdd, temperature_k,
-                                           spec.level_sensitive);
-        ckt.add_cap(q, spice::kGround, load);
-        ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
-        ckt.set_source(ckt.node("D"),
-                       spice::Pwl::constant(d_high ? options.vdd : 0.0));
-        const double ramp = slew / 0.8;
-        ckt.set_source(ckt.node("CK"),
-                       spice::Pwl::ramp(0.0, options.vdd, kRampStart, ramp));
-        spice::Simulator sim{ckt, temperature_k};
-        spice::TransientOptions topt;
-        topt.steps = options.transient_steps;
-        topt.t_stop = kRampStart + ramp + 400e-12;
-        const auto res = sim.transient(topt, {ckt.node("CK"), q});
-        const double v_half = options.vdd / 2.0;
-        const auto t_ck = spice::crossing_time(
-            res.times, res.trace(ckt.node("CK")).values, v_half, true);
-        const auto t_q =
-            spice::crossing_time(res.times, res.trace(q).values, v_half,
-                                 d_high);
-        const double delay = (t_ck && t_q) ? *t_q - *t_ck : 100e-12;
-        const auto oslew = spice::transition_time(
-            res.times, res.trace(q).values, d_high ? 0.0 : options.vdd,
-            d_high ? options.vdd : 0.0);
-        double energy = res.source_energy.at(vdd) -
-                        cell.leakage_power * topt.t_stop;
-        if (d_high) {
-          energy -= load * options.vdd * options.vdd;
-        }
-        energy = std::max(energy, 0.0);
-        if (d_high) {
-          rise_delay.push_back(delay);
-          rise_slew.push_back(oslew.value_or(20e-12));
-          rise_energy.push_back(energy);
-        } else {
-          fall_delay.push_back(delay);
-          fall_slew.push_back(oslew.value_or(20e-12));
-          fall_energy.push_back(energy);
-        }
-      }
+  struct SeqPoint {
+    double delay = 0.0;
+    double out_slew = 0.0;
+    double energy = 0.0;
+  };
+  auto measure_ckq = [&](double slew, double load, bool d_high) {
+    Circuit ckt;
+    const NodeId vdd = ckt.add_node("VDD");
+    const NodeId q = build_dff_circuit(ckt, spec, vdd, temperature_k,
+                                       spec.level_sensitive);
+    ckt.add_cap(q, spice::kGround, load);
+    ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
+    ckt.set_source(ckt.node("D"),
+                   spice::Pwl::constant(d_high ? options.vdd : 0.0));
+    const double ramp = slew / 0.8;
+    ckt.set_source(ckt.node("CK"),
+                   spice::Pwl::ramp(0.0, options.vdd, kRampStart, ramp));
+    spice::Simulator sim{ckt, temperature_k};
+    spice::TransientOptions topt;
+    topt.steps = options.transient_steps;
+    topt.t_stop = kRampStart + ramp + 400e-12;
+    const auto res = sim.transient(topt, {ckt.node("CK"), q});
+    const double v_half = options.vdd / 2.0;
+    const auto t_ck = spice::crossing_time(
+        res.times, res.trace(ckt.node("CK")).values, v_half, true);
+    const auto t_q = spice::crossing_time(res.times, res.trace(q).values,
+                                          v_half, d_high);
+    SeqPoint point;
+    point.delay = (t_ck && t_q) ? *t_q - *t_ck : 100e-12;
+    const auto oslew = spice::transition_time(
+        res.times, res.trace(q).values, d_high ? 0.0 : options.vdd,
+        d_high ? options.vdd : 0.0);
+    point.out_slew = oslew.value_or(20e-12);
+    double energy =
+        res.source_energy.at(vdd) - cell.leakage_power * topt.t_stop;
+    if (d_high) {
+      energy -= load * options.vdd * options.vdd;
     }
+    point.energy = std::max(energy, 0.0);
+    return point;
+  };
+  // As in the combinational case, the grid points are independent and
+  // assembled in index order (rise measured before fall per point).
+  struct SeqPointPair {
+    SeqPoint rise;
+    SeqPoint fall;
+  };
+  const std::size_t nloads = options.loads.size();
+  const auto points = util::parallel_map(
+      options.slews.size() * nloads,
+      [&](std::size_t k) {
+        const double slew = options.slews[k / nloads];
+        const double load = options.loads[k % nloads];
+        SeqPointPair point;
+        point.rise = measure_ckq(slew, load, /*d_high=*/true);
+        point.fall = measure_ckq(slew, load, /*d_high=*/false);
+        return point;
+      },
+      options.threads);
+  for (const auto& point : points) {
+    rise_delay.push_back(point.rise.delay);
+    rise_slew.push_back(point.rise.out_slew);
+    rise_energy.push_back(point.rise.energy);
+    fall_delay.push_back(point.fall.delay);
+    fall_slew.push_back(point.fall.out_slew);
+    fall_energy.push_back(point.fall.energy);
   }
   arc.cell_rise = make_table(options, rise_delay);
   arc.cell_fall = make_table(options, fall_delay);
@@ -523,6 +560,29 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
   return cell;
 }
 
+/// A cached library is only reusable when it was characterized for the
+/// same corner (temperature, Vdd) and contains every requested cell — a
+/// stale cache from a different run must not poison downstream figures.
+bool cache_matches(const liberty::Library& lib,
+                   const std::vector<CellSpec>& catalog, double temperature_k,
+                   const CharOptions& options) {
+  if (std::fabs(lib.temperature_k - temperature_k) > 1e-6) {
+    return false;
+  }
+  if (std::fabs(lib.voltage - options.vdd) > 1e-9) {
+    return false;
+  }
+  for (const auto& spec : catalog) {
+    if (spec.sequential && !options.include_sequential) {
+      continue;
+    }
+    if (lib.find(spec.name) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 liberty::Library characterize(const std::vector<CellSpec>& catalog,
@@ -532,18 +592,32 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
   lib.name = "cryoeda_" + std::to_string(static_cast<int>(temperature_k)) + "K";
   lib.temperature_k = temperature_k;
   lib.voltage = options.vdd;
-  for (const auto& spec : catalog) {
-    if (spec.sequential) {
-      if (options.include_sequential) {
-        lib.cells.push_back(
-            characterize_sequential(spec, temperature_k, options));
-      }
-      continue;
-    }
-    lib.cells.push_back(characterize_cell(spec, temperature_k, options));
-    if (options.verbose) {
-      std::fprintf(stderr, "characterized %s (%zu/%zu)\n",
-                   spec.name.c_str(), lib.cells.size(), catalog.size());
+  // Cells are characterized in parallel but assembled in catalog order,
+  // so the library is identical to the serial run for any thread count.
+  std::atomic<std::size_t> progress{0};
+  auto cells = util::parallel_map(
+      catalog.size(),
+      [&](std::size_t i) -> std::optional<liberty::Cell> {
+        const auto& spec = catalog[i];
+        std::optional<liberty::Cell> cell;
+        if (spec.sequential) {
+          if (options.include_sequential) {
+            cell = characterize_sequential(spec, temperature_k, options);
+          }
+        } else {
+          cell = characterize_cell(spec, temperature_k, options);
+        }
+        if (cell && options.verbose) {
+          std::fprintf(stderr, "characterized %s (%zu/%zu)\n",
+                       spec.name.c_str(), progress.fetch_add(1) + 1,
+                       catalog.size());
+        }
+        return cell;
+      },
+      options.threads);
+  for (auto& cell : cells) {
+    if (cell) {
+      lib.cells.push_back(std::move(*cell));
     }
   }
   return lib;
@@ -554,10 +628,13 @@ liberty::Library load_or_characterize(const std::string& cache_path,
                                       double temperature_k,
                                       const CharOptions& options) {
   if (std::filesystem::exists(cache_path)) {
-    liberty::Library lib = liberty::read_liberty(cache_path);
-    if (std::fabs(lib.temperature_k - temperature_k) < 1e-6 &&
-        lib.cells.size() >= catalog.size() / 2) {
-      return lib;
+    try {
+      liberty::Library lib = liberty::read_liberty(cache_path);
+      if (cache_matches(lib, catalog, temperature_k, options)) {
+        return lib;
+      }
+    } catch (const std::exception&) {
+      // Unparseable cache: fall through and re-characterize.
     }
   }
   liberty::Library lib = characterize(catalog, temperature_k, options);

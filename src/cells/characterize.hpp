@@ -18,6 +18,11 @@ struct CharOptions {
   int transient_steps = 200;
   bool include_sequential = true;
   bool verbose = false;
+  /// SPICE workers for the per-cell / per-grid-point transients:
+  /// 0 = CRYOEDA_THREADS env var, falling back to the hardware
+  /// concurrency; 1 = the serial path (byte-identical results either
+  /// way — outputs are assembled in index order).
+  int threads = 0;
 };
 
 /// Characterize a cell catalog at the given temperature into a liberty
@@ -28,8 +33,10 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
                               double temperature_k,
                               const CharOptions& options = {});
 
-/// Cached characterization: parse `cache_path` if it exists (and matches
-/// the temperature), otherwise characterize and write it.
+/// Cached characterization: parse `cache_path` if it exists and matches
+/// the request (temperature, Vdd, and every requested catalog cell
+/// present), otherwise characterize and overwrite it. A stale or corrupt
+/// cache from a different corner is never returned.
 liberty::Library load_or_characterize(const std::string& cache_path,
                                       const std::vector<CellSpec>& catalog,
                                       double temperature_k,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/thread_pool.hpp"
+
 namespace cryo::core {
 
 double CircuitComparison::power_saving_pad() const {
@@ -56,12 +58,22 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
                                   const ExperimentOptions& options) {
   CircuitComparison cmp;
   cmp.circuit = benchmark.name;
-  cmp.baseline = run_scenario(benchmark.aig, matcher, options,
-                              opt::CostPriority::kBaselinePowerAware);
-  cmp.pad = run_scenario(benchmark.aig, matcher, options,
-                         opt::CostPriority::kPowerAreaDelay);
-  cmp.pda = run_scenario(benchmark.aig, matcher, options,
-                         opt::CostPriority::kPowerDelayArea);
+  // The three scenarios are independent synthesis runs; when this is the
+  // outermost parallel level (e.g. a single-circuit ablation) they run
+  // concurrently, otherwise inline on the per-benchmark worker.
+  const opt::CostPriority priorities[] = {
+      opt::CostPriority::kBaselinePowerAware,
+      opt::CostPriority::kPowerAreaDelay,
+      opt::CostPriority::kPowerDelayArea};
+  const auto scenarios = util::parallel_map(
+      3,
+      [&](std::size_t i) {
+        return run_scenario(benchmark.aig, matcher, options, priorities[i]);
+      },
+      options.threads);
+  cmp.baseline = scenarios[0];
+  cmp.pad = scenarios[1];
+  cmp.pda = scenarios[2];
 
   // Footnote 1: every variant's power is reported at the clock period of
   // the slowest variant of the same circuit, so faster variants are not
@@ -77,16 +89,20 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
 std::vector<CircuitComparison> run_synthesis_comparison(
     const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
     const ExperimentOptions& options) {
-  std::vector<CircuitComparison> rows;
-  rows.reserve(suite.size());
-  for (const auto& benchmark : suite) {
-    if (options.verbose) {
-      std::fprintf(stderr, "synthesizing %s (%u ANDs)...\n",
-                   benchmark.name.c_str(), benchmark.aig.num_ands());
-    }
-    rows.push_back(compare_circuit(benchmark, matcher, options));
-  }
-  return rows;
+  // One synthesis+STA pipeline per benchmark; rows are written by suite
+  // index, so the table ordering (and every value in it) matches the
+  // serial run for any thread count.
+  return util::parallel_map(
+      suite.size(),
+      [&](std::size_t i) {
+        const auto& benchmark = suite[i];
+        if (options.verbose) {
+          std::fprintf(stderr, "synthesizing %s (%u ANDs)...\n",
+                       benchmark.name.c_str(), benchmark.aig.num_ands());
+        }
+        return compare_circuit(benchmark, matcher, options);
+      },
+      options.threads);
 }
 
 }  // namespace cryo::core

@@ -37,6 +37,11 @@ struct ExperimentOptions {
   FlowOptions flow;                  ///< shared flow knobs
   sta::StaOptions sta;               ///< signoff corner
   bool verbose = false;
+  /// Workers for the per-benchmark synthesis+STA fleet: 0 = the
+  /// CRYOEDA_THREADS env var, falling back to hardware concurrency;
+  /// 1 = serial. Results are written by suite index, so they are
+  /// identical for any thread count.
+  int threads = 0;
 };
 
 /// Run the three scenarios of paper §V-B on one circuit, normalizing the

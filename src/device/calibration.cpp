@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/optimize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cryo::device {
 namespace {
@@ -35,19 +36,36 @@ double log_current(double i) {
 
 /// Sum of squared log residuals; groups points by temperature so each
 /// FinFetModel (with its per-T precomputation) is built once per group.
+/// The temperature groups are independent model sweeps, so they are
+/// evaluated in parallel; partial sums are combined in group order, so
+/// the result is the same for any thread count.
 double objective(const FinFetParams& params, const MeasurementSet& meas) {
   std::map<double, std::vector<const MeasurementPoint*>> by_temp;
   for (const auto& pt : meas.points) {
     by_temp[pt.temperature_k].push_back(&pt);
   }
-  double sum = 0.0;
+  struct Group {
+    double temperature_k = 0.0;
+    const std::vector<const MeasurementPoint*>* points = nullptr;
+  };
+  std::vector<Group> groups;
+  groups.reserve(by_temp.size());
   for (const auto& [temp, pts] : by_temp) {
-    const FinFetModel model{params, temp};
-    for (const auto* pt : pts) {
+    groups.push_back({temp, &pts});
+  }
+  const auto partial = util::parallel_map(groups.size(), [&](std::size_t g) {
+    const FinFetModel model{params, groups[g].temperature_k};
+    double sum = 0.0;
+    for (const auto* pt : *groups[g].points) {
       const double sim = model.ids(pt->vgs, pt->vds, meas.nfins);
       const double r = log_current(sim) - log_current(pt->ids);
       sum += r * r;
     }
+    return sum;
+  });
+  double sum = 0.0;
+  for (const double s : partial) {
+    sum += s;
   }
   return sum;
 }
@@ -109,8 +127,19 @@ std::vector<CurveError> curve_errors(const FinFetParams& params,
   for (const auto& pt : measurements.points) {
     curves[{pt.temperature_k, pt.vds}].push_back(&pt);
   }
-  std::vector<CurveError> errors;
+  struct Curve {
+    std::pair<double, double> key;
+    const std::vector<const MeasurementPoint*>* points = nullptr;
+  };
+  std::vector<Curve> flat;
+  flat.reserve(curves.size());
   for (const auto& [key, pts] : curves) {
+    flat.push_back({key, &pts});
+  }
+  // Each (T, Vds) curve is an independent sweep; errors are computed in
+  // parallel and returned in the original (sorted-key) order.
+  return util::parallel_map(flat.size(), [&](std::size_t c) {
+    const auto& [key, pts] = flat[c];
     const FinFetModel model{params, key.first};
     CurveError err;
     err.temperature_k = key.first;
@@ -118,7 +147,7 @@ std::vector<CurveError> curve_errors(const FinFetParams& params,
     double sum = 0.0;
     double rel_sum = 0.0;
     int rel_count = 0;
-    for (const auto* pt : pts) {
+    for (const auto* pt : *pts) {
       const double sim = model.ids(pt->vgs, pt->vds, measurements.nfins);
       const double r = log_current(sim) - log_current(pt->ids);
       sum += r * r;
@@ -127,12 +156,11 @@ std::vector<CurveError> curve_errors(const FinFetParams& params,
         ++rel_count;
       }
     }
-    err.rms_log_error = std::sqrt(sum / static_cast<double>(pts.size()));
+    err.rms_log_error = std::sqrt(sum / static_cast<double>(pts->size()));
     err.mean_rel_error =
         rel_count > 0 ? rel_sum / static_cast<double>(rel_count) : 0.0;
-    errors.push_back(err);
-  }
-  return errors;
+    return err;
+  });
 }
 
 }  // namespace cryo::device

@@ -44,12 +44,16 @@ NldmTable NldmTable::scalar(double value) {
   return NldmTable{{0.0}, {0.0}, {value}};
 }
 
-double NldmTable::lookup(double x1, double x2) const {
+double NldmTable::lookup(double x1, double x2, LookupMode mode) const {
   if (empty()) {
     throw std::logic_error{"NldmTable::lookup on empty table"};
   }
-  const auto [i, t] = segment(index1_, x1);
-  const auto [j, u] = segment(index2_, x2);
+  auto [i, t] = segment(index1_, x1);
+  auto [j, u] = segment(index2_, x2);
+  if (mode == LookupMode::kClamp) {
+    t = std::clamp(t, 0.0, 1.0);
+    u = std::clamp(u, 0.0, 1.0);
+  }
   if (index1_.size() == 1 && index2_.size() == 1) {
     return values_[0];
   }

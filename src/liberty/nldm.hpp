@@ -5,18 +5,29 @@
 
 namespace cryo::liberty {
 
+/// Out-of-grid behaviour of NldmTable::lookup.
+enum class LookupMode {
+  /// Linear extrapolation from the edge cells (legacy default). Can
+  /// produce negative delays/transitions/energies far off-grid.
+  kExtrapolate,
+  /// Clamp x1/x2 to the index range; off-grid queries return the edge
+  /// value. This is what signoff uses.
+  kClamp,
+};
+
 /// A non-linear delay model (NLDM) lookup table: values on a 2-D grid of
 /// (index1 = input slew, index2 = output load), the industry-standard
 /// table format cell libraries use for delay, output slew, and internal
-/// energy. Lookup is bilinear inside the grid with linear extrapolation
-/// from the edge cells outside it — matching commercial STA behaviour.
+/// energy. Lookup is bilinear inside the grid; outside it the behaviour
+/// is selected by LookupMode (linear extrapolation or clamping).
 class NldmTable {
 public:
   NldmTable() = default;
   NldmTable(std::vector<double> index1, std::vector<double> index2,
             std::vector<double> values);
 
-  double lookup(double x1, double x2) const;
+  double lookup(double x1, double x2,
+                LookupMode mode = LookupMode::kExtrapolate) const;
 
   const std::vector<double>& index1() const { return index1_; }
   const std::vector<double>& index2() const { return index2_; }

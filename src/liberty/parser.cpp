@@ -40,6 +40,7 @@ public:
   std::string next() {
     skip_space_and_comments();
     if (pos_ >= text_.size()) {
+      was_quoted_ = false;  // EOF is never a quoted token
       return {};
     }
     const char c = text_[pos_];
@@ -138,13 +139,27 @@ private:
     }
   }
 
+  /// Next token, throwing on end of input. The tokenizer signals EOF by
+  /// returning an empty token forever; every loop that scans for a
+  /// closing delimiter must use this or it will spin (and, for attribute
+  /// values, allocate) without bound on truncated input.
+  std::string next_or_throw(const char* where) {
+    std::string t = tok_.next();
+    if (t.empty() && !tok_.was_quoted()) {
+      throw std::runtime_error{std::string{"liberty parse: unexpected end "
+                                           "of input in "} +
+                               where};
+    }
+    return t;
+  }
+
   /// Called with the group/attribute name already consumed.
   Group parse_group(const std::string& type) {
     Group group;
     group.type = type;
     expect("(");
     for (;;) {
-      const std::string t = tok_.next();
+      const std::string t = next_or_throw("group arguments");
       if (t == ")") {
         break;
       }
@@ -154,64 +169,7 @@ private:
       group.args.push_back(t);
     }
     expect("{");
-    while (true) {
-      const std::string name = tok_.next();
-      if (name == "}") {
-        break;
-      }
-      if (name.empty()) {
-        throw std::runtime_error{"liberty parse: unexpected end of input"};
-      }
-      const std::string sep = tok_.peek();
-      if (sep == ":") {
-        tok_.next();
-        std::string value;
-        // Values may span several tokens until ';' (e.g. unquoted floats).
-        for (;;) {
-          const std::string v = tok_.next();
-          if (v == ";") {
-            break;
-          }
-          if (!value.empty()) {
-            value += ' ';
-          }
-          value += v;
-        }
-        group.attributes.emplace(name, value);
-      } else if (sep == "(") {
-        // Either a complex attribute `name (a, b, ...);` or a child group
-        // `name (args) { ... }`.
-        tok_.next();
-        std::vector<std::string> args;
-        for (;;) {
-          const std::string t = tok_.next();
-          if (t == ")") {
-            break;
-          }
-          if (t == ",") {
-            continue;
-          }
-          args.push_back(t);
-        }
-        const std::string after = tok_.peek();
-        if (after == "{") {
-          tok_.next();
-          Group child;
-          child.type = name;
-          child.args = std::move(args);
-          parse_body(child);
-          group.children.push_back(std::move(child));
-        } else {
-          if (after == ";") {
-            tok_.next();
-          }
-          group.lists.emplace(name, std::move(args));
-        }
-      } else {
-        throw std::runtime_error{"liberty parse: unexpected token after '" +
-                                 name + "'"};
-      }
-    }
+    parse_body(group);
     return group;
   }
 
@@ -228,8 +186,9 @@ private:
       if (sep == ":") {
         tok_.next();
         std::string value;
+        // Values may span several tokens until ';' (e.g. unquoted floats).
         for (;;) {
-          const std::string v = tok_.next();
+          const std::string v = next_or_throw("attribute value");
           if (v == ";") {
             break;
           }
@@ -240,10 +199,12 @@ private:
         }
         group.attributes.emplace(name, value);
       } else if (sep == "(") {
+        // Either a complex attribute `name (a, b, ...);` or a child group
+        // `name (args) { ... }`.
         tok_.next();
         std::vector<std::string> args;
         for (;;) {
-          const std::string t = tok_.next();
+          const std::string t = next_or_throw("complex attribute");
           if (t == ")") {
             break;
           }

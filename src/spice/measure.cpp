@@ -21,8 +21,17 @@ std::optional<double> crossing_time(const std::vector<double>& times,
     const bool crossed = rising ? (a < threshold && b >= threshold)
                                 : (a > threshold && b <= threshold);
     if (crossed) {
-      const double frac = (threshold - a) / (b - a);
+      // Guard the degenerate zero-swing segment: report the segment
+      // start instead of dividing by zero.
+      const double denom = b - a;
+      const double frac = denom != 0.0 ? (threshold - a) / denom : 0.0;
       return times[i - 1] + frac * (times[i] - times[i - 1]);
+    }
+    if (a == threshold && b == threshold) {
+      // Plateau sitting exactly on the threshold (e.g. a waveform that
+      // starts at the crossing level): the strict inequalities above
+      // never fire, so treat the plateau start as the crossing time.
+      return times[i - 1];
     }
   }
   return std::nullopt;

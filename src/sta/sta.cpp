@@ -6,6 +6,20 @@
 namespace cryo::sta {
 
 StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
+  if (!(options.clock_period > 0.0)) {
+    throw std::invalid_argument{
+        "sta::analyze: clock_period must be positive"};
+  }
+  if (!(options.input_slew > 0.0)) {
+    throw std::invalid_argument{"sta::analyze: input_slew must be positive"};
+  }
+  if (options.output_load < 0.0) {
+    throw std::invalid_argument{
+        "sta::analyze: output_load must be non-negative"};
+  }
+  const liberty::LookupMode mode = options.clamp_tables
+                                       ? liberty::LookupMode::kClamp
+                                       : liberty::LookupMode::kExtrapolate;
   const std::uint32_t nets = netlist.num_nets;
   StaResult result;
   result.arrival.assign(nets, 0.0);
@@ -48,22 +62,32 @@ StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
     const auto inputs = gate.cell->input_names();
     double out_arrival = 0.0;
     double out_slew = options.input_slew;
+    double worst_fanin_slew = 0.0;
+    bool any_arc = false;
     for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      worst_fanin_slew =
+          std::max(worst_fanin_slew, result.slew[gate.fanins[i]]);
       const auto* arc = gate.cell->arc_from(inputs[i]);
       if (arc == nullptr) {
         continue;
       }
+      any_arc = true;
       const double in_slew = result.slew[gate.fanins[i]];
       const double out_load = load[gate.output];
       const double delay =
-          std::max(arc->cell_rise.lookup(in_slew, out_load),
-                   arc->cell_fall.lookup(in_slew, out_load));
+          std::max(arc->cell_rise.lookup(in_slew, out_load, mode),
+                   arc->cell_fall.lookup(in_slew, out_load, mode));
       const double tr =
-          std::max(arc->rise_transition.lookup(in_slew, out_load),
-                   arc->fall_transition.lookup(in_slew, out_load));
+          std::max(arc->rise_transition.lookup(in_slew, out_load, mode),
+                   arc->fall_transition.lookup(in_slew, out_load, mode));
       out_arrival =
           std::max(out_arrival, result.arrival[gate.fanins[i]] + delay);
       out_slew = std::max(out_slew, tr);
+    }
+    if (!any_arc) {
+      // No timing arc matched (e.g. a TIE-like cell): propagate the
+      // worst fanin slew instead of silently resetting to the PI slew.
+      out_slew = std::max(out_slew, worst_fanin_slew);
     }
     result.arrival[gate.output] = out_arrival;
     result.slew[gate.output] = out_slew;
@@ -90,8 +114,8 @@ StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
       }
       const double in_slew = result.slew[gate.fanins[i]];
       const double out_load = load[gate.output];
-      energy += 0.5 * (parc->rise_power.lookup(in_slew, out_load) +
-                       parc->fall_power.lookup(in_slew, out_load));
+      energy += 0.5 * (parc->rise_power.lookup(in_slew, out_load, mode) +
+                       parc->fall_power.lookup(in_slew, out_load, mode));
       ++narcs;
     }
     if (narcs > 0) {

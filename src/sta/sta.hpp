@@ -19,6 +19,10 @@ struct StaOptions {
   double wire_cap_per_fanout = 0.0;
   unsigned sim_words = 16;
   std::uint64_t seed = 23;
+  /// Clamp NLDM lookups to the characterized grid (guards against
+  /// negative extrapolated delays/energies when slews/loads leave the
+  /// 7x7 grid). Set false for the legacy linear extrapolation.
+  bool clamp_tables = true;
 };
 
 /// Power report, PrimeTime-style categories (paper Fig. 2(c)):
@@ -43,7 +47,8 @@ struct StaResult {
 /// NLDM-based static timing analysis and power signoff of a mapped
 /// netlist. Net loads are the sum of fanout pin capacitances (+ PO
 /// loads); delays/slews/internal energies come from bilinear NLDM
-/// lookups, worst-case over rise/fall.
+/// lookups, worst-case over rise/fall. Throws std::invalid_argument on
+/// non-positive clock_period/input_slew or a negative output_load.
 StaResult analyze(const map::Netlist& netlist, const StaOptions& options = {});
 
 }  // namespace cryo::sta

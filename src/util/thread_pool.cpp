@@ -1,0 +1,146 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace cryo::util {
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+}  // namespace
+
+int resolve_threads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("CRYOEDA_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, resolve_threads(threads));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool{
+      static_cast<int>(std::thread::hardware_concurrency())};
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  tl_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and no work left
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  int threads) {
+  if (n == 0) {
+    return;
+  }
+  const int k = resolve_threads(threads);
+  if (k <= 1 || n == 1 || ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::shared();
+  // The caller participates, so cap helper tasks at (threads - 1) and at
+  // the remaining indices; concurrency never exceeds `k` regardless of
+  // how large the shared pool is.
+  const std::size_t want =
+      std::min(n, static_cast<std::size_t>(
+                      std::min(k, pool.size() + 1)));
+  const int helpers = static_cast<int>(want) - 1;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mutex};
+        if (!error) {
+          error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int remaining = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    pool.submit([&] {
+      drain();
+      std::lock_guard<std::mutex> lock{done_mutex};
+      if (--remaining == 0) {
+        done_cv.notify_one();
+      }
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock{done_mutex};
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace cryo::util

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cryo::util {
+
+/// Resolve a worker count: `requested` > 0 wins; otherwise the
+/// CRYOEDA_THREADS environment variable (if set to a positive integer);
+/// otherwise std::thread::hardware_concurrency().
+int resolve_threads(int requested = 0);
+
+/// A fixed-size pool of worker threads draining a shared FIFO task
+/// queue. Most callers should use `parallel_for`/`parallel_map` instead
+/// of submitting tasks directly.
+class ThreadPool {
+public:
+  /// `threads` = 0 resolves via `resolve_threads`.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  void submit(std::function<void()> task);
+
+  /// True when called from inside a pool worker thread. Nested
+  /// `parallel_for` calls use this to run inline instead of blocking on
+  /// the shared queue (which could deadlock).
+  static bool in_worker();
+
+  /// Process-wide pool sized to the machine; started on first use.
+  static ThreadPool& shared();
+
+private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run body(0), ..., body(n-1) across up to `threads` workers
+/// (0 = resolve from CRYOEDA_THREADS / the machine). Deterministic by
+/// construction: each index is executed exactly once and callers that
+/// write results by index get output identical to the serial loop,
+/// regardless of scheduling. With threads <= 1, n <= 1, or when already
+/// inside a pool worker, the loop runs inline on the caller. The first
+/// exception thrown by any index is rethrown on the caller after all
+/// workers stop.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  int threads = 0);
+
+/// Deterministic map: returns {f(0), ..., f(n-1)} in index order,
+/// computed in parallel. The result type must be default-constructible
+/// (wrap in std::optional otherwise).
+template <typename F>
+auto parallel_map(std::size_t n, F&& f, int threads = 0) {
+  using R = std::decay_t<decltype(f(std::size_t{0}))>;
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = f(i); }, threads);
+  return out;
+}
+
+}  // namespace cryo::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace cryo::util {
+
+/// Lightweight wall-clock phase timer: logs "[time] <label>: <x> s" to
+/// stderr on destruction (when logging is enabled). Used by the bench
+/// drivers to attribute wall time to the characterization / synthesis /
+/// signoff phases so parallel speedups are measurable.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string label, bool log = true)
+      : label_{std::move(label)},
+        log_{log},
+        start_{std::chrono::steady_clock::now()} {}
+
+  ~ScopedTimer() {
+    if (log_) {
+      std::fprintf(stderr, "[time] %s: %.3f s\n", label_.c_str(),
+                   elapsed_s());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction.
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+private:
+  std::string label_;
+  bool log_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cryo::util

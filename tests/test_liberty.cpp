@@ -195,6 +195,17 @@ TEST(Liberty, ParserRejectsGarbage) {
   EXPECT_THROW(parse_liberty("library (x) { cell (y) {"), std::runtime_error);
 }
 
+TEST(Liberty, ParserThrowsOnTruncatedInputInsteadOfHanging) {
+  // Input ending mid-attribute-value / mid-argument-list used to spin
+  // forever appending empty tokens (the tokenizer returns "" at EOF),
+  // allocating without bound. The contract is parse-or-throw.
+  EXPECT_THROW(parse_liberty("library (x) { nom_voltage : 0.7"),
+               std::runtime_error);
+  EXPECT_THROW(parse_liberty("library (x) { index_1 (\"1, 2\""),
+               std::runtime_error);
+  EXPECT_THROW(parse_liberty("library (x"), std::runtime_error);
+}
+
 TEST(Cell, Helpers) {
   const Library lib = sample_library();
   const Cell& inv = lib.cells[0];
