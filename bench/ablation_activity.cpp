@@ -52,5 +52,6 @@ int main() {
   }
   table.write_csv(bench::csv_path("ablation_activity.csv"));
   std::printf("%s\n", table.render().c_str());
+  bench::write_bench_report("ablation_activity");
   return 0;
 }

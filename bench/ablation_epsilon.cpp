@@ -50,5 +50,6 @@ int main() {
   }
   table.write_csv(bench::csv_path("ablation_epsilon.csv"));
   std::printf("%s\n", table.render().c_str());
+  bench::write_bench_report("ablation_epsilon");
   return 0;
 }

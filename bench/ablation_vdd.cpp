@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "cells/characterize.hpp"
 #include "core/flow.hpp"
 #include "epfl/benchmarks.hpp"
@@ -68,5 +69,6 @@ int main() {
       "clock) drops; at 10 K it stays negligible at every Vdd, so the\n"
       "energy floor is set purely by CV^2 — the knob a cryogenic\n"
       "controller designer actually gets to turn.\n");
+  bench::write_bench_report("ablation_vdd");
   return 0;
 }

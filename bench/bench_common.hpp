@@ -5,6 +5,7 @@
 
 #include "cells/characterize.hpp"
 #include "liberty/library.hpp"
+#include "util/obs.hpp"
 #include "util/timer.hpp"
 
 namespace cryo::bench {
@@ -35,6 +36,22 @@ inline liberty::Library corner_library(double temperature_k) {
 
 inline std::string csv_path(const std::string& name) {
   return (output_dir() / name).string();
+}
+
+/// Serialize the run's observability registry to
+/// `cryoeda_out/BENCH_<name>.json`. When `canonical` is set the same
+/// report is also written to `cryoeda_out/report.json` — the file
+/// scripts/check_regression.py gates against — so only the headline
+/// experiment (fig3_synthesis) should pass it.
+inline void write_bench_report(const std::string& name,
+                               bool canonical = false) {
+  util::obs::ReportOptions options;
+  options.flow = name;
+  util::obs::write_report(
+      (output_dir() / ("BENCH_" + name + ".json")).string(), options);
+  if (canonical) {
+    util::obs::write_report((output_dir() / "report.json").string(), options);
+  }
 }
 
 }  // namespace cryo::bench

@@ -82,5 +82,6 @@ int main() {
     curves.write_csv(csv);
     std::printf("full I-V data written to %s\n\n", csv.c_str());
   }
+  bench::write_bench_report("fig1_model_validation");
   return 0;
 }

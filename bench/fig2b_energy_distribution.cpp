@@ -69,5 +69,6 @@ int main() {
               (s_cold.mean / s_warm.mean - 1.0) * 100.0);
   std::printf("per-cell data: %s\n",
               bench::csv_path("fig2b_energies.csv").c_str());
+  bench::write_bench_report("fig2b_energy_distribution");
   return 0;
 }

@@ -89,5 +89,6 @@ int main() {
       "paper check: leakage share 300 K ~15 %%  ->  10 K negligible "
       "(~0.003 %%). Measured: %.3f %% -> %.5f %%\n",
       warm_shares[0] / count * 100.0, cold_shares[0] / count * 100.0);
+  bench::write_bench_report("fig2c_power_breakdown");
   return 0;
 }

@@ -84,5 +84,6 @@ int main() {
   std::printf("%s\n", summary.render().c_str());
   std::printf("per-circuit data: %s\n",
               bench::csv_path("fig3_synthesis.csv").c_str());
+  bench::write_bench_report("fig3_synthesis", /*canonical=*/true);
   return 0;
 }

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Regression gate over cryoeda run reports.
+
+Compares a freshly generated ``report.json`` (see ``util::obs``) against
+a checked-in baseline and fails when a quality figure drifts:
+
+* every ``experiment.<circuit>.<scenario>.*`` gauge in the baseline must
+  be present in the fresh report and agree within ``--rel-tol``
+  (delay / area / power / gate count — the normalized Fig. 3 figures);
+* total wall time (``meta.wall_s``) may grow by at most ``--wall-slack``
+  x the baseline (a coarse guard against order-of-magnitude slowdowns;
+  baselines and CI runners are different machines, so keep it loose);
+* schema versions must match.
+
+Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
+
+Typical use (CI)::
+
+    build/bench/fig3_synthesis
+    python3 scripts/check_regression.py \
+        bench/baselines/fig3_baseline.json cryoeda_out/report.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot load report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict) or "schema" not in report:
+        print(f"error: {path} is not a cryoeda run report", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def rel_diff(baseline, fresh):
+    if baseline == fresh:
+        return 0.0
+    scale = max(abs(baseline), abs(fresh))
+    return abs(fresh - baseline) / scale if scale > 0 else float("inf")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline report")
+    parser.add_argument("fresh", help="freshly generated report")
+    parser.add_argument(
+        "--rel-tol", type=float, default=0.05,
+        help="max relative drift for quality gauges (default %(default)s)")
+    parser.add_argument(
+        "--wall-slack", type=float, default=3.0,
+        help="max wall-time growth factor vs baseline (default %(default)s)")
+    parser.add_argument(
+        "--prefix", default="experiment.",
+        help="gauge prefix under the gate (default %(default)s)")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+
+    failures = []
+    checked = 0
+
+    if base.get("schema") != fresh.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {base.get('schema')!r} vs "
+            f"fresh {fresh.get('schema')!r}")
+
+    base_gauges = base.get("gauges", {})
+    fresh_gauges = fresh.get("gauges", {})
+    gated = {k: v for k, v in base_gauges.items()
+             if k.startswith(args.prefix)}
+    if not gated:
+        failures.append(
+            f"baseline has no gauges under prefix {args.prefix!r} — "
+            "nothing to gate on (stale baseline?)")
+
+    worst = (0.0, None)
+    for name in sorted(gated):
+        baseline_value = gated[name]
+        if name not in fresh_gauges:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        fresh_value = fresh_gauges[name]
+        drift = rel_diff(baseline_value, fresh_value)
+        checked += 1
+        if drift > worst[0]:
+            worst = (drift, name)
+        if drift > args.rel_tol:
+            failures.append(
+                f"{name}: {baseline_value:.6g} -> {fresh_value:.6g} "
+                f"(drift {drift * 100.0:.2f} % > tol "
+                f"{args.rel_tol * 100.0:.2f} %)")
+
+    new_keys = sorted(k for k in fresh_gauges
+                      if k.startswith(args.prefix) and k not in base_gauges)
+    if new_keys:
+        print(f"note: {len(new_keys)} gauge(s) not in baseline "
+              f"(e.g. {new_keys[0]}) — refresh the baseline to gate them")
+
+    base_wall = base.get("meta", {}).get("wall_s")
+    fresh_wall = fresh.get("meta", {}).get("wall_s")
+    if base_wall and fresh_wall:
+        factor = fresh_wall / base_wall
+        print(f"wall time: baseline {base_wall:.1f} s, fresh "
+              f"{fresh_wall:.1f} s ({factor:.2f}x, slack "
+              f"{args.wall_slack:.2f}x)")
+        if factor > args.wall_slack:
+            failures.append(
+                f"wall time regression: {base_wall:.1f} s -> "
+                f"{fresh_wall:.1f} s ({factor:.2f}x > {args.wall_slack:.2f}x)")
+    else:
+        print("wall time: not compared (meta.wall_s missing on one side)")
+
+    if worst[1] is not None:
+        print(f"checked {checked} gauges under {args.prefix!r}; worst drift "
+              f"{worst[0] * 100.0:.3f} % ({worst[1]})")
+
+    if failures:
+        print(f"\nREGRESSION GATE FAILED ({len(failures)} issue(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

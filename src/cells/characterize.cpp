@@ -10,9 +10,14 @@
 #include "logic/tt.hpp"
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
+#include "util/obs.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace cryo::cells {
+
+namespace obs = util::obs;
+
 namespace {
 
 using spice::Circuit;
@@ -203,6 +208,7 @@ ArcPoint measure_point(const CellSpec& spec, double temperature_k,
       topt.steps *= 2;
       continue;
     }
+    obs::counter("cells.arc_points").add();
     ArcPoint point;
     point.delay = *t_out - *t_in;
     point.out_slew = *oslew;
@@ -588,6 +594,9 @@ bool cache_matches(const liberty::Library& lib,
 liberty::Library characterize(const std::vector<CellSpec>& catalog,
                               double temperature_k,
                               const CharOptions& options) {
+  const obs::ScopedSpan span{
+      "cells.characterize_library:" +
+      std::to_string(static_cast<int>(temperature_k)) + "K"};
   liberty::Library lib;
   lib.name = "cryoeda_" + std::to_string(static_cast<int>(temperature_k)) + "K";
   lib.temperature_k = temperature_k;
@@ -599,6 +608,8 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
       catalog.size(),
       [&](std::size_t i) -> std::optional<liberty::Cell> {
         const auto& spec = catalog[i];
+        const obs::ScopedSpan span{"cells.characterize:" + spec.name};
+        const util::ScopedTimer cell_timer{spec.name, /*log=*/false};
         std::optional<liberty::Cell> cell;
         if (spec.sequential) {
           if (options.include_sequential) {
@@ -606,6 +617,11 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
           }
         } else {
           cell = characterize_cell(spec, temperature_k, options);
+        }
+        if (cell) {
+          obs::counter("cells.characterized").add();
+          obs::histogram("cells.cell_wall_s", obs::Unit::kWallSeconds)
+              .record(cell_timer.elapsed_s());
         }
         if (cell && options.verbose) {
           std::fprintf(stderr, "characterized %s (%zu/%zu)\n",
@@ -631,12 +647,14 @@ liberty::Library load_or_characterize(const std::string& cache_path,
     try {
       liberty::Library lib = liberty::read_liberty(cache_path);
       if (cache_matches(lib, catalog, temperature_k, options)) {
+        obs::counter("cells.cache_hits").add();
         return lib;
       }
     } catch (const std::exception&) {
       // Unparseable cache: fall through and re-characterize.
     }
   }
+  obs::counter("cells.cache_misses").add();
   liberty::Library lib = characterize(catalog, temperature_k, options);
   liberty::write_liberty(lib, cache_path);
   return lib;

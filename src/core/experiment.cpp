@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cryo::core {
+
+namespace obs = util::obs;
 
 double CircuitComparison::power_saving_pad() const {
   return 1.0 - pad.total_power / baseline.total_power;
@@ -22,10 +25,21 @@ double CircuitComparison::delay_overhead_pda() const {
 
 namespace {
 
+const char* scenario_name(opt::CostPriority priority) {
+  switch (priority) {
+    case opt::CostPriority::kPowerAreaDelay: return "pad";
+    case opt::CostPriority::kPowerDelayArea: return "pda";
+    default: return "baseline";
+  }
+}
+
 ScenarioResult run_scenario(const logic::Aig& aig,
                             const map::CellMatcher& matcher,
                             const ExperimentOptions& options,
                             opt::CostPriority priority) {
+  const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
+                             scenario_name(priority)};
+  obs::counter("core.scenarios_run").add();
   FlowOptions flow = options.flow;
   flow.priority = priority;
   const FlowResult result = synthesize(aig, matcher, flow);
@@ -83,12 +97,25 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
   renormalize(cmp.baseline, options.sta.clock_period, cmp.clock_period);
   renormalize(cmp.pad, options.sta.clock_period, cmp.clock_period);
   renormalize(cmp.pda, options.sta.clock_period, cmp.clock_period);
+
+  // Per-scenario signoff roll-up: these gauges are the quality surface
+  // the CI regression gate (scripts/check_regression.py) compares, so
+  // they use the *normalized* figures that the paper tables report.
+  for (const ScenarioResult* s : {&cmp.baseline, &cmp.pad, &cmp.pda}) {
+    const std::string prefix =
+        "experiment." + cmp.circuit + "." + scenario_name(s->priority) + ".";
+    obs::gauge(prefix + "power_w").set(s->total_power);
+    obs::gauge(prefix + "delay_s", obs::Unit::kSeconds).set(s->delay);
+    obs::gauge(prefix + "area_um2").set(s->area);
+    obs::gauge(prefix + "gates").set(static_cast<double>(s->gates));
+  }
   return cmp;
 }
 
 std::vector<CircuitComparison> run_synthesis_comparison(
     const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
     const ExperimentOptions& options) {
+  const obs::ScopedSpan span{"core.synthesis_comparison"};
   // One synthesis+STA pipeline per benchmark; rows are written by suite
   // index, so the table ordering (and every value in it) matches the
   // serial run for any thread count.

@@ -3,22 +3,31 @@
 #include "opt/lut_map.hpp"
 #include "opt/passes.hpp"
 #include "sat/sweep.hpp"
+#include "util/obs.hpp"
 
 namespace cryo::core {
 
+namespace obs = util::obs;
+
 FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
                       const FlowOptions& options) {
+  const obs::ScopedSpan flow_span{"core.synthesize:" + input.name()};
+  obs::counter("core.synthesis_runs").add();
   FlowResult result;
   result.initial_ands = input.num_ands();
 
   // (1) Technology-independent compression.
-  logic::Aig compact = opt::compress2rs(input);
+  logic::Aig compact = [&] {
+    const obs::ScopedSpan span{"flow.c2rs"};
+    return opt::compress2rs(input);
+  }();
   result.after_c2rs = compact.num_ands();
 
   // (2) Power-aware optimization with structural choices.
   const std::vector<std::vector<logic::Lit>>* choices = nullptr;
   sat::SweepResult sweep;
   if (options.use_choices) {
+    const obs::ScopedSpan span{"flow.dch"};
     sat::SweepOptions sopt;
     sopt.seed = options.seed;
     sweep = sat::sat_sweep(compact, sopt);
@@ -32,8 +41,12 @@ FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
   lopt.epsilon = options.epsilon;
   lopt.input_activity = options.input_activity;
   lopt.seed = options.seed;
-  opt::LutMapping luts = opt::lut_map(choice_aig, lopt, choices);
+  opt::LutMapping luts = [&] {
+    const obs::ScopedSpan span{"flow.lut_map"};
+    return opt::lut_map(choice_aig, lopt, choices);
+  }();
   if (options.use_mfs) {
+    const obs::ScopedSpan span{"flow.mfs"};
     opt::MfsOptions mopt;
     mopt.seed = options.seed;
     (void)opt::mfs(luts, mopt);
@@ -45,6 +58,10 @@ FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
     optimized = std::move(compact);
   }
   result.after_power_stage = optimized.num_ands();
+  if (result.initial_ands > result.after_power_stage) {
+    obs::counter("core.nodes_saved")
+        .add(result.initial_ands - result.after_power_stage);
+  }
 
   // (3) Cryogenic-aware technology mapping.
   map::TechMapOptions topt;
@@ -53,7 +70,10 @@ FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
   topt.input_activity = options.input_activity;
   topt.clock_estimate = options.clock_estimate;
   topt.seed = options.seed;
-  result.netlist = map::tech_map(optimized, matcher, topt);
+  {
+    const obs::ScopedSpan span{"flow.tech_map"};
+    result.netlist = map::tech_map(optimized, matcher, topt);
+  }
   result.optimized = std::move(optimized);
   return result;
 }

@@ -8,8 +8,11 @@
 
 #include "logic/cuts.hpp"
 #include "logic/simulate.hpp"
+#include "util/obs.hpp"
 
 namespace cryo::map {
+
+namespace obs = util::obs;
 
 using logic::Aig;
 using logic::Cut;
@@ -53,6 +56,8 @@ struct Selection {
 Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
                  const TechMapOptions& options,
                  const std::vector<std::vector<logic::Lit>>* choices) {
+  const obs::ScopedSpan span{"map.tech_map"};
+  std::uint64_t matches_tried = 0;  // flushed to obs after the rounds
   logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node};
   cuts.run();
 
@@ -160,6 +165,7 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
           continue;
         }
         for (const Match& m : *matches) {
+          ++matches_tried;
           const CellFigures& fig = figures(m.cell);
           Cost cost;
           const unsigned extra_invs =
@@ -232,6 +238,25 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
     }
     for (NodeIdx v = 0; v < aig.num_nodes(); ++v) {
       refs[v] = std::max(1.0, cover_refs[v]);
+    }
+  }
+
+  // Mapper statistics: candidate-cut pressure and the shape of the final
+  // cover (cut sizes correlate directly with area/power quality).
+  {
+    std::uint64_t candidate_cuts = 0;
+    for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+      candidate_cuts += candidates[v].size();
+    }
+    obs::counter("map.runs").add();
+    obs::counter("map.candidate_cuts").add(candidate_cuts);
+    obs::counter("map.matches_tried").add(matches_tried);
+    static obs::Histogram& cut_sizes = obs::histogram("map.chosen_cut_size");
+    for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+      if (in_cover[v]) {
+        obs::counter("map.covered_nodes").add();
+        cut_sizes.record(static_cast<double>(best[v].cut.size));
+      }
     }
   }
 
@@ -318,6 +343,7 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
     net.pos.push_back(src);
     net.po_names.push_back(aig.po_name(i));
   }
+  obs::counter("map.gates_emitted").add(net.gates.size());
   return net;
 }
 

@@ -7,6 +7,7 @@
 #include "logic/simulate.hpp"
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
+#include "util/obs.hpp"
 
 namespace cryo::opt {
 
@@ -174,6 +175,8 @@ LutMapping lut_map(const Aig& aig, const LutMapOptions& options,
       ++mapping.lut_count;
     }
   }
+  util::obs::counter("opt.lut_map_runs").add();
+  util::obs::counter("opt.luts_mapped").add(mapping.lut_count);
   return mapping;
 }
 
@@ -284,6 +287,9 @@ std::size_t mfs(LutMapping& mapping, const MfsOptions& options) {
     }
     mapping.dc[v] = dc_mask & logic::tt6_mask(n);
   }
+  util::obs::counter("opt.mfs_runs").add();
+  util::obs::counter("opt.mfs_dc_minterms").add(found);
+  util::obs::counter("opt.mfs_sat_calls").add(sat_calls);
   return found;
 }
 

@@ -7,6 +7,7 @@
 #include "logic/cuts.hpp"
 #include "logic/factor.hpp"
 #include "logic/tt.hpp"
+#include "util/obs.hpp"
 
 namespace cryo::opt {
 
@@ -14,6 +15,22 @@ using logic::Aig;
 using logic::Lit;
 using logic::NodeIdx;
 using logic::TtVec;
+
+namespace {
+
+/// Book-keep one finished pass: how often it ran and how many AND nodes
+/// it removed (gains only — a pass that inflates the network records 0).
+Aig record_pass(const char* pass, const Aig& input, Aig output) {
+  namespace obs = util::obs;
+  obs::counter(std::string{"opt."} + pass + "_runs").add();
+  if (output.num_ands() < input.num_ands()) {
+    obs::counter(std::string{"opt."} + pass + "_gain")
+        .add(input.num_ands() - output.num_ands());
+  }
+  return output;
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- balance ----
 
@@ -100,7 +117,7 @@ Aig balance(const Aig& input) {
     out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
                input.po_name(i));
   }
-  return out.cleanup();
+  return record_pass("balance", input, out.cleanup());
 }
 
 // ----------------------------------------------------------- rewrite ----
@@ -161,7 +178,7 @@ Aig rewrite(const Aig& input, unsigned k) {
     out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
                input.po_name(i));
   }
-  return out.cleanup();
+  return record_pass("rewrite", input, out.cleanup());
 }
 
 // ------------------------------------------------ reconvergent cones ----
@@ -327,7 +344,7 @@ Aig refactor(const Aig& input, unsigned max_leaves) {
     out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
                input.po_name(i));
   }
-  return out.cleanup();
+  return record_pass("refactor", input, out.cleanup());
 }
 
 // ------------------------------------------------------------- resub ----
@@ -430,7 +447,7 @@ Aig resub(const Aig& input, unsigned max_leaves) {
     out.add_po(logic::lit_notif(map[logic::lit_var(po)], logic::lit_compl(po)),
                input.po_name(i));
   }
-  return out.cleanup();
+  return record_pass("resub", input, out.cleanup());
 }
 
 // -------------------------------------------------------------- c2rs ----
@@ -438,6 +455,7 @@ Aig resub(const Aig& input, unsigned max_leaves) {
 Aig compress2rs(const Aig& input) {
   // Mirrors ABC's compress2rs spirit: b; rs; rw; rs; rf; b, iterated
   // while the network keeps shrinking.
+  const util::obs::ScopedSpan span{"opt.c2rs"};
   Aig current = balance(input);
   for (int round = 0; round < 4; ++round) {
     const NodeIdx before = current.num_ands();
@@ -449,7 +467,7 @@ Aig compress2rs(const Aig& input) {
       break;
     }
   }
-  return current;
+  return record_pass("c2rs", input, std::move(current));
 }
 
 }  // namespace cryo::opt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/obs.hpp"
+
 namespace cryo::sat {
 
 Solver::Solver() = default;
@@ -326,12 +328,37 @@ std::int64_t Solver::luby(std::int64_t x) {
 
 Status Solver::solve(const std::vector<Lit>& assumptions,
                      std::int64_t conflict_limit) {
+  // Per-call SAT stats, flushed to the observability registry on every
+  // exit path (the synthesis flow issues thousands of short calls, so
+  // counting locally and flushing once keeps the solver loop clean).
+  struct SolveStats {
+    std::int64_t& conflicts_total;
+    std::int64_t conflicts_before;
+    std::uint64_t decisions = 0;
+    std::uint64_t restarts = 0;
+    Status status = Status::kUnknown;
+    ~SolveStats() {
+      namespace obs = util::obs;
+      obs::counter("sat.solve_calls").add();
+      obs::counter("sat.conflicts")
+          .add(static_cast<std::uint64_t>(conflicts_total - conflicts_before));
+      obs::counter("sat.decisions").add(decisions);
+      obs::counter("sat.restarts").add(restarts);
+      obs::counter(status == Status::kSat      ? "sat.results_sat"
+                   : status == Status::kUnsat  ? "sat.results_unsat"
+                                               : "sat.results_unknown")
+          .add();
+    }
+  } stats{conflicts_total_, conflicts_total_};
+
   if (!ok_) {
+    stats.status = Status::kUnsat;
     return Status::kUnsat;
   }
   backtrack(0);
   if (propagate() >= 0) {
     ok_ = false;
+    stats.status = Status::kUnsat;
     return Status::kUnsat;
   }
 
@@ -349,6 +376,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       ++conflicts_since_restart;
       if (trail_lim_.empty()) {
         ok_ = false;
+        stats.status = Status::kUnsat;
         return Status::kUnsat;
       }
       int back_level = 0;
@@ -374,6 +402,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       }
       if (conflicts_since_restart >= restart_budget) {
         conflicts_since_restart = 0;
+        ++stats.restarts;
         restart_budget = 100 * luby(++restart_count);
         backtrack(0);
         reduce_learnts();
@@ -390,6 +419,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       }
       if (value(a) == kFalse) {
         backtrack(0);
+        stats.status = Status::kUnsat;
         return Status::kUnsat;  // conflicting assumptions
       }
       trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
@@ -402,8 +432,10 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       // Full model.
       model_ = assigns_;
       backtrack(0);
+      stats.status = Status::kSat;
       return Status::kSat;
     }
+    ++stats.decisions;
     trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
     enqueue(decision, -1);
   }

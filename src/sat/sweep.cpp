@@ -4,6 +4,7 @@
 
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
+#include "util/obs.hpp"
 #include "util/rng.hpp"
 
 namespace cryo::sat {
@@ -55,6 +56,7 @@ std::uint64_t hash_sig(const std::vector<std::uint64_t>& sig) {
 }  // namespace
 
 SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
+  const util::obs::ScopedSpan span{"sat.sweep"};
   SweepResult result;
   Aig& out = result.aig;
   out.set_name(input.name());
@@ -260,6 +262,9 @@ SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
         input.po_name(i));
   }
   result.choices.resize(out.num_nodes());
+  util::obs::counter("sat.sweep_runs").add();
+  util::obs::counter("sat.sweep_merged").add(result.merged);
+  util::obs::counter("sat.sweep_unresolved").add(result.unresolved);
   return result;
 }
 

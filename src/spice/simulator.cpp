@@ -4,7 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/obs.hpp"
+
 namespace cryo::spice {
+
+namespace obs = util::obs;
 
 const Trace& TransientResult::trace(NodeId node) const {
   for (const auto& t : traces) {
@@ -161,6 +165,9 @@ bool Simulator::newton_solve(std::vector<double>& v, double gmin,
   DenseMatrix jac{nf};
   std::vector<double> rhs(nf);
 
+  static obs::Histogram& iter_hist = obs::histogram("spice.newton_iters");
+  static obs::Counter& nonconv = obs::counter("spice.newton_nonconverged");
+
   for (int iter = 0; iter < options.max_newton; ++iter) {
     assemble(v, gmin, caps, leaving, &jac);
     double worst_residual = 0.0;
@@ -184,13 +191,16 @@ bool Simulator::newton_solve(std::vector<double>& v, double gmin,
     // step chatter while the solution is already exact to tolerance).
     if (worst_residual < options.abstol &&
         (worst_step < 1e-7 || iter > 30)) {
+      iter_hist.record(static_cast<double>(iter + 1));
       return true;
     }
   }
+  nonconv.add();
   return false;
 }
 
 std::vector<double> Simulator::dc(double time) {
+  obs::counter("spice.dc_solves").add();
   std::vector<double> v(static_cast<std::size_t>(circuit_.num_nodes()), 0.0);
   TransientOptions options;  // Newton knobs only
 
@@ -207,6 +217,7 @@ std::vector<double> Simulator::dc(double time) {
 
   // Source stepping: ramp the supplies up from zero, reusing each converged
   // solution as the next starting point.
+  obs::counter("spice.dc_source_stepping").add();
   std::fill(v.begin(), v.end(), 0.0);
   for (int step = 1; step <= 20; ++step) {
     apply_sources(static_cast<double>(step) / 20.0);
@@ -238,6 +249,9 @@ TransientResult Simulator::transient(const TransientOptions& options,
   if (options.steps < 2 || options.t_stop <= 0.0) {
     throw std::invalid_argument{"Simulator::transient: bad options"};
   }
+  obs::counter("spice.transient_runs").add();
+  obs::counter("spice.transient_steps")
+      .add(static_cast<std::uint64_t>(options.steps));
   const double h = options.t_stop / static_cast<double>(options.steps);
 
   TransientResult result;

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/obs.hpp"
+
 namespace cryo::sta {
+
+namespace obs = util::obs;
 
 StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
   if (!(options.clock_period > 0.0)) {
@@ -93,9 +97,20 @@ StaResult analyze(const map::Netlist& netlist, const StaOptions& options) {
     result.slew[gate.output] = out_slew;
   }
 
+  // Arrival / slack roll-up: PO arrivals and their slack against the
+  // analysis clock (circuit time, so the histograms are deterministic).
+  static obs::Histogram& arrivals =
+      obs::histogram("sta.po_arrival_s", obs::Unit::kSeconds);
+  static obs::Histogram& slacks =
+      obs::histogram("sta.po_slack_s", obs::Unit::kSeconds);
   for (const std::uint32_t po : netlist.pos) {
     result.critical_delay = std::max(result.critical_delay, result.arrival[po]);
+    arrivals.record(result.arrival[po]);
+    slacks.record(options.clock_period - result.arrival[po]);
   }
+  obs::counter("sta.analyses").add();
+  obs::histogram("sta.critical_delay_s", obs::Unit::kSeconds)
+      .record(result.critical_delay);
 
   // ------------------------------ power ---------------------------------
   const double freq = 1.0 / options.clock_period;

@@ -1,0 +1,463 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cryo::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error{"Json: " + what};
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null keeps the document valid and is an
+    // unmistakable "this metric is broken" marker.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+  // Keep a double distinguishable from an int after a round-trip.
+  if (out.find_first_of(".eE", out.size() - (res.ptr - buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) {
+    fail("not a bool");
+  }
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) {
+    fail("not an integer");
+  }
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) {
+    return static_cast<double>(int_);
+  }
+  if (type_ != Type::kDouble) {
+    fail("not a number");
+  }
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    fail("not a string");
+  }
+  return string_;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kArray;
+  }
+  if (type_ != Type::kArray) {
+    fail("push_back on a non-array");
+  }
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) {
+    return array_.size();
+  }
+  if (type_ == Type::kObject) {
+    return object_.size();
+  }
+  fail("size of a non-container");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray || index >= array_.size()) {
+    fail("array index out of range");
+  }
+  return array_[index];
+}
+
+const std::vector<Json>& Json::elements() const {
+  if (type_ != Type::kArray) {
+    fail("not an array");
+  }
+  return array_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+  }
+  if (type_ != Type::kObject) {
+    fail("operator[] on a non-object");
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  object_.emplace_back(key, Json{});
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) {
+    fail("missing key \"" + key + "\"");
+  }
+  return *v;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) {
+    fail("not an object");
+  }
+  return object_;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kDouble: append_double(out, double_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline(depth);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        newline(depth);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) {
+    // An int and a double never compare equal: reports only emit doubles
+    // for values that were recorded as doubles.
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ parser ----
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_{text} {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error("trailing garbage");
+    }
+    return value;
+  }
+
+private:
+  [[noreturn]] void error(const std::string& what) const {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      error(std::string{"expected '"} + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string_view{lit}.size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't':
+        if (consume_literal("true")) {
+          return Json{true};
+        }
+        error("bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Json{false};
+        }
+        error("bad literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Json{};
+        }
+        error("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      if (peek() != '"') {
+        error("expected object key");
+      }
+      std::string key = parse_string();
+      expect(':');
+      obj[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return obj;
+      }
+      if (c != ',') {
+        error("expected ',' or '}'");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return arr;
+      }
+      if (c != ',') {
+        error("expected ',' or ']'");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            error("bad \\u escape");
+          }
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ptr != text_.data() + pos_ + 4) {
+            error("bad \\u escape");
+          }
+          pos_ += 4;
+          // Reports only escape control characters (< 0x80); decode the
+          // BMP code point as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: error("bad escape");
+      }
+    }
+    error("unterminated string");
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      error("expected a value");
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!is_double) {
+      std::int64_t v = 0;
+      const auto res = std::from_chars(first, last, v);
+      if (res.ec == std::errc{} && res.ptr == last) {
+        return Json{v};
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(first, last, d);
+    if (res.ec != std::errc{} || res.ptr != last) {
+      error("bad number");
+    }
+    return Json{d};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser{text}.run(); }
+
+}  // namespace cryo::util

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cryo::util {
+
+/// Minimal JSON value: null / bool / integer / double / string / array /
+/// object. Objects preserve insertion order, and `dump` is fully
+/// deterministic (integers verbatim, doubles via shortest-round-trip
+/// std::to_chars) — the observability run reports rely on this to be
+/// byte-identical across thread counts. `parse` accepts exactly what
+/// `dump` emits plus ordinary whitespace, so reports round-trip.
+class Json {
+public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool value) : type_{Type::kBool}, bool_{value} {}
+  Json(int value) : type_{Type::kInt}, int_{value} {}
+  Json(unsigned value) : type_{Type::kInt}, int_{value} {}
+  Json(long value) : type_{Type::kInt}, int_{value} {}
+  Json(unsigned long value)
+      : type_{Type::kInt}, int_{static_cast<std::int64_t>(value)} {}
+  Json(long long value) : type_{Type::kInt}, int_{value} {}
+  Json(unsigned long long value)
+      : type_{Type::kInt}, int_{static_cast<std::int64_t>(value)} {}
+  Json(double value) : type_{Type::kDouble}, double_{value} {}
+  Json(const char* value) : type_{Type::kString}, string_{value} {}
+  Json(std::string value) : type_{Type::kString}, string_{std::move(value)} {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Checked accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;     ///< kInt only
+  double as_double() const;        ///< kInt or kDouble
+  const std::string& as_string() const;
+
+  // Array interface.
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+  const std::vector<Json>& elements() const;
+
+  // Object interface. `operator[]` inserts a null member if absent.
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+  /// Like `find` but throws std::runtime_error when the key is missing.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialize. `indent` = 0 emits a single line; > 0 pretty-prints with
+  /// that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a JSON document; throws std::runtime_error with a byte offset
+  /// on malformed input (including trailing garbage).
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace cryo::util

@@ -1,0 +1,265 @@
+// Tests of the observability layer (util::obs): instrument atomicity
+// under parallel_for, span nesting and thread attribution, JSON
+// round-tripping of the run report, determinism of the report across
+// thread counts, histogram bucket semantics, and the disabled mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace cryo;
+namespace obs = util::obs;
+using util::Json;
+
+// Every test starts from a zeroed registry; instruments registered by
+// earlier tests keep their names (the registry never forgets), so tests
+// that compare whole reports must only assert on their own metrics or
+// run the identical workload on both sides of the comparison.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsTest, CounterIsAtomicUnderParallelFor) {
+  obs::Counter& hits = obs::counter("test.parallel_hits");
+  constexpr std::size_t kIters = 20000;
+  util::parallel_for(
+      kIters,
+      [&](std::size_t i) {
+        hits.add();
+        if (i % 2 == 0) {
+          // Exercise the lookup path concurrently as well: references
+          // from obs::counter must stay stable while other threads
+          // insert new instruments.
+          obs::counter("test.parallel_even").add(2);
+        }
+      },
+      /*threads=*/4);
+  EXPECT_EQ(hits.get(), kIters);
+  EXPECT_EQ(obs::counter("test.parallel_even").get(), kIters);
+}
+
+TEST_F(ObsTest, HistogramIsAtomicUnderParallelFor) {
+  obs::Histogram& h = obs::histogram("test.parallel_hist");
+  constexpr std::size_t kIters = 8000;
+  util::parallel_for(
+      kIters,
+      // Multiples of 0.125 sum exactly in binary floating point, so the
+      // accumulated sum is independent of addition order.
+      [&](std::size_t i) { h.record(0.125 * static_cast<double>(i % 16 + 1)); },
+      /*threads=*/4);
+  EXPECT_EQ(h.count(), kIters);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.125 * (1.0 + 16.0) / 2.0 * 16.0 * (kIters / 16));
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST_F(ObsTest, HistogramBucketSemantics) {
+  obs::Histogram& h = obs::histogram("test.buckets");
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_le(0), 0.0);
+  // Bucket 1 holds (0, 2^kMinExponent]; the last bucket is a catch-all.
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_le(1),
+                   std::ldexp(1.0, obs::Histogram::kMinExponent));
+
+  h.record(-1.0);    // non-positive -> bucket 0
+  h.record(0.0);     // non-positive -> bucket 0
+  h.record(1.5);     // in (1, 2]
+  h.record(2.0);     // exactly a bound: in (1, 2]
+  h.record(1e300);   // beyond the top bound -> last bucket
+  h.record(1e-300);  // below the bottom bound -> bucket 1
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+  // Find the (1, 2] bucket from its bound rather than hard-coding it.
+  int two_bucket = -1;
+  for (int i = 1; i < obs::Histogram::kBuckets; ++i) {
+    if (obs::Histogram::bucket_le(i) == 2.0) {
+      two_bucket = i;
+    }
+  }
+  ASSERT_GT(two_bucket, 0);
+  EXPECT_EQ(h.bucket(two_bucket), 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST_F(ObsTest, GaugeSetAndMax) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.get(), 3.5);
+  g.max(2.0);
+  EXPECT_DOUBLE_EQ(g.get(), 3.5);
+  g.max(7.25);
+  EXPECT_DOUBLE_EQ(g.get(), 7.25);
+}
+
+TEST_F(ObsTest, SpanNestingAndThreadAttribution) {
+  {
+    const obs::ScopedSpan outer{"outer"};
+    { const obs::ScopedSpan inner{"inner"}; }
+    { const obs::ScopedSpan sibling{"sibling"}; }
+  }
+  const Json report = obs::report_json({});
+  const Json& spans = report.at("spans");
+  ASSERT_EQ(spans.size(), 3u);
+
+  // Spans are sorted by allocation id: outer opened first.
+  const Json& outer = spans.at(0);
+  const Json& inner = spans.at(1);
+  const Json& sibling = spans.at(2);
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(inner.at("name").as_string(), "inner");
+  EXPECT_EQ(sibling.at("name").as_string(), "sibling");
+
+  EXPECT_EQ(outer.at("parent").as_int(), 0);
+  EXPECT_EQ(inner.at("parent").as_int(), outer.at("id").as_int());
+  EXPECT_EQ(sibling.at("parent").as_int(), outer.at("id").as_int());
+
+  // All three ran on this thread; durations are non-negative and the
+  // children start no earlier than the parent.
+  EXPECT_EQ(inner.at("thread").as_int(), outer.at("thread").as_int());
+  EXPECT_GE(outer.at("dur_ns").as_int(), 0);
+  EXPECT_GE(inner.at("start_ns").as_int(), outer.at("start_ns").as_int());
+}
+
+TEST_F(ObsTest, SpansOnWorkerThreadsGetDistinctThreadIds) {
+  util::parallel_for(
+      4, [&](std::size_t i) {
+        const obs::ScopedSpan span{"task" + std::to_string(i)};
+      },
+      /*threads=*/4);
+  const Json report = obs::report_json({});
+  const Json& spans = report.at("spans");
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // Worker-thread spans have no lexical parent.
+    EXPECT_EQ(spans.at(i).at("parent").as_int(), 0);
+    EXPECT_GT(spans.at(i).at("thread").as_int(), 0);
+  }
+}
+
+TEST_F(ObsTest, ReportJsonRoundTrips) {
+  obs::counter("test.roundtrip_count").add(42);
+  obs::gauge("test.roundtrip_gauge", obs::Unit::kSeconds).set(1.25e-12);
+  obs::histogram("test.roundtrip_hist").record(3.0);
+  { const obs::ScopedSpan span{"roundtrip"}; }
+
+  obs::ReportOptions options;
+  options.flow = "test_obs";
+  const Json report = obs::report_json(options);
+  EXPECT_EQ(report.at("schema").as_string(), "cryoeda-report-v1");
+  EXPECT_EQ(report.at("meta").at("flow").as_string(), "test_obs");
+
+  const Json reparsed = Json::parse(report.dump(2));
+  EXPECT_EQ(reparsed, report);
+  EXPECT_EQ(reparsed.at("counters").at("test.roundtrip_count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(
+      reparsed.at("gauges").at("test.roundtrip_gauge").as_double(), 1.25e-12);
+  const Json& hist = reparsed.at("histograms").at("test.roundtrip_hist");
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 3.0);
+}
+
+TEST_F(ObsTest, DeterministicReportIsByteIdenticalAcrossThreadCounts) {
+  const auto workload = [](int threads) {
+    obs::reset();
+    util::parallel_for(
+        1024,
+        [&](std::size_t i) {
+          const obs::ScopedSpan span{"work"};  // excluded from the report
+          obs::counter("test.det_count").add(i % 3 == 0 ? 2 : 1);
+          obs::gauge("test.det_gauge").max(static_cast<double>(i % 17));
+          obs::gauge("test.det_wall", obs::Unit::kWallSeconds)
+              .set(static_cast<double>(threads));  // wall-clock: excluded
+          obs::histogram("test.det_hist")
+              .record(0.25 * static_cast<double>(i % 8 + 1));
+        },
+        threads);
+    obs::ReportOptions options;
+    options.include_spans = false;
+    options.include_wallclock = false;
+    options.include_meta = false;
+    return obs::report_json(options).dump(2);
+  };
+
+  const std::string serial = workload(1);
+  const std::string parallel = workload(4);
+  EXPECT_EQ(serial, parallel);
+  // The wall-clock gauge must really have been dropped.
+  EXPECT_EQ(serial.find("test.det_wall"), std::string::npos);
+  EXPECT_NE(serial.find("test.det_gauge"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::Counter& c = obs::counter("test.disabled_count");
+  obs::Histogram& h = obs::histogram("test.disabled_hist");
+  obs::set_enabled(false);
+  c.add(5);
+  obs::gauge("test.disabled_gauge").set(9.0);
+  h.record(1.0);
+  { const obs::ScopedSpan span{"disabled"}; }
+  obs::set_enabled(true);
+
+  EXPECT_EQ(c.get(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.disabled_gauge").get(), 0.0);
+  const Json report = obs::report_json({});
+  EXPECT_EQ(report.at("spans").size(), 0u);
+}
+
+TEST_F(ObsTest, WriteReportCreatesDirectoriesAndValidJson) {
+  obs::counter("test.write_count").add(7);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cryoeda_test_obs" / "nested";
+  const auto path = dir / "report.json";
+  std::filesystem::remove_all(dir.parent_path());
+
+  obs::ReportOptions options;
+  options.flow = "write_test";
+  obs::write_report(path.string(), options);
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json report = Json::parse(buffer.str());
+  EXPECT_EQ(report.at("schema").as_string(), "cryoeda-report-v1");
+  EXPECT_EQ(report.at("counters").at("test.write_count").as_int(), 7);
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST_F(ObsTest, JsonParserEdgeCases) {
+  EXPECT_EQ(Json::parse("[1, 2.5, \"x\", true, null]").size(), 5u);
+  EXPECT_EQ(Json::parse("\"a\\u00e9b\"").as_string(), "a\xc3\xa9"
+                                                      "b");
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1] trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+
+  // Round-trip of doubles uses shortest-round-trip formatting.
+  const Json v{0.1};
+  EXPECT_EQ(v.dump(), "0.1");
+  EXPECT_DOUBLE_EQ(Json::parse(v.dump()).as_double(), 0.1);
+  // Integral doubles keep a decimal marker so the type survives.
+  EXPECT_EQ(Json{2.0}.dump(), "2.0");
+  EXPECT_EQ(Json::parse("2.0").as_double(), 2.0);
+}
+
+}  // namespace
