@@ -8,8 +8,12 @@ a checked-in baseline and fails when a quality figure drifts:
   be present in the fresh report and agree within ``--rel-tol``
   (delay / area / power / gate count — the normalized Fig. 3 figures);
 * total wall time (``meta.wall_s``) may grow by at most ``--wall-slack``
-  x the baseline (a coarse guard against order-of-magnitude slowdowns;
-  baselines and CI runners are different machines, so keep it loose);
+  x the baseline (a coarse guard against order-of-magnitude slowdowns).
+  Baselines are typically recorded on a developer machine while CI runs
+  on shared runners of unknown speed, so pass ``--wall-advisory`` in CI
+  to print the comparison without failing on it; the hard wall gate only
+  makes sense when baseline and fresh report come from the same machine
+  class;
 * schema versions must match.
 
 Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
@@ -56,6 +60,10 @@ def main():
     parser.add_argument(
         "--wall-slack", type=float, default=3.0,
         help="max wall-time growth factor vs baseline (default %(default)s)")
+    parser.add_argument(
+        "--wall-advisory", action="store_true",
+        help="report wall-time drift without failing the gate (use when "
+             "baseline and fresh report come from different machines)")
     parser.add_argument(
         "--prefix", default="experiment.",
         help="gauge prefix under the gate (default %(default)s)")
@@ -112,9 +120,13 @@ def main():
               f"{fresh_wall:.1f} s ({factor:.2f}x, slack "
               f"{args.wall_slack:.2f}x)")
         if factor > args.wall_slack:
-            failures.append(
+            message = (
                 f"wall time regression: {base_wall:.1f} s -> "
                 f"{fresh_wall:.1f} s ({factor:.2f}x > {args.wall_slack:.2f}x)")
+            if args.wall_advisory:
+                print(f"warning (advisory): {message}")
+            else:
+                failures.append(message)
     else:
         print("wall time: not compared (meta.wall_s missing on one side)")
 

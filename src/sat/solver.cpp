@@ -339,14 +339,28 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
     Status status = Status::kUnknown;
     ~SolveStats() {
       namespace obs = util::obs;
-      obs::counter("sat.solve_calls").add();
-      obs::counter("sat.conflicts")
-          .add(static_cast<std::uint64_t>(conflicts_total - conflicts_before));
-      obs::counter("sat.decisions").add(decisions);
-      obs::counter("sat.restarts").add(restarts);
-      obs::counter(status == Status::kSat      ? "sat.results_sat"
-                   : status == Status::kUnsat  ? "sat.results_unsat"
-                                               : "sat.results_unknown")
+      if (!obs::enabled()) {
+        return;
+      }
+      // Registry lookups take a shared_mutex; cache the references once
+      // so the thousands of short solve calls (often from parallel
+      // synthesis workers) don't contend on the registry.
+      static obs::Counter& calls = obs::counter("sat.solve_calls");
+      static obs::Counter& conflicts = obs::counter("sat.conflicts");
+      static obs::Counter& decision_count = obs::counter("sat.decisions");
+      static obs::Counter& restart_count = obs::counter("sat.restarts");
+      static obs::Counter& results_sat = obs::counter("sat.results_sat");
+      static obs::Counter& results_unsat = obs::counter("sat.results_unsat");
+      static obs::Counter& results_unknown =
+          obs::counter("sat.results_unknown");
+      calls.add();
+      conflicts.add(
+          static_cast<std::uint64_t>(conflicts_total - conflicts_before));
+      decision_count.add(decisions);
+      restart_count.add(restarts);
+      (status == Status::kSat     ? results_sat
+       : status == Status::kUnsat ? results_unsat
+                                  : results_unknown)
           .add();
     }
   } stats{conflicts_total_, conflicts_total_};

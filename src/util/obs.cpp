@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -55,6 +56,20 @@ void atomic_max(std::atomic<double>& target, double v) {
   while (v > cur && !target.compare_exchange_weak(
                         cur, v, std::memory_order_relaxed)) {
   }
+}
+
+/// Histogram sums are accumulated by CAS in whatever order the threads
+/// arrive, so the low-order bits depend on scheduling. Rounding to nine
+/// significant digits at dump time keeps reports thread-count
+/// independent for any realistically conditioned sum while losing
+/// nothing anyone gates on (the regression tolerance is percent-level).
+double round_sum(double v) {
+  if (v == 0.0 || !std::isfinite(v)) {
+    return v;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return std::strtod(buf, nullptr);
 }
 
 const char* unit_name(Unit unit) {
@@ -115,14 +130,18 @@ void Histogram::reset() {
 
 namespace {
 
+// `unit` is atomic because registration happens on worker threads
+// (cells::characterize registers histograms inside parallel_map), so a
+// first registration can race another thread's registration or a
+// concurrent report dump after `lookup` has dropped the registry lock.
 struct GaugeEntry {
   Gauge gauge;
-  Unit unit = Unit::kCount;
+  std::atomic<Unit> unit{Unit::kCount};
 };
 
 struct HistogramEntry {
   Histogram histogram;
-  Unit unit = Unit::kCount;
+  std::atomic<Unit> unit{Unit::kCount};
 };
 
 class Registry {
@@ -145,9 +164,7 @@ public:
   }
 
   std::int64_t now_ns() const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
   }
 
   std::uint32_t alloc_span_id() {
@@ -181,7 +198,9 @@ public:
       spans_.clear();
       next_span_id_.store(1, std::memory_order_relaxed);
     }
-    epoch_ = std::chrono::steady_clock::now();
+    // Atomic: ScopedSpan reads the epoch from any thread without a
+    // lock, and a reset may overlap a live span.
+    epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
   }
 
   Json to_json(const ReportOptions& options) const {
@@ -210,7 +229,8 @@ public:
 
     Json gauges = Json::object();
     for (const auto& [name, g] : gauges_) {
-      if (g.unit == Unit::kWallSeconds && !options.include_wallclock) {
+      if (g.unit.load(std::memory_order_relaxed) == Unit::kWallSeconds &&
+          !options.include_wallclock) {
         continue;
       }
       gauges[name] = Json{g.gauge.get()};
@@ -219,15 +239,16 @@ public:
 
     Json histograms = Json::object();
     for (const auto& [name, h] : histograms_) {
-      if (h.unit == Unit::kWallSeconds && !options.include_wallclock) {
+      const Unit unit = h.unit.load(std::memory_order_relaxed);
+      if (unit == Unit::kWallSeconds && !options.include_wallclock) {
         continue;
       }
       const auto& hist = h.histogram;
       Json entry = Json::object();
-      entry["unit"] = Json{unit_name(h.unit)};
+      entry["unit"] = Json{unit_name(unit)};
       const std::uint64_t n = hist.count();
       entry["count"] = Json{n};
-      entry["sum"] = Json{n > 0 ? hist.sum() : 0.0};
+      entry["sum"] = Json{n > 0 ? round_sum(hist.sum()) : 0.0};
       entry["min"] = Json{n > 0 ? hist.min() : 0.0};
       entry["max"] = Json{n > 0 ? hist.max() : 0.0};
       Json buckets = Json::array();
@@ -271,7 +292,13 @@ public:
   }
 
 private:
-  Registry() : epoch_{std::chrono::steady_clock::now()} {}
+  Registry() : epoch_ns_{steady_ns()} {}
+
+  static std::int64_t steady_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 
   /// Find-or-create with a double-checked shared/unique lock. std::map
   /// nodes are address-stable, so returned references survive later
@@ -292,9 +319,12 @@ private:
   template <typename E>
   E& fix_unit(E& entry, Unit unit) {
     // First registration fixes the unit; later callers must agree (a
-    // kCount default from a stray lookup is upgraded silently).
-    if (entry.unit == Unit::kCount && unit != Unit::kCount) {
-      entry.unit = unit;
+    // kCount default from a stray lookup is upgraded silently). CAS so
+    // concurrent first registrations settle on one writer.
+    if (unit != Unit::kCount) {
+      Unit expected = Unit::kCount;
+      entry.unit.compare_exchange_strong(expected, unit,
+                                         std::memory_order_relaxed);
     }
     return entry;
   }
@@ -308,7 +338,7 @@ private:
   std::vector<SpanRecord> spans_;
   std::atomic<std::uint32_t> next_span_id_{1};
   std::atomic<std::uint32_t> next_thread_id_{1};
-  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::int64_t> epoch_ns_;
 };
 
 thread_local std::uint32_t t_current_span = 0;

@@ -20,10 +20,13 @@ namespace cryo::util::obs {
 ///  * near-zero cost when disabled — every instrument first checks one
 ///    relaxed atomic bool (`CRYOEDA_OBS=0` or `set_enabled(false)`);
 ///  * deterministic reports — instrument names are sorted at dump time
-///    and doubles use shortest-round-trip formatting, so a report built
-///    from a deterministic workload is byte-identical for any thread
-///    count (spans and wall-clock metrics carry real timings and are
-///    excluded via `ReportOptions` where determinism matters).
+///    and doubles use shortest-round-trip formatting. Counters, gauges,
+///    bucket counts, and histogram min/max from a deterministic
+///    workload are exactly thread-count independent; histogram sums are
+///    accumulated in arrival order, so they are rounded to nine
+///    significant digits at dump time to strip scheduling noise from
+///    the low bits (spans and wall-clock metrics carry real timings and
+///    are excluded via `ReportOptions` where determinism matters).
 ///
 /// Hot-path usage caches the reference once (registry entries are never
 /// invalidated, `reset()` only zeroes values):

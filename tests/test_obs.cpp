@@ -69,6 +69,72 @@ TEST_F(ObsTest, HistogramIsAtomicUnderParallelFor) {
   EXPECT_DOUBLE_EQ(h.max(), 2.0);
 }
 
+TEST_F(ObsTest, ConcurrentFirstRegistrationWithUnits) {
+  // cells::characterize registers unit-tagged instruments from inside
+  // parallel_map workers, so first registrations race each other and
+  // later report dumps. Run the whole pattern under contention (TSan
+  // covers the unit handshake) and check the unit sticks.
+  util::parallel_for(
+      64,
+      [&](std::size_t i) {
+        obs::histogram("test.unit_race_hist", obs::Unit::kWallSeconds)
+            .record(0.5);
+        obs::gauge("test.unit_race_gauge", obs::Unit::kWallSeconds)
+            .set(static_cast<double>(i));
+        if (i % 8 == 0) {
+          obs::ReportOptions options;
+          options.include_wallclock = false;
+          (void)obs::report_json(options);
+        }
+      },
+      /*threads=*/4);
+
+  obs::ReportOptions deterministic;
+  deterministic.include_spans = false;
+  deterministic.include_wallclock = false;
+  deterministic.include_meta = false;
+  const std::string dump = obs::report_json(deterministic).dump();
+  // All workers agreed on kWallSeconds, so both instruments drop out of
+  // the deterministic report.
+  EXPECT_EQ(dump.find("test.unit_race_hist"), std::string::npos);
+  EXPECT_EQ(dump.find("test.unit_race_gauge"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetConcurrentWithLiveSpans) {
+  // reset() restarts the span clock while worker threads may be timing
+  // spans; the epoch is atomic, so this must be race-free (TSan).
+  util::parallel_for(
+      256,
+      [&](std::size_t i) {
+        if (i == 128) {
+          obs::reset();
+        } else {
+          const obs::ScopedSpan span{"reset_race"};
+        }
+      },
+      /*threads=*/4);
+  const Json report = obs::report_json({});
+  const Json& spans = report.at("spans");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_GE(spans.at(i).at("dur_ns").as_int(), 0);
+  }
+}
+
+TEST_F(ObsTest, HistogramSumIsRoundedAtDumpTime) {
+  obs::Histogram& h = obs::histogram("test.sum_round");
+  // 0.1 is not exactly representable; accumulate enough of them that
+  // the raw sum carries ordering-sensitive low bits.
+  for (int i = 0; i < 1000; ++i) {
+    h.record(0.1);
+  }
+  const Json report = obs::report_json({});
+  const double dumped =
+      report.at("histograms").at("test.sum_round").at("sum").as_double();
+  // Rounded to nine significant digits: exactly 100, not 99.9999999986.
+  EXPECT_EQ(dumped, 100.0);
+  EXPECT_NE(h.sum(), 100.0);  // raw accumulator keeps the noise
+}
+
 TEST_F(ObsTest, HistogramBucketSemantics) {
   obs::Histogram& h = obs::histogram("test.buckets");
   EXPECT_DOUBLE_EQ(obs::Histogram::bucket_le(0), 0.0);
