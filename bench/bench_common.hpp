@@ -39,10 +39,15 @@ inline std::string csv_path(const std::string& name) {
 }
 
 /// Serialize the run's observability registry to
-/// `cryoeda_out/BENCH_<name>.json`. When `canonical` is set the same
-/// report is also written to `cryoeda_out/report.json` — the file
+/// `cryoeda_out/BENCH_<name>.json` (everything: meta, counters,
+/// histograms, spans — the full diagnostic record). When `canonical` is
+/// set, the deterministic *signoff* report (schema + quality gauges
+/// only) is also written to `cryoeda_out/report.json` — the file
 /// scripts/check_regression.py gates against — so only the headline
-/// experiment (fig3_synthesis) should pass it.
+/// experiment (fig3_synthesis) should pass it. The signoff profile is
+/// byte-identical between a cold run and a warm `util::ArtifactCache`
+/// run (and across thread counts); wall-clock figures stay in the
+/// BENCH_*.json file, which the CI wall-time advisory reads.
 inline void write_bench_report(const std::string& name,
                                bool canonical = false) {
   util::obs::ReportOptions options;
@@ -50,7 +55,8 @@ inline void write_bench_report(const std::string& name,
   util::obs::write_report(
       (output_dir() / ("BENCH_" + name + ".json")).string(), options);
   if (canonical) {
-    util::obs::write_report((output_dir() / "report.json").string(), options);
+    util::obs::write_report((output_dir() / "report.json").string(),
+                            util::obs::ReportOptions::signoff());
   }
 }
 

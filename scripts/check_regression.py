@@ -13,7 +13,9 @@ a checked-in baseline and fails when a quality figure drifts:
   on shared runners of unknown speed, so pass ``--wall-advisory`` in CI
   to print the comparison without failing on it; the hard wall gate only
   makes sense when baseline and fresh report come from the same machine
-  class;
+  class. The canonical signoff ``report.json`` carries no wall clock, so
+  pass ``--fresh-wall-from cryoeda_out/BENCH_<name>.json`` to source the
+  fresh wall time from the full diagnostic report;
 * schema versions must match.
 
 Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
@@ -30,17 +32,67 @@ import json
 import sys
 
 
-def load_report(path):
+def fail_usage(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    """Parse ``path`` or exit 2 with a message naming the exact problem.
+
+    Missing file, unreadable file, and invalid JSON each get their own
+    diagnostic so a CI log immediately shows whether the bench run never
+    produced the report, produced a truncated one, or the path is wrong.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            report = json.load(handle)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"error: cannot load report {path}: {err}", file=sys.stderr)
-        sys.exit(2)
+            text = handle.read()
+    except FileNotFoundError:
+        fail_usage(f"{what} not found: {path} — did the bench run produce it?")
+    except OSError as err:
+        fail_usage(f"cannot read {what} {path}: {err.strerror or err}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        fail_usage(f"{what} {path} is not valid JSON "
+                   f"(line {err.lineno}, column {err.colno}: {err.msg}) — "
+                   "truncated or partially written report?")
+
+
+def load_report(path, what="report"):
+    report = load_json(path, what)
     if not isinstance(report, dict) or "schema" not in report:
-        print(f"error: {path} is not a cryoeda run report", file=sys.stderr)
-        sys.exit(2)
+        fail_usage(f"{what} {path} is not a cryoeda run report "
+                   "(expected a JSON object with a 'schema' field)")
     return report
+
+
+def numeric_gauges(report, path):
+    """The report's gauge map with every value checked to be a number."""
+    gauges = report.get("gauges", {})
+    if not isinstance(gauges, dict):
+        fail_usage(f"{path}: 'gauges' is {type(gauges).__name__}, "
+                   "expected an object")
+    for name, value in gauges.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail_usage(f"{path}: gauge {name!r} is {value!r}, "
+                       "expected a number")
+    return gauges
+
+
+def wall_seconds(report, path):
+    """meta.wall_s as a positive float, or None when absent/unusable."""
+    meta = report.get("meta", {})
+    if not isinstance(meta, dict):
+        return None
+    wall = meta.get("wall_s")
+    if isinstance(wall, bool) or not isinstance(wall, (int, float)):
+        return None
+    if wall <= 0:
+        print(f"note: {path} has non-positive meta.wall_s ({wall}); "
+              "skipping wall comparison")
+        return None
+    return float(wall)
 
 
 def rel_diff(baseline, fresh):
@@ -67,10 +119,20 @@ def main():
     parser.add_argument(
         "--prefix", default="experiment.",
         help="gauge prefix under the gate (default %(default)s)")
+    parser.add_argument(
+        "--fresh-wall-from", metavar="PATH",
+        help="read the fresh side's meta.wall_s from this report instead "
+             "of FRESH (the canonical signoff report carries no wall "
+             "clock; point this at the full BENCH_<name>.json)")
     args = parser.parse_args()
 
-    base = load_report(args.baseline)
-    fresh = load_report(args.fresh)
+    base = load_report(args.baseline, "baseline report")
+    fresh = load_report(args.fresh, "fresh report")
+    wall_source = fresh
+    wall_source_path = args.fresh
+    if args.fresh_wall_from:
+        wall_source = load_report(args.fresh_wall_from, "wall-time report")
+        wall_source_path = args.fresh_wall_from
 
     failures = []
     checked = 0
@@ -80,8 +142,8 @@ def main():
             f"schema mismatch: baseline {base.get('schema')!r} vs "
             f"fresh {fresh.get('schema')!r}")
 
-    base_gauges = base.get("gauges", {})
-    fresh_gauges = fresh.get("gauges", {})
+    base_gauges = numeric_gauges(base, args.baseline)
+    fresh_gauges = numeric_gauges(fresh, args.fresh)
     gated = {k: v for k, v in base_gauges.items()
              if k.startswith(args.prefix)}
     if not gated:
@@ -112,8 +174,8 @@ def main():
         print(f"note: {len(new_keys)} gauge(s) not in baseline "
               f"(e.g. {new_keys[0]}) — refresh the baseline to gate them")
 
-    base_wall = base.get("meta", {}).get("wall_s")
-    fresh_wall = fresh.get("meta", {}).get("wall_s")
+    base_wall = wall_seconds(base, args.baseline)
+    fresh_wall = wall_seconds(wall_source, wall_source_path)
     if base_wall and fresh_wall:
         factor = fresh_wall / base_wall
         print(f"wall time: baseline {base_wall:.1f} s, fresh "

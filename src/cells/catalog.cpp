@@ -683,4 +683,60 @@ std::vector<CellSpec> mini_catalog() {
   };
 }
 
+namespace {
+
+util::Json pdn_to_json(const PdnExpr& expr) {
+  util::Json json = util::Json::object();
+  switch (expr.kind) {
+    case PdnExpr::Kind::kInput:
+      json["in"] = util::Json{expr.input};
+      return json;
+    case PdnExpr::Kind::kSeries:
+      json["series"] = util::Json::array();
+      break;
+    case PdnExpr::Kind::kParallel:
+      json["parallel"] = util::Json::array();
+      break;
+  }
+  util::Json& children = json[expr.kind == PdnExpr::Kind::kSeries
+                                  ? "series"
+                                  : "parallel"];
+  for (const PdnExpr& child : expr.children) {
+    children.push_back(pdn_to_json(child));
+  }
+  return json;
+}
+
+}  // namespace
+
+util::Json to_json(const CellSpec& spec) {
+  util::Json json = util::Json::object();
+  json["name"] = util::Json{spec.name};
+  util::Json inputs = util::Json::array();
+  for (const std::string& input : spec.inputs) {
+    inputs.push_back(util::Json{input});
+  }
+  json["inputs"] = std::move(inputs);
+  json["output"] = util::Json{spec.output};
+  util::Json stages = util::Json::array();
+  for (const StageSpec& stage : spec.stages) {
+    util::Json s = util::Json::object();
+    s["out"] = util::Json{stage.out};
+    util::Json stage_inputs = util::Json::array();
+    for (const std::string& input : stage.inputs) {
+      stage_inputs.push_back(util::Json{input});
+    }
+    s["inputs"] = std::move(stage_inputs);
+    s["pdn"] = pdn_to_json(stage.pdn);
+    s["nfins_n"] = util::Json{stage.nfins_n};
+    s["nfins_p"] = util::Json{stage.nfins_p};
+    stages.push_back(std::move(s));
+  }
+  json["stages"] = std::move(stages);
+  json["sequential"] = util::Json{spec.sequential};
+  json["level_sensitive"] = util::Json{spec.level_sensitive};
+  json["area"] = util::Json{spec.area};
+  return json;
+}
+
 }  // namespace cryo::cells

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace cryo::cells {
 
 /// Pull-down network expression of one static-CMOS stage: AND = series
@@ -59,5 +61,11 @@ std::vector<CellSpec> standard_catalog();
 
 /// A small catalog (a dozen cells) for fast tests.
 std::vector<CellSpec> mini_catalog();
+
+/// Canonical JSON of a cell spec: every schematic/interface detail that
+/// can change the characterized tables (stages, networks, fin counts,
+/// area, pin order). This is the spec component of the characterization
+/// artifact-cache key.
+util::Json to_json(const CellSpec& spec);
 
 }  // namespace cryo::cells

@@ -7,9 +7,11 @@
 #include <optional>
 #include <stdexcept>
 
+#include "liberty/json_io.hpp"
 #include "logic/tt.hpp"
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
+#include "util/artifact_cache.hpp"
 #include "util/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -566,6 +568,62 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
   return cell;
 }
 
+/// Artifact-cache stage name of per-cell characterization.
+constexpr std::string_view kCharStage = "cells.characterize";
+
+/// Everything that determines one cell's characterized tables: the full
+/// schematic spec, the corner, and the measurement grid. Worker counts
+/// and verbosity deliberately stay out — they cannot change the result.
+util::Json char_cache_inputs(const CellSpec& spec, double temperature_k,
+                             const CharOptions& options) {
+  util::Json inputs = util::Json::object();
+  inputs["spec"] = to_json(spec);
+  inputs["temperature_k"] = util::Json{temperature_k};
+  inputs["vdd"] = util::Json{options.vdd};
+  util::Json slews = util::Json::array();
+  for (const double s : options.slews) {
+    slews.push_back(util::Json{s});
+  }
+  inputs["slews"] = std::move(slews);
+  util::Json loads = util::Json::array();
+  for (const double l : options.loads) {
+    loads.push_back(util::Json{l});
+  }
+  inputs["loads"] = std::move(loads);
+  inputs["transient_steps"] = util::Json{options.transient_steps};
+  return inputs;
+}
+
+/// Characterize one cell through the artifact cache: a hit deserializes
+/// the exact tables of a previous run (ours or another process's); a
+/// miss runs the SPICE grid and persists the result.
+liberty::Cell characterize_cell_cached(const CellSpec& spec,
+                                       double temperature_k,
+                                       const CharOptions& options) {
+  auto& cache = util::ArtifactCache::global();
+  if (!cache.enabled()) {
+    return spec.sequential
+               ? characterize_sequential(spec, temperature_k, options)
+               : characterize_cell(spec, temperature_k, options);
+  }
+  const util::Json inputs = char_cache_inputs(spec, temperature_k, options);
+  const std::string key = util::ArtifactCache::key(kCharStage, inputs);
+  if (auto hit = cache.load(kCharStage, key)) {
+    try {
+      return liberty::cell_from_json(*hit);
+    } catch (const std::exception&) {
+      // Schema drift inside a checksum-valid entry (e.g. hand-edited):
+      // recompute below and overwrite.
+      obs::counter("cache.corrupt").add();
+    }
+  }
+  liberty::Cell cell =
+      spec.sequential ? characterize_sequential(spec, temperature_k, options)
+                      : characterize_cell(spec, temperature_k, options);
+  cache.store(kCharStage, key, liberty::to_json(cell));
+  return cell;
+}
+
 /// A cached library is only reusable when it was characterized for the
 /// same corner (temperature, Vdd) and contains every requested cell — a
 /// stale cache from a different run must not poison downstream figures.
@@ -611,12 +669,8 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
         const obs::ScopedSpan span{"cells.characterize:" + spec.name};
         const util::ScopedTimer cell_timer{spec.name, /*log=*/false};
         std::optional<liberty::Cell> cell;
-        if (spec.sequential) {
-          if (options.include_sequential) {
-            cell = characterize_sequential(spec, temperature_k, options);
-          }
-        } else {
-          cell = characterize_cell(spec, temperature_k, options);
+        if (!spec.sequential || options.include_sequential) {
+          cell = characterize_cell_cached(spec, temperature_k, options);
         }
         if (cell) {
           obs::counter("cells.characterized").add();

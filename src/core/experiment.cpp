@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "liberty/json_io.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/hash.hpp"
 #include "util/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,12 +36,97 @@ const char* scenario_name(opt::CostPriority priority) {
   }
 }
 
+/// Artifact-cache stage of one synthesis + STA scenario (one benchmark,
+/// one recipe). The key covers the circuit structure, the characterized
+/// library (via fingerprint), the matcher bounds, and every flow / STA
+/// knob that steers the result; the value is the scalar signoff figures
+/// — small enough to persist per (circuit, recipe, corner) forever.
+constexpr std::string_view kScenarioStage = "core.scenario";
+
+util::Json scenario_cache_inputs(const logic::Aig& aig,
+                                 const map::CellMatcher& matcher,
+                                 const ExperimentOptions& options,
+                                 opt::CostPriority priority) {
+  util::Json inputs = util::Json::object();
+  inputs["aig_fingerprint"] = util::Json{util::hex64(logic::fingerprint(aig))};
+  inputs["library_fingerprint"] =
+      util::Json{util::hex64(liberty::fingerprint(matcher.library()))};
+  inputs["matcher_max_inputs"] = util::Json{matcher.max_inputs()};
+  inputs["matcher_max_matches"] = util::Json{matcher.max_matches_per_key()};
+  inputs["priority"] = util::Json{opt::to_string(priority)};
+
+  const FlowOptions& flow = options.flow;
+  util::Json f = util::Json::object();
+  f["epsilon"] = util::Json{flow.epsilon};
+  f["input_activity"] = util::Json{flow.input_activity};
+  f["use_choices"] = util::Json{flow.use_choices};
+  f["use_mfs"] = util::Json{flow.use_mfs};
+  f["lut_k"] = util::Json{flow.lut_k};
+  f["clock_estimate"] = util::Json{flow.clock_estimate};
+  f["seed"] = util::Json{flow.seed};
+  inputs["flow"] = std::move(f);
+
+  const sta::StaOptions& sta = options.sta;
+  util::Json s = util::Json::object();
+  s["input_slew"] = util::Json{sta.input_slew};
+  s["output_load"] = util::Json{sta.output_load};
+  s["clock_period"] = util::Json{sta.clock_period};
+  s["input_activity"] = util::Json{sta.input_activity};
+  s["wire_cap_base"] = util::Json{sta.wire_cap_base};
+  s["wire_cap_per_fanout"] = util::Json{sta.wire_cap_per_fanout};
+  s["sim_words"] = util::Json{sta.sim_words};
+  s["seed"] = util::Json{sta.seed};
+  s["clamp_tables"] = util::Json{sta.clamp_tables};
+  inputs["sta"] = std::move(s);
+  return inputs;
+}
+
+util::Json scenario_to_json(const ScenarioResult& result) {
+  util::Json json = util::Json::object();
+  json["leakage_w"] = util::Json{result.power.leakage};
+  json["internal_w"] = util::Json{result.power.internal};
+  json["switching_w"] = util::Json{result.power.switching};
+  json["delay_s"] = util::Json{result.delay};
+  json["area_um2"] = util::Json{result.area};
+  json["gates"] = util::Json{result.gates};
+  return json;
+}
+
+ScenarioResult scenario_from_json(const util::Json& json,
+                                  opt::CostPriority priority) {
+  ScenarioResult result;
+  result.priority = priority;
+  result.power.leakage = json.at("leakage_w").as_double();
+  result.power.internal = json.at("internal_w").as_double();
+  result.power.switching = json.at("switching_w").as_double();
+  // Same sum the cold path computes from sta::PowerReport::total().
+  result.total_power = result.power.total();
+  result.delay = json.at("delay_s").as_double();
+  result.area = json.at("area_um2").as_double();
+  result.gates = static_cast<std::size_t>(json.at("gates").as_int());
+  return result;
+}
+
 ScenarioResult run_scenario(const logic::Aig& aig,
                             const map::CellMatcher& matcher,
                             const ExperimentOptions& options,
                             opt::CostPriority priority) {
   const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
                              scenario_name(priority)};
+  auto& cache = util::ArtifactCache::global();
+  std::string cache_key;
+  if (cache.enabled()) {
+    cache_key = util::ArtifactCache::key(
+        kScenarioStage,
+        scenario_cache_inputs(aig, matcher, options, priority));
+    if (auto hit = cache.load(kScenarioStage, cache_key)) {
+      try {
+        return scenario_from_json(*hit, priority);
+      } catch (const std::exception&) {
+        obs::counter("cache.corrupt").add();
+      }
+    }
+  }
   obs::counter("core.scenarios_run").add();
   FlowOptions flow = options.flow;
   flow.priority = priority;
@@ -51,6 +139,9 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   out.delay = signoff.critical_delay;
   out.area = result.netlist.total_area();
   out.gates = result.netlist.gate_count();
+  if (cache.enabled()) {
+    cache.store(kScenarioStage, cache_key, scenario_to_json(out));
+  }
   return out;
 }
 

@@ -4,6 +4,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "device/serialize.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/obs.hpp"
 #include "util/optimize.hpp"
 #include "util/thread_pool.hpp"
 
@@ -72,11 +75,45 @@ double objective(const FinFetParams& params, const MeasurementSet& meas) {
 
 }  // namespace
 
+namespace {
+
+/// Artifact-cache stage of parameter extraction. The key covers the
+/// entire fitting problem: every measurement sample, the starting point,
+/// and the optimizer budget.
+constexpr std::string_view kCalibrateStage = "device.calibrate";
+
+util::Json calibrate_cache_inputs(const MeasurementSet& measurements,
+                                  const FinFetParams& initial_guess,
+                                  int max_evaluations) {
+  util::Json inputs = util::Json::object();
+  inputs["measurements"] = to_json(measurements);
+  inputs["initial_guess"] = to_json(initial_guess);
+  inputs["max_evaluations"] = util::Json{max_evaluations};
+  return inputs;
+}
+
+}  // namespace
+
 CalibrationResult calibrate(const MeasurementSet& measurements,
                             const FinFetParams& initial_guess,
                             int max_evaluations) {
   if (measurements.points.empty()) {
     throw std::invalid_argument{"calibrate: empty measurement set"};
+  }
+
+  auto& cache = util::ArtifactCache::global();
+  std::string cache_key;
+  if (cache.enabled()) {
+    cache_key = util::ArtifactCache::key(
+        kCalibrateStage,
+        calibrate_cache_inputs(measurements, initial_guess, max_evaluations));
+    if (auto hit = cache.load(kCalibrateStage, cache_key)) {
+      try {
+        return calibration_result_from_json(*hit);
+      } catch (const std::exception&) {
+        util::obs::counter("cache.corrupt").add();
+      }
+    }
   }
 
   auto fun = [&](const std::vector<double>& factors) {
@@ -117,6 +154,9 @@ CalibrationResult calibrate(const MeasurementSet& measurements,
   result.rms_log_error =
       std::sqrt(sum / static_cast<double>(measurements.points.size()));
   result.max_log_error = worst;
+  if (cache.enabled()) {
+    cache.store(kCalibrateStage, cache_key, to_json(result));
+  }
   return result;
 }
 

@@ -1,0 +1,98 @@
+#include "device/serialize.hpp"
+
+#include <stdexcept>
+
+namespace cryo::device {
+
+using util::Json;
+
+Json to_json(const FinFetParams& params) {
+  Json json = Json::object();
+  json["polarity"] = Json{params.polarity == Polarity::kN ? "n" : "p"};
+  json["name"] = Json{params.name};
+  json["l_eff"] = Json{params.l_eff};
+  json["w_fin"] = Json{params.w_fin};
+  json["vth300"] = Json{params.vth300};
+  json["ideality"] = Json{params.ideality};
+  json["band_tail_v"] = Json{params.band_tail_v};
+  json["kvt"] = Json{params.kvt};
+  json["beta_vth"] = Json{params.beta_vth};
+  json["mu0"] = Json{params.mu0};
+  json["mu_r_inf"] = Json{params.mu_r_inf};
+  json["theta"] = Json{params.theta};
+  json["vsat_gain"] = Json{params.vsat_gain};
+  json["lambda"] = Json{params.lambda};
+  json["cox"] = Json{params.cox};
+  json["cov_per_fin"] = Json{params.cov_per_fin};
+  json["cj_per_fin"] = Json{params.cj_per_fin};
+  json["i_floor_per_fin"] = Json{params.i_floor_per_fin};
+  json["cap_coeff"] = Json{params.cap_coeff};
+  return json;
+}
+
+FinFetParams finfet_params_from_json(const Json& json) {
+  FinFetParams params;
+  const std::string& polarity = json.at("polarity").as_string();
+  if (polarity != "n" && polarity != "p") {
+    throw std::runtime_error{"device json: unknown polarity '" + polarity +
+                             "'"};
+  }
+  params.polarity = polarity == "n" ? Polarity::kN : Polarity::kP;
+  params.name = json.at("name").as_string();
+  params.l_eff = json.at("l_eff").as_double();
+  params.w_fin = json.at("w_fin").as_double();
+  params.vth300 = json.at("vth300").as_double();
+  params.ideality = json.at("ideality").as_double();
+  params.band_tail_v = json.at("band_tail_v").as_double();
+  params.kvt = json.at("kvt").as_double();
+  params.beta_vth = json.at("beta_vth").as_double();
+  params.mu0 = json.at("mu0").as_double();
+  params.mu_r_inf = json.at("mu_r_inf").as_double();
+  params.theta = json.at("theta").as_double();
+  params.vsat_gain = json.at("vsat_gain").as_double();
+  params.lambda = json.at("lambda").as_double();
+  params.cox = json.at("cox").as_double();
+  params.cov_per_fin = json.at("cov_per_fin").as_double();
+  params.cj_per_fin = json.at("cj_per_fin").as_double();
+  params.i_floor_per_fin = json.at("i_floor_per_fin").as_double();
+  params.cap_coeff = json.at("cap_coeff").as_double();
+  return params;
+}
+
+Json to_json(const MeasurementSet& measurements) {
+  Json json = Json::object();
+  json["polarity"] =
+      Json{measurements.polarity == Polarity::kN ? "n" : "p"};
+  json["nfins"] = Json{measurements.nfins};
+  Json points = Json::array();
+  for (const MeasurementPoint& pt : measurements.points) {
+    Json p = Json::array();
+    p.push_back(Json{pt.temperature_k});
+    p.push_back(Json{pt.vgs});
+    p.push_back(Json{pt.vds});
+    p.push_back(Json{pt.ids});
+    points.push_back(std::move(p));
+  }
+  json["points"] = std::move(points);
+  return json;
+}
+
+Json to_json(const CalibrationResult& result) {
+  Json json = Json::object();
+  json["params"] = to_json(result.params);
+  json["rms_log_error"] = Json{result.rms_log_error};
+  json["max_log_error"] = Json{result.max_log_error};
+  json["evaluations"] = Json{result.evaluations};
+  return json;
+}
+
+CalibrationResult calibration_result_from_json(const Json& json) {
+  CalibrationResult result;
+  result.params = finfet_params_from_json(json.at("params"));
+  result.rms_log_error = json.at("rms_log_error").as_double();
+  result.max_log_error = json.at("max_log_error").as_double();
+  result.evaluations = static_cast<int>(json.at("evaluations").as_int());
+  return result;
+}
+
+}  // namespace cryo::device

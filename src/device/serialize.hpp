@@ -1,0 +1,24 @@
+#pragma once
+
+#include "device/calibration.hpp"
+#include "device/measurement.hpp"
+#include "util/json.hpp"
+
+namespace cryo::device {
+
+/// Exact JSON round-trip of the compact-model parameter set (cache value
+/// of the calibration stage; also part of its key as the initial guess).
+util::Json to_json(const FinFetParams& params);
+FinFetParams finfet_params_from_json(const util::Json& json);
+
+/// Canonical JSON of a measurement set — the data component of the
+/// calibration cache key. Points are serialized in order with full
+/// double precision, so any change to the campaign (plan, noise seed,
+/// reference device) changes the key.
+util::Json to_json(const MeasurementSet& measurements);
+
+/// Cache value of `device::calibrate`.
+util::Json to_json(const CalibrationResult& result);
+CalibrationResult calibration_result_from_json(const util::Json& json);
+
+}  // namespace cryo::device

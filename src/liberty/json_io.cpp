@@ -1,0 +1,204 @@
+#include "liberty/json_io.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace cryo::liberty {
+
+using util::Json;
+
+namespace {
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (const double v : values) {
+    arr.push_back(Json{v});
+  }
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const Json& json) {
+  std::vector<double> out;
+  out.reserve(json.size());
+  for (const Json& v : json.elements()) {
+    out.push_back(v.as_double());
+  }
+  return out;
+}
+
+const char* sense_name(ArcSense sense) {
+  switch (sense) {
+    case ArcSense::kPositive: return "positive";
+    case ArcSense::kNegative: return "negative";
+    case ArcSense::kNonUnate: return "non_unate";
+  }
+  return "negative";
+}
+
+ArcSense sense_from_name(const std::string& name) {
+  if (name == "positive") {
+    return ArcSense::kPositive;
+  }
+  if (name == "negative") {
+    return ArcSense::kNegative;
+  }
+  if (name == "non_unate") {
+    return ArcSense::kNonUnate;
+  }
+  throw std::runtime_error{"liberty json: unknown arc sense '" + name + "'"};
+}
+
+void hash_doubles(util::Fnv1a& hash, const std::vector<double>& values) {
+  hash.u64(values.size());
+  for (const double v : values) {
+    hash.f64(v);
+  }
+}
+
+void hash_table(util::Fnv1a& hash, const NldmTable& table) {
+  hash_doubles(hash, table.index1());
+  hash_doubles(hash, table.index2());
+  hash_doubles(hash, table.values());
+}
+
+}  // namespace
+
+Json to_json(const NldmTable& table) {
+  Json json = Json::object();
+  json["index1"] = doubles_to_json(table.index1());
+  json["index2"] = doubles_to_json(table.index2());
+  json["values"] = doubles_to_json(table.values());
+  return json;
+}
+
+NldmTable nldm_from_json(const Json& json) {
+  return NldmTable{doubles_from_json(json.at("index1")),
+                   doubles_from_json(json.at("index2")),
+                   doubles_from_json(json.at("values"))};
+}
+
+Json to_json(const Cell& cell) {
+  Json json = Json::object();
+  json["name"] = Json{cell.name};
+  json["area"] = Json{cell.area};
+  json["leakage_power"] = Json{cell.leakage_power};
+  json["is_sequential"] = Json{cell.is_sequential};
+  json["next_state"] = Json{cell.next_state};
+  json["clocked_on"] = Json{cell.clocked_on};
+
+  Json pins = Json::array();
+  for (const Pin& pin : cell.pins) {
+    Json p = Json::object();
+    p["name"] = Json{pin.name};
+    p["is_output"] = Json{pin.is_output};
+    p["capacitance"] = Json{pin.capacitance};
+    p["function"] = Json{pin.function};
+    pins.push_back(std::move(p));
+  }
+  json["pins"] = std::move(pins);
+
+  Json arcs = Json::array();
+  for (const TimingArc& arc : cell.arcs) {
+    Json a = Json::object();
+    a["related_pin"] = Json{arc.related_pin};
+    a["sense"] = Json{sense_name(arc.sense)};
+    a["cell_rise"] = to_json(arc.cell_rise);
+    a["cell_fall"] = to_json(arc.cell_fall);
+    a["rise_transition"] = to_json(arc.rise_transition);
+    a["fall_transition"] = to_json(arc.fall_transition);
+    arcs.push_back(std::move(a));
+  }
+  json["arcs"] = std::move(arcs);
+
+  Json power_arcs = Json::array();
+  for (const PowerArc& arc : cell.power_arcs) {
+    Json a = Json::object();
+    a["related_pin"] = Json{arc.related_pin};
+    a["rise_power"] = to_json(arc.rise_power);
+    a["fall_power"] = to_json(arc.fall_power);
+    power_arcs.push_back(std::move(a));
+  }
+  json["power_arcs"] = std::move(power_arcs);
+  return json;
+}
+
+Cell cell_from_json(const Json& json) {
+  Cell cell;
+  cell.name = json.at("name").as_string();
+  cell.area = json.at("area").as_double();
+  cell.leakage_power = json.at("leakage_power").as_double();
+  cell.is_sequential = json.at("is_sequential").as_bool();
+  cell.next_state = json.at("next_state").as_string();
+  cell.clocked_on = json.at("clocked_on").as_string();
+
+  for (const Json& p : json.at("pins").elements()) {
+    Pin pin;
+    pin.name = p.at("name").as_string();
+    pin.is_output = p.at("is_output").as_bool();
+    pin.capacitance = p.at("capacitance").as_double();
+    pin.function = p.at("function").as_string();
+    cell.pins.push_back(std::move(pin));
+  }
+
+  for (const Json& a : json.at("arcs").elements()) {
+    TimingArc arc;
+    arc.related_pin = a.at("related_pin").as_string();
+    arc.sense = sense_from_name(a.at("sense").as_string());
+    arc.cell_rise = nldm_from_json(a.at("cell_rise"));
+    arc.cell_fall = nldm_from_json(a.at("cell_fall"));
+    arc.rise_transition = nldm_from_json(a.at("rise_transition"));
+    arc.fall_transition = nldm_from_json(a.at("fall_transition"));
+    cell.arcs.push_back(std::move(arc));
+  }
+
+  for (const Json& a : json.at("power_arcs").elements()) {
+    PowerArc arc;
+    arc.related_pin = a.at("related_pin").as_string();
+    arc.rise_power = nldm_from_json(a.at("rise_power"));
+    arc.fall_power = nldm_from_json(a.at("fall_power"));
+    cell.power_arcs.push_back(std::move(arc));
+  }
+  return cell;
+}
+
+std::uint64_t fingerprint(const Library& library) {
+  util::Fnv1a hash;
+  hash.str(library.name);
+  hash.f64(library.temperature_k);
+  hash.f64(library.voltage);
+  hash.u64(library.cells.size());
+  for (const Cell& cell : library.cells) {
+    hash.str(cell.name);
+    hash.f64(cell.area);
+    hash.f64(cell.leakage_power);
+    hash.u64(cell.is_sequential ? 1 : 0);
+    hash.str(cell.next_state);
+    hash.str(cell.clocked_on);
+    hash.u64(cell.pins.size());
+    for (const Pin& pin : cell.pins) {
+      hash.str(pin.name);
+      hash.u64(pin.is_output ? 1 : 0);
+      hash.f64(pin.capacitance);
+      hash.str(pin.function);
+    }
+    hash.u64(cell.arcs.size());
+    for (const TimingArc& arc : cell.arcs) {
+      hash.str(arc.related_pin);
+      hash.u64(static_cast<std::uint64_t>(arc.sense));
+      hash_table(hash, arc.cell_rise);
+      hash_table(hash, arc.cell_fall);
+      hash_table(hash, arc.rise_transition);
+      hash_table(hash, arc.fall_transition);
+    }
+    hash.u64(cell.power_arcs.size());
+    for (const PowerArc& arc : cell.power_arcs) {
+      hash.str(arc.related_pin);
+      hash_table(hash, arc.rise_power);
+      hash_table(hash, arc.fall_power);
+    }
+  }
+  return hash.value();
+}
+
+}  // namespace cryo::liberty

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "liberty/library.hpp"
+#include "util/json.hpp"
+
+namespace cryo::liberty {
+
+/// Exact JSON serialization of characterized cells — the value format of
+/// the artifact cache's `cells.characterize` stage. Unlike the liberty
+/// text writer (which formats for EDA-tool interchange), these
+/// round-trip every double bit-for-bit via `util::Json`'s
+/// shortest-round-trip formatting, so a cache hit reproduces the cold
+/// characterization exactly.
+util::Json to_json(const NldmTable& table);
+util::Json to_json(const Cell& cell);
+
+/// Inverse of `to_json`; throws std::runtime_error on a malformed or
+/// incompatible document.
+NldmTable nldm_from_json(const util::Json& json);
+Cell cell_from_json(const util::Json& json);
+
+/// Stable FNV-1a fingerprint of a full library (corner, every cell's
+/// interface, tables, leakage, area). Two libraries with the same
+/// fingerprint produce the same mapping and signoff results, so this is
+/// the library component of synthesis-stage cache keys.
+std::uint64_t fingerprint(const Library& library);
+
+}  // namespace cryo::liberty

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace cryo::logic {
 
 Lit Aig::add_pi(std::string name) {
@@ -142,6 +144,26 @@ Aig Aig::cleanup() const {
     out.add_po(lit_notif(map[lit_var(po)], lit_compl(po)), po_names_[i]);
   }
   return out;
+}
+
+std::uint64_t fingerprint(const Aig& aig) {
+  util::Fnv1a hash;
+  hash.str(aig.name());
+  hash.u64(aig.num_pis());
+  for (NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    hash.str(aig.pi_name(i));
+  }
+  hash.u64(aig.num_nodes());
+  for (NodeIdx v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    hash.u64(aig.fanin0(v));
+    hash.u64(aig.fanin1(v));
+  }
+  hash.u64(aig.num_pos());
+  for (NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    hash.u64(aig.po(i));
+    hash.str(aig.po_name(i));
+  }
+  return hash.value();
 }
 
 }  // namespace cryo::logic

@@ -84,4 +84,10 @@ private:
   NodeIdx num_ands_ = 0;
 };
 
+/// Stable structural fingerprint (FNV-1a over name, PI/PO interface, and
+/// every AND node's fanin literals in construction order). Two AIGs with
+/// the same fingerprint drive the synthesis flow identically, so this is
+/// the circuit component of synthesis-stage artifact-cache keys.
+std::uint64_t fingerprint(const Aig& aig);
+
 }  // namespace cryo::logic

@@ -11,7 +11,9 @@ namespace cryo::map {
 
 CellMatcher::CellMatcher(const liberty::Library& library, unsigned max_inputs,
                          unsigned max_matches_per_key)
-    : library_{&library} {
+    : library_{&library},
+      max_inputs_{max_inputs},
+      max_matches_per_key_{max_matches_per_key} {
   for (const auto& cell : library.cells) {
     if (cell.is_sequential) {
       continue;

@@ -42,8 +42,15 @@ public:
 
   const liberty::Library& library() const { return *library_; }
 
+  /// Construction knobs (they bound which matches exist, so synthesis
+  /// cache keys must include them alongside the library fingerprint).
+  unsigned max_inputs() const { return max_inputs_; }
+  unsigned max_matches_per_key() const { return max_matches_per_key_; }
+
 private:
   const liberty::Library* library_;
+  unsigned max_inputs_ = 5;
+  unsigned max_matches_per_key_ = 12;
   /// One exact-match table per input count (0..6) — no canonicalization,
   /// no collisions.
   std::array<std::unordered_map<std::uint64_t, std::vector<Match>>, 7> tables_;

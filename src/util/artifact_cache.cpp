@@ -1,0 +1,277 @@
+#include "util/artifact_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/obs.hpp"
+
+namespace cryo::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// On-disk entry format version (independent of kCacheSchemaVersion,
+/// which governs key semantics): a one-line header
+///   cryoeda-cache-v1 <16-hex fnv1a of payload> <payload bytes>\n
+/// followed by exactly the payload and one trailing newline.
+constexpr std::string_view kMagic = "cryoeda-cache-v1";
+
+void count(std::string_view stage, const char* what) {
+  obs::counter(std::string{"cache."} + std::string{what}).add();
+  obs::counter("cache." + std::string{stage} + "." + what).add();
+}
+
+std::string unique_temp_name(const std::string& key) {
+  static std::atomic<std::uint64_t> sequence{0};
+  std::ostringstream name;
+  name << ".tmp-" << key << "-" << ::getpid() << "-"
+       << sequence.fetch_add(1, std::memory_order_relaxed);
+  return name.str();
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(Config config) : config_{std::move(config)} {
+  approx_bytes_ = scan_bytes();
+}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache{env_config()};
+  return cache;
+}
+
+ArtifactCache::Config ArtifactCache::env_config() {
+  Config config;
+  if (const char* env = std::getenv("CRYOEDA_CACHE")) {
+    config.enabled = std::string_view{env} != "0";
+  }
+  if (const char* env = std::getenv("CRYOEDA_CACHE_DIR")) {
+    if (*env != '\0') {
+      config.root = env;
+    }
+  }
+  if (const char* env = std::getenv("CRYOEDA_CACHE_MAX_MB")) {
+    char* end = nullptr;
+    const long long mb = std::strtoll(env, &end, 10);
+    if (end != env && mb > 0) {
+      config.max_bytes = static_cast<std::uint64_t>(mb) << 20;
+    }
+  }
+  return config;
+}
+
+void ArtifactCache::configure(Config config) {
+  const std::lock_guard<std::mutex> evict_lock{evict_mutex_};
+  const std::lock_guard<std::mutex> bytes_lock{bytes_mutex_};
+  config_ = std::move(config);
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it{config_.root, ec}, end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  approx_bytes_ = total;
+}
+
+std::string ArtifactCache::key(std::string_view stage, const Json& inputs) {
+  Fnv1a hash;
+  hash.i64(kCacheSchemaVersion);
+  hash.str(stage);
+  hash.str(inputs.dump(0));
+  return hash.hex();
+}
+
+fs::path ArtifactCache::entry_path(std::string_view stage,
+                                   const std::string& key) const {
+  return config_.root / fs::path{std::string{stage}} / (key + ".json");
+}
+
+std::optional<Json> ArtifactCache::load(std::string_view stage,
+                                        const std::string& key) {
+  if (!config_.enabled) {
+    return std::nullopt;
+  }
+  const fs::path path = entry_path(stage, key);
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    count(stage, "misses");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  in.close();
+
+  auto corrupt = [&]() -> std::optional<Json> {
+    obs::counter("cache.corrupt").add();
+    std::error_code ec;
+    fs::remove(path, ec);
+    count(stage, "misses");
+    return std::nullopt;
+  };
+
+  const std::size_t header_end = raw.find('\n');
+  if (header_end == std::string::npos) {
+    return corrupt();
+  }
+  std::istringstream header{raw.substr(0, header_end)};
+  std::string magic;
+  std::string checksum;
+  std::size_t payload_size = 0;
+  if (!(header >> magic >> checksum >> payload_size) || magic != kMagic) {
+    return corrupt();
+  }
+  // Strict framing: exactly the declared payload plus one trailing
+  // newline, so both truncation and appended garbage are caught even
+  // when the checksum of the prefix happens to survive.
+  if (raw.size() != header_end + 1 + payload_size + 1 ||
+      raw.back() != '\n') {
+    return corrupt();
+  }
+  const std::string_view payload{raw.data() + header_end + 1, payload_size};
+  if (Fnv1a{}.bytes(payload.data(), payload.size()).hex() != checksum) {
+    return corrupt();
+  }
+  Json value;
+  try {
+    value = Json::parse(std::string{payload});
+  } catch (const std::exception&) {
+    return corrupt();
+  }
+
+  // Refresh the LRU timestamp; best effort (a concurrent evictor may
+  // have removed the file already).
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  count(stage, "hits");
+  return value;
+}
+
+void ArtifactCache::store(std::string_view stage, const std::string& key,
+                          const Json& value) {
+  if (!config_.enabled) {
+    return;
+  }
+  const fs::path path = entry_path(stage, key);
+  const std::string payload = value.dump(0);
+
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  const fs::path temp = path.parent_path() / unique_temp_name(key);
+  {
+    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      obs::counter("cache.errors").add();
+      return;
+    }
+    out << kMagic << ' '
+        << Fnv1a{}.bytes(payload.data(), payload.size()).hex() << ' '
+        << payload.size() << '\n'
+        << payload << '\n';
+    out.flush();
+    if (!out) {
+      obs::counter("cache.errors").add();
+      out.close();
+      fs::remove(temp, ec);
+      return;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    obs::counter("cache.errors").add();
+    fs::remove(temp, ec);
+    return;
+  }
+  count(stage, "stores");
+
+  bool over_cap = false;
+  {
+    const std::lock_guard<std::mutex> lock{bytes_mutex_};
+    approx_bytes_ += payload.size() + 64;  // header + payload
+    over_cap = approx_bytes_ > config_.max_bytes;
+  }
+  if (over_cap) {
+    evict_to_cap();
+  }
+}
+
+std::uint64_t ArtifactCache::scan_bytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it{config_.root, ec}, end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+std::size_t ArtifactCache::evict_to_cap() {
+  if (!config_.enabled) {
+    return 0;
+  }
+  const std::lock_guard<std::mutex> lock{evict_mutex_};
+
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it{config_.root, ec}, end;
+       !ec && it != end; it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec)) {
+      continue;
+    }
+    Entry entry;
+    entry.path = it->path();
+    entry.mtime = fs::last_write_time(entry.path, fec);
+    entry.size = fs::file_size(entry.path, fec);
+    if (!fec) {
+      total += entry.size;
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  std::size_t evicted = 0;
+  if (total > config_.max_bytes) {
+    // Oldest-used first; path as tie-break keeps the pass deterministic.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    const std::uint64_t target = config_.max_bytes - config_.max_bytes / 4;
+    for (const Entry& entry : entries) {
+      if (total <= target) {
+        break;
+      }
+      std::error_code rec;
+      if (fs::remove(entry.path, rec) && !rec) {
+        total -= std::min(total, entry.size);
+        ++evicted;
+      }
+    }
+    obs::counter("cache.evictions").add(evicted);
+  }
+
+  const std::lock_guard<std::mutex> bytes_lock{bytes_mutex_};
+  approx_bytes_ = total;
+  return evicted;
+}
+
+}  // namespace cryo::util

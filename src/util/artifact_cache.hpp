@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace cryo::util {
+
+/// Version of the cache key schema. Bump whenever a cached stage changes
+/// the *semantics* of its outputs (a characterization bugfix, a new cost
+/// model, a different optimizer) without a corresponding change to the
+/// serialized inputs: entries are addressed purely by their inputs, so a
+/// semantic change with the same inputs would otherwise replay stale
+/// results forever. CI mixes this constant into its cache key as well.
+inline constexpr int kCacheSchemaVersion = 1;
+
+/// Persistent, content-addressed, on-disk artifact cache.
+///
+/// Every expensive stage of the flow (SPICE cell characterization,
+/// device calibration, per-benchmark synthesis + STA) memoizes its
+/// result here, keyed by a stable 64-bit FNV-1a hash of a canonical JSON
+/// serialization of *all* stage inputs plus `kCacheSchemaVersion`.
+/// Values are JSON blobs — exact, because `Json::dump` emits doubles in
+/// shortest-round-trip form — so a warm rerun reproduces the cold run's
+/// outputs byte for byte.
+///
+/// Durability and concurrency:
+///  * stores write a uniquely named temp file and atomically rename it
+///    into place, so concurrent writers (threads or processes) racing on
+///    one key leave exactly one valid entry and readers never observe a
+///    partial write;
+///  * every entry carries a one-line header with a checksum and payload
+///    size; truncated or bit-flipped entries are detected on load,
+///    deleted, counted in `cache.corrupt`, and treated as misses;
+///  * a size-capped LRU eviction pass (by mtime, refreshed on hits) runs
+///    after stores once the cache outgrows `max_bytes`.
+///
+/// Environment configuration of the process-wide instance:
+///  * CRYOEDA_CACHE=0      — disable entirely (loads miss, stores no-op);
+///  * CRYOEDA_CACHE_DIR    — cache root (default `cryoeda_cache/`);
+///  * CRYOEDA_CACHE_MAX_MB — LRU size cap (default 512 MiB).
+///
+/// Observability: `cache.hits` / `cache.misses` / `cache.stores` /
+/// `cache.evictions` / `cache.corrupt` counters, plus per-stage
+/// `cache.<stage>.hits` / `cache.<stage>.misses`, all in `util::obs`.
+class ArtifactCache {
+public:
+  struct Config {
+    bool enabled = true;
+    std::filesystem::path root = "cryoeda_cache";
+    std::uint64_t max_bytes = 512ull << 20;
+  };
+
+  ArtifactCache() : ArtifactCache(Config{}) {}
+  explicit ArtifactCache(Config config);
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The process-wide cache, configured from the environment on first
+  /// use. All flow stages share it.
+  static ArtifactCache& global();
+
+  /// Read CRYOEDA_CACHE / CRYOEDA_CACHE_DIR / CRYOEDA_CACHE_MAX_MB.
+  static Config env_config();
+
+  /// Swap the configuration at runtime (tests point the global cache at
+  /// a temp dir or disable it). Not meant for concurrent use with
+  /// in-flight loads/stores.
+  void configure(Config config);
+
+  bool enabled() const { return config_.enabled; }
+  const std::filesystem::path& root() const { return config_.root; }
+
+  /// Content address of a stage invocation: 16 hex digits of
+  /// FNV-1a(schema version, stage, canonical single-line dump of
+  /// `inputs`). Any input that can change the stage's output must be in
+  /// `inputs`; anything that cannot (thread counts, verbosity) must not.
+  static std::string key(std::string_view stage, const Json& inputs);
+
+  /// On-disk location of one entry (exposed so tests can corrupt it).
+  std::filesystem::path entry_path(std::string_view stage,
+                                   const std::string& key) const;
+
+  /// Fetch an entry. Absent, corrupted, or disabled-cache lookups return
+  /// nullopt (corruption also deletes the entry and bumps
+  /// `cache.corrupt`). A hit refreshes the entry's LRU timestamp.
+  std::optional<Json> load(std::string_view stage, const std::string& key);
+
+  /// Persist an entry (atomic rename; last writer wins), then run the
+  /// eviction pass if the cache outgrew its cap. No-op when disabled.
+  void store(std::string_view stage, const std::string& key,
+             const Json& value);
+
+  /// `load` or compute-and-`store` in one step. The computed value is
+  /// returned as-is (not re-read), so cold and warm paths agree exactly
+  /// as long as `Json` round-trips — which it does.
+  template <typename ComputeFn>
+  Json get_or_compute(std::string_view stage, const Json& inputs,
+                      ComputeFn&& compute) {
+    const std::string k = key(stage, inputs);
+    if (auto hit = load(stage, k)) {
+      return std::move(*hit);
+    }
+    Json value = std::forward<ComputeFn>(compute)();
+    store(stage, k, value);
+    return value;
+  }
+
+  /// LRU eviction pass: while the cache exceeds `max_bytes`, delete
+  /// oldest-used entries (down to ~3/4 of the cap to avoid thrashing).
+  /// Returns the number of entries evicted.
+  std::size_t evict_to_cap();
+
+private:
+  std::uint64_t scan_bytes() const;
+
+  Config config_;
+  std::mutex evict_mutex_;
+  /// Approximate resident bytes (exact after construction / eviction,
+  /// incremented per store; other processes' writes are picked up on the
+  /// next eviction rescan).
+  std::uint64_t approx_bytes_ = 0;
+  std::mutex bytes_mutex_;
+};
+
+}  // namespace cryo::util

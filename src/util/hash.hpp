@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cryo::util {
+
+/// Streaming 64-bit FNV-1a hash. Deterministic across platforms and
+/// process runs (unlike std::hash), so it is safe to persist — the
+/// artifact cache uses it both for content addresses and for entry
+/// checksums, and several layers use it to fingerprint large inputs
+/// (AIGs, characterized libraries) without serializing them.
+class Fnv1a {
+public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  Fnv1a& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ = (state_ ^ p[i]) * kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& str(std::string_view s) {
+    bytes(s.data(), s.size());
+    // Length separator so {"ab","c"} and {"a","bc"} differ.
+    return u64(s.size());
+  }
+
+  Fnv1a& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+  Fnv1a& i64(std::int64_t v) { return bytes(&v, sizeof v); }
+
+  /// Hashes the IEEE-754 bit pattern: exact, no formatting involved.
+  /// Normalizes -0.0 to +0.0 so equal values hash equally.
+  Fnv1a& f64(double v) {
+    std::uint64_t bits = 0;
+    const double normalized = v == 0.0 ? 0.0 : v;
+    std::memcpy(&bits, &normalized, sizeof bits);
+    return u64(bits);
+  }
+
+  std::uint64_t value() const { return state_; }
+
+  /// 16-digit lower-case hex of the current state.
+  std::string hex() const;
+
+  static std::uint64_t of(std::string_view s) {
+    return Fnv1a{}.str(s).value();
+  }
+
+private:
+  std::uint64_t state_ = kOffset;
+};
+
+/// 16-digit lower-case hex of an arbitrary 64-bit value.
+inline std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+inline std::string Fnv1a::hex() const { return hex64(state_); }
+
+}  // namespace cryo::util

@@ -221,11 +221,13 @@ public:
     }
 
     const std::shared_lock<std::shared_mutex> lock{mutex_};
-    Json counters = Json::object();
-    for (const auto& [name, c] : counters_) {
-      counters[name] = Json{c.get()};
+    if (options.include_counters) {
+      Json counters = Json::object();
+      for (const auto& [name, c] : counters_) {
+        counters[name] = Json{c.get()};
+      }
+      report["counters"] = std::move(counters);
     }
-    report["counters"] = std::move(counters);
 
     Json gauges = Json::object();
     for (const auto& [name, g] : gauges_) {
@@ -237,33 +239,35 @@ public:
     }
     report["gauges"] = std::move(gauges);
 
-    Json histograms = Json::object();
-    for (const auto& [name, h] : histograms_) {
-      const Unit unit = h.unit.load(std::memory_order_relaxed);
-      if (unit == Unit::kWallSeconds && !options.include_wallclock) {
-        continue;
-      }
-      const auto& hist = h.histogram;
-      Json entry = Json::object();
-      entry["unit"] = Json{unit_name(unit)};
-      const std::uint64_t n = hist.count();
-      entry["count"] = Json{n};
-      entry["sum"] = Json{n > 0 ? round_sum(hist.sum()) : 0.0};
-      entry["min"] = Json{n > 0 ? hist.min() : 0.0};
-      entry["max"] = Json{n > 0 ? hist.max() : 0.0};
-      Json buckets = Json::array();
-      for (int i = 0; i < Histogram::kBuckets; ++i) {
-        if (hist.bucket(i) > 0) {
-          Json pair = Json::array();
-          pair.push_back(Json{Histogram::bucket_le(i)});
-          pair.push_back(Json{hist.bucket(i)});
-          buckets.push_back(std::move(pair));
+    if (options.include_histograms) {
+      Json histograms = Json::object();
+      for (const auto& [name, h] : histograms_) {
+        const Unit unit = h.unit.load(std::memory_order_relaxed);
+        if (unit == Unit::kWallSeconds && !options.include_wallclock) {
+          continue;
         }
+        const auto& hist = h.histogram;
+        Json entry = Json::object();
+        entry["unit"] = Json{unit_name(unit)};
+        const std::uint64_t n = hist.count();
+        entry["count"] = Json{n};
+        entry["sum"] = Json{n > 0 ? round_sum(hist.sum()) : 0.0};
+        entry["min"] = Json{n > 0 ? hist.min() : 0.0};
+        entry["max"] = Json{n > 0 ? hist.max() : 0.0};
+        Json buckets = Json::array();
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (hist.bucket(i) > 0) {
+            Json pair = Json::array();
+            pair.push_back(Json{Histogram::bucket_le(i)});
+            pair.push_back(Json{hist.bucket(i)});
+            buckets.push_back(std::move(pair));
+          }
+        }
+        entry["buckets"] = std::move(buckets);
+        histograms[name] = std::move(entry);
       }
-      entry["buckets"] = std::move(buckets);
-      histograms[name] = std::move(entry);
+      report["histograms"] = std::move(histograms);
     }
-    report["histograms"] = std::move(histograms);
 
     if (options.include_spans) {
       std::vector<SpanRecord> spans;

@@ -167,6 +167,24 @@ struct ReportOptions {
   bool include_spans = true;
   bool include_wallclock = true;  ///< Unit::kWallSeconds metrics + wall_s
   bool include_meta = true;
+  bool include_counters = true;
+  bool include_histograms = true;
+
+  /// The signoff profile: only the quality gauges (schema + non-wall
+  /// gauges). This is what the canonical `report.json` uses — counters
+  /// and histograms measure *work done*, which legitimately differs
+  /// between a cold run and a warm `util::ArtifactCache` run, while the
+  /// signoff gauges describe the *result* and must not. A warm rerun's
+  /// signoff report is byte-identical to the cold run's.
+  static ReportOptions signoff() {
+    ReportOptions options;
+    options.include_spans = false;
+    options.include_wallclock = false;
+    options.include_meta = false;
+    options.include_counters = false;
+    options.include_histograms = false;
+    return options;
+  }
 };
 
 /// Build the run report: {schema, meta?, counters, gauges, histograms,

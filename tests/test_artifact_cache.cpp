@@ -1,0 +1,369 @@
+// Tests of util::ArtifactCache: content-address stability, exact JSON
+// round-trips, corruption recovery (truncation, bit flips), concurrent
+// writers racing on one key, LRU eviction, the disabled mode, and the
+// end-to-end guarantee the cache exists for — a warm rerun of a cached
+// flow stage (characterization, calibration) reproduces the cold run's
+// outputs bit for bit while skipping all SPICE / optimizer work.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cells/catalog.hpp"
+#include "cells/characterize.hpp"
+#include "device/calibration.hpp"
+#include "device/finfet.hpp"
+#include "device/measurement.hpp"
+#include "device/serialize.hpp"
+#include "liberty/json_io.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/json.hpp"
+#include "util/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace cryo;
+namespace fs = std::filesystem;
+namespace obs = util::obs;
+using util::ArtifactCache;
+using util::Json;
+
+/// Unique per-test cache root under the system temp dir, removed on
+/// scope exit. Tests may run concurrently (ctest -j), so the path mixes
+/// in the pid.
+class ScopedCacheDir {
+public:
+  explicit ScopedCacheDir(const std::string& tag)
+      : path_{fs::temp_directory_path() /
+              ("cryoeda_test_" + tag + "_" + std::to_string(::getpid()))} {
+    fs::remove_all(path_);
+  }
+  ~ScopedCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+private:
+  fs::path path_;
+};
+
+/// Points the process-wide cache at a temp dir for the duration of a
+/// test, restoring the environment-derived configuration afterwards
+/// (stages like cells::characterize consult the global instance).
+class ScopedGlobalCache {
+public:
+  explicit ScopedGlobalCache(const fs::path& root) {
+    ArtifactCache::Config config;
+    config.root = root;
+    ArtifactCache::global().configure(std::move(config));
+  }
+  ~ScopedGlobalCache() {
+    ArtifactCache::global().configure(ArtifactCache::env_config());
+  }
+};
+
+class ArtifactCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+};
+
+Json sample_value() {
+  Json value = Json::object();
+  value["delay_s"] = Json{1.0 / 3.0};
+  value["tiny"] = Json{4.9e-324};  // smallest subnormal double
+  value["avogadro"] = Json{6.02214076e23};
+  value["count"] = Json{42};
+  value["name"] = Json{std::string{"nand2_x1"}};
+  return value;
+}
+
+TEST_F(ArtifactCacheTest, KeyIsStableAndInputSensitive) {
+  Json inputs = Json::object();
+  inputs["temperature_k"] = Json{77.0};
+  inputs["vdd"] = Json{0.7};
+  const std::string key = ArtifactCache::key("stage.a", inputs);
+  ASSERT_EQ(key.size(), 16u);
+  for (char c : key) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << key;
+  }
+  // Same stage + same inputs address the same entry, always.
+  EXPECT_EQ(key, ArtifactCache::key("stage.a", inputs));
+  // The stage namespaces the key space.
+  EXPECT_NE(key, ArtifactCache::key("stage.b", inputs));
+  // Any input change moves the address.
+  inputs["vdd"] = Json{0.65};
+  EXPECT_NE(key, ArtifactCache::key("stage.a", inputs));
+}
+
+TEST_F(ArtifactCacheTest, StoreLoadRoundTripsDoublesExactly) {
+  const ScopedCacheDir dir{"roundtrip"};
+  ArtifactCache cache{{true, dir.path(), 64ull << 20}};
+  const Json value = sample_value();
+  const std::string key = ArtifactCache::key("stage.rt", value);
+
+  EXPECT_FALSE(cache.load("stage.rt", key).has_value());
+  cache.store("stage.rt", key, value);
+  const auto loaded = cache.load("stage.rt", key);
+  ASSERT_TRUE(loaded.has_value());
+  // dump() is shortest-round-trip, so byte equality of the dumps is
+  // bit equality of every double inside.
+  EXPECT_EQ(loaded->dump(0), value.dump(0));
+  EXPECT_EQ(loaded->at("tiny").as_double(), 4.9e-324);
+
+  EXPECT_EQ(obs::counter("cache.stage.rt.misses").get(), 1u);
+  EXPECT_EQ(obs::counter("cache.stage.rt.hits").get(), 1u);
+  EXPECT_EQ(obs::counter("cache.stage.rt.stores").get(), 1u);
+}
+
+TEST_F(ArtifactCacheTest, DisabledCacheNeverTouchesDisk) {
+  const ScopedCacheDir dir{"disabled"};
+  ArtifactCache cache{{false, dir.path(), 64ull << 20}};
+  const Json value = sample_value();
+  const std::string key = ArtifactCache::key("stage.off", value);
+  cache.store("stage.off", key, value);
+  EXPECT_FALSE(cache.load("stage.off", key).has_value());
+  EXPECT_FALSE(fs::exists(dir.path()));
+  EXPECT_EQ(obs::counter("cache.stage.off.stores").get(), 0u);
+  EXPECT_EQ(obs::counter("cache.stage.off.misses").get(), 0u);
+}
+
+TEST_F(ArtifactCacheTest, TruncatedEntryIsAMissAndIsRecomputed) {
+  const ScopedCacheDir dir{"truncate"};
+  ArtifactCache cache{{true, dir.path(), 64ull << 20}};
+  const Json value = sample_value();
+  const std::string key = ArtifactCache::key("stage.trunc", value);
+  cache.store("stage.trunc", key, value);
+
+  const fs::path entry = cache.entry_path("stage.trunc", key);
+  ASSERT_TRUE(fs::exists(entry));
+  fs::resize_file(entry, fs::file_size(entry) - 5);
+
+  obs::reset();
+  int computes = 0;
+  const Json result =
+      cache.get_or_compute("stage.trunc", value, [&] {
+        ++computes;
+        return sample_value();
+      });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(result.dump(0), value.dump(0));
+  EXPECT_EQ(obs::counter("cache.corrupt").get(), 1u);
+  EXPECT_EQ(obs::counter("cache.stage.trunc.misses").get(), 1u);
+
+  // The recompute re-stored a valid entry: the next lookup hits.
+  const auto again = cache.load("stage.trunc", key);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(0), value.dump(0));
+}
+
+TEST_F(ArtifactCacheTest, BitFlippedEntryIsAMissAndIsDeleted) {
+  const ScopedCacheDir dir{"bitflip"};
+  ArtifactCache cache{{true, dir.path(), 64ull << 20}};
+  const Json value = sample_value();
+  const std::string key = ArtifactCache::key("stage.flip", value);
+  cache.store("stage.flip", key, value);
+
+  const fs::path entry = cache.entry_path("stage.flip", key);
+  std::string raw;
+  {
+    std::ifstream in{entry, std::ios::binary};
+    raw.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+  }
+  // Flip one bit in the middle of the payload (past the header line).
+  const std::size_t pos = raw.find('\n') + 1 + 3;
+  ASSERT_LT(pos, raw.size());
+  raw[pos] = static_cast<char>(raw[pos] ^ 0x01);
+  {
+    std::ofstream out{entry, std::ios::binary | std::ios::trunc};
+    out << raw;
+  }
+
+  obs::reset();
+  EXPECT_FALSE(cache.load("stage.flip", key).has_value());
+  EXPECT_EQ(obs::counter("cache.corrupt").get(), 1u);
+  EXPECT_FALSE(fs::exists(entry)) << "corrupt entry must be deleted";
+}
+
+TEST_F(ArtifactCacheTest, ConcurrentWritersOnOneKeyLeaveOneValidEntry) {
+  const ScopedCacheDir dir{"race"};
+  ArtifactCache cache{{true, dir.path(), 64ull << 20}};
+  const Json inputs = sample_value();
+  const std::string key = ArtifactCache::key("stage.race", inputs);
+  constexpr std::size_t kWorkers = 32;
+
+  util::parallel_for(
+      kWorkers,
+      [&](std::size_t) {
+        const Json got = cache.get_or_compute("stage.race", inputs,
+                                              [&] { return sample_value(); });
+        EXPECT_EQ(got.dump(0), inputs.dump(0));
+      },
+      /*threads=*/8);
+
+  // Every lookup resolved to exactly one of hit / miss, no lost updates
+  // in the counters, and the surviving entry is valid.
+  EXPECT_EQ(obs::counter("cache.stage.race.hits").get() +
+                obs::counter("cache.stage.race.misses").get(),
+            kWorkers);
+  EXPECT_EQ(obs::counter("cache.corrupt").get(), 0u);
+  const auto loaded = cache.load("stage.race", key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dump(0), inputs.dump(0));
+
+  // No temp litter: the stage dir holds exactly the renamed entry.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir.path() / "stage.race")) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(ArtifactCacheTest, LruEvictionDropsOldestEntriesFirst) {
+  const ScopedCacheDir dir{"lru"};
+  // Generous cap while populating so stores never auto-evict.
+  ArtifactCache cache{{true, dir.path(), 64ull << 20}};
+  Json value = sample_value();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) {
+    value["count"] = Json{i};
+    const std::string key = ArtifactCache::key("stage.lru", value);
+    cache.store("stage.lru", key, value);
+    keys.push_back(key);
+  }
+  // Explicit, strictly increasing mtimes (all safely in the past, so a
+  // later hit-refresh to "now" lands newest) make the LRU order exact
+  // regardless of filesystem timestamp granularity.
+  const auto base = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    fs::last_write_time(
+        cache.entry_path("stage.lru", keys[i]),
+        base - std::chrono::seconds(600 - 10 * static_cast<int>(i)));
+  }
+  const std::uint64_t entry_size =
+      fs::file_size(cache.entry_path("stage.lru", keys[0]));
+
+  obs::reset();
+  // Re-target the same root with a cap that holds ~4 entries; eviction
+  // must delete the oldest and stop at 3/4 of the cap.
+  cache.configure({true, dir.path(), 4 * entry_size + 8});
+  const std::size_t evicted = cache.evict_to_cap();
+  EXPECT_GE(evicted, 2u);
+  EXPECT_EQ(obs::counter("cache.evictions").get(), evicted);
+  for (std::size_t i = 0; i < evicted; ++i) {
+    EXPECT_FALSE(fs::exists(cache.entry_path("stage.lru", keys[i])))
+        << "oldest entry " << i << " should be evicted";
+  }
+  for (std::size_t i = evicted; i < keys.size(); ++i) {
+    EXPECT_TRUE(fs::exists(cache.entry_path("stage.lru", keys[i])))
+        << "newer entry " << i << " should survive";
+  }
+  // A hit refreshes recency: touch the now-oldest survivor, then evict
+  // with a tighter cap — it must outlive an untouched newer entry.
+  ASSERT_TRUE(cache.load("stage.lru", keys[evicted]).has_value());
+  cache.configure({true, dir.path(), 2 * entry_size + 8});
+  cache.evict_to_cap();
+  EXPECT_TRUE(fs::exists(cache.entry_path("stage.lru", keys[evicted])));
+}
+
+TEST_F(ArtifactCacheTest, SignoffReportHasOnlyGauges) {
+  obs::counter("test.signoff_counter").add(7);
+  obs::gauge("experiment.x.baseline.delay_s").set(1.25e-10);
+  obs::histogram("test.signoff_hist").record(1.0);
+  const Json report = obs::report_json(obs::ReportOptions::signoff());
+  EXPECT_NE(report.find("schema"), nullptr);
+  EXPECT_NE(report.find("gauges"), nullptr);
+  EXPECT_EQ(report.find("counters"), nullptr);
+  EXPECT_EQ(report.find("histograms"), nullptr);
+  EXPECT_EQ(report.find("meta"), nullptr);
+  EXPECT_EQ(report.find("spans"), nullptr);
+  const std::string first = report.dump(2);
+  // Work counters moving (as they do between cold and warm runs) must
+  // not perturb the signoff bytes.
+  obs::counter("test.signoff_counter").add(1000);
+  obs::counter("spice.transient_runs").add(12345);
+  EXPECT_EQ(obs::report_json(obs::ReportOptions::signoff()).dump(2), first);
+}
+
+/// The tentpole guarantee, at characterization granularity: a warm rerun
+/// of `cells::characterize` serves every cell from the artifact cache —
+/// zero SPICE transients — and the resulting library is bit-identical
+/// to the cold run's (fingerprint and per-cell JSON serialization).
+TEST_F(ArtifactCacheTest, WarmCharacterizationSkipsSpiceBitIdentically) {
+  const ScopedCacheDir dir{"char"};
+  const ScopedGlobalCache global{dir.path()};
+
+  cells::CharOptions options;
+  options.slews = {4e-12, 16e-12};
+  options.loads = {2e-16, 2e-15};
+  options.transient_steps = 80;
+  options.include_sequential = false;
+  options.threads = 1;
+  const auto full = cells::mini_catalog();
+  const std::vector<cells::CellSpec> catalog{full.begin(), full.begin() + 3};
+
+  const liberty::Library cold = cells::characterize(catalog, 300.0, options);
+  const std::uint64_t cold_transients =
+      obs::counter("spice.transient_runs").get();
+  ASSERT_GT(cold_transients, 0u);
+  EXPECT_EQ(obs::counter("cache.cells.characterize.stores").get(),
+            catalog.size());
+
+  obs::reset();
+  const liberty::Library warm = cells::characterize(catalog, 300.0, options);
+  EXPECT_EQ(obs::counter("spice.transient_runs").get(), 0u)
+      << "warm run must not re-run SPICE";
+  EXPECT_EQ(obs::counter("cache.cells.characterize.hits").get(),
+            catalog.size());
+  EXPECT_EQ(obs::counter("cache.cells.characterize.misses").get(), 0u);
+
+  EXPECT_EQ(liberty::fingerprint(cold), liberty::fingerprint(warm));
+  ASSERT_EQ(cold.cells.size(), warm.cells.size());
+  for (std::size_t i = 0; i < cold.cells.size(); ++i) {
+    EXPECT_EQ(liberty::to_json(cold.cells[i]).dump(0),
+              liberty::to_json(warm.cells[i]).dump(0))
+        << cold.cells[i].name;
+  }
+}
+
+/// Same guarantee for device calibration: the warm rerun returns the
+/// fitted parameter vector bit for bit without re-running Nelder–Mead.
+TEST_F(ArtifactCacheTest, WarmCalibrationIsBitExact) {
+  const ScopedCacheDir dir{"calib"};
+  const ScopedGlobalCache global{dir.path()};
+
+  const device::ReferenceDevice ref{device::Polarity::kN};
+  device::MeasurementPlan plan;
+  plan.temperatures_k = {300.0, 77.0};
+  plan.vgs_steps = 9;
+  const auto set = ref.measure(plan);
+
+  const auto cold = device::calibrate(set, device::nominal_nfet_5nm(), 400);
+  EXPECT_EQ(obs::counter("cache.device.calibrate.stores").get(), 1u);
+
+  obs::reset();
+  const auto warm = device::calibrate(set, device::nominal_nfet_5nm(), 400);
+  EXPECT_EQ(obs::counter("cache.device.calibrate.hits").get(), 1u);
+  EXPECT_EQ(obs::counter("cache.device.calibrate.misses").get(), 0u);
+
+  EXPECT_EQ(device::to_json(cold).dump(0), device::to_json(warm).dump(0));
+  EXPECT_EQ(cold.rms_log_error, warm.rms_log_error);
+  EXPECT_EQ(cold.evaluations, warm.evaluations);
+  EXPECT_EQ(cold.params.vth300, warm.params.vth300);
+}
+
+}  // namespace
