@@ -1,0 +1,294 @@
+// cryoeda — the unified flow driver.
+//
+// One binary that wires the whole stack (library characterization,
+// matcher, pass pipeline, STA signoff, reporting) the way the bench
+// main()s and examples/synthesis_cli used to wire it by hand, and
+// exposes the scriptable pass pipeline directly:
+//
+//   cryoeda input.aig --script "c2rs; dch; if -K 6 -p pad; mfs; strash; map -p pad"
+//   cryoeda --bench dec4 --temp 10 --priority pda --out dec4.v --report run.json
+//   cryoeda --list-passes
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage / recipe error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "cells/characterize.hpp"
+#include "core/pipeline.hpp"
+#include "epfl/benchmarks.hpp"
+#include "logic/aiger.hpp"
+#include "map/verilog.hpp"
+#include "sta/sta.hpp"
+#include "util/obs.hpp"
+
+using namespace cryo;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cryoeda [input.aig|aag] [options]\n"
+    "\n"
+    "input: an AIGER file, or --bench NAME for a built-in benchmark\n"
+    "       (EPFL-style generators: adder, bar, ..., voter; mini-suite\n"
+    "       names: adder8, mult4, dec4, priority16, voter15)\n"
+    "\n"
+    "flow options:\n"
+    "  --script RECIPE    pass recipe (default: the canonical recipe for\n"
+    "                     the chosen --priority; see --list-passes)\n"
+    "  --priority P       baseline | pad | pda       (default pda)\n"
+    "  --temp K           corner temperature          (default 10)\n"
+    "  --lut-k N          k of the LUT stage, 2..16   (default 6)\n"
+    "  --epsilon E        cost tie-break threshold    (default 0.02)\n"
+    "  --activity A       PI toggle rate, (0,1]       (default 0.2)\n"
+    "  --seed N           flow seed                   (default 29)\n"
+    "\n"
+    "i/o options:\n"
+    "  --lib PATH         liberty cache path (default\n"
+    "                     cryoeda_out/cryoeda_lib_<T>K.lib)\n"
+    "  --out PATH         write the mapped netlist as structural Verilog\n"
+    "  --report PATH      write the observability run report (JSON)\n"
+    "  --quiet            suppress progress chatter\n"
+    "  --list-passes      print the pass registry and exit\n"
+    "  -h, --help         this text\n";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "cryoeda: %s\n\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+struct Args {
+  std::string input_path;
+  std::string bench_name;
+  std::string script;
+  std::string lib_path;
+  std::string out_path;
+  std::string report_path;
+  double temperature = 10.0;
+  bool quiet = false;
+  core::FlowOptions flow;
+};
+
+double parse_double(const std::string& flag, const std::string& raw) {
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end != raw.c_str() + raw.size()) {
+    usage_error("bad value for " + flag + ": '" + raw + "'");
+  }
+  return value;
+}
+
+unsigned long parse_uint(const std::string& flag, const std::string& raw) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw.c_str(), &end, 10);
+  if (raw.empty() || raw[0] == '-' || end != raw.c_str() + raw.size()) {
+    usage_error("bad value for " + flag + ": '" + raw + "'");
+  }
+  return value;
+}
+
+void list_passes() {
+  std::printf("passes (compose with ';' in --script):\n\n");
+  for (const core::Pass* pass : core::PassRegistry::global().passes()) {
+    std::printf("  %-10s %s\n", pass->name.c_str(), pass->help.c_str());
+    for (const auto& arg : pass->args) {
+      if (arg.kind == core::ArgKind::kUInt) {
+        std::printf("      %s <%u..%u>  %s\n", arg.flag.c_str(), arg.min_uint,
+                    arg.max_uint, arg.help.c_str());
+      } else {
+        std::printf("      %s <name>  %s\n", arg.flag.c_str(),
+                    arg.help.c_str());
+      }
+    }
+  }
+  std::printf("\ncanonical recipe (defaults): %s\n",
+              core::canonical_recipe(core::FlowOptions{}).c_str());
+}
+
+logic::Aig resolve_benchmark(const std::string& name) {
+  for (auto* suite_fn : {epfl::mini_suite, epfl::epfl_suite}) {
+    for (auto& benchmark : suite_fn()) {
+      if (benchmark.name == name) {
+        logic::Aig aig = std::move(benchmark.aig);
+        aig.set_name(name);
+        return aig;
+      }
+    }
+  }
+  std::string known;
+  for (auto* suite_fn : {epfl::mini_suite, epfl::epfl_suite}) {
+    for (const auto& benchmark : suite_fn()) {
+      known += (known.empty() ? "" : ", ") + benchmark.name;
+    }
+  }
+  usage_error("unknown benchmark '" + name + "' (known: " + known + ")");
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.flow.priority = opt::CostPriority::kPowerDelayArea;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage_error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--script") {
+      args.script = next();
+    } else if (arg == "--priority") {
+      const std::string p = next();
+      const auto priority = opt::priority_from_string(p);
+      if (!priority) {
+        usage_error("unknown priority '" + p +
+                    "' (expected baseline | pad | pda)");
+      }
+      args.flow.priority = *priority;
+    } else if (arg == "--temp") {
+      args.temperature = parse_double(arg, next());
+      if (!(args.temperature > 0.0)) {
+        usage_error("--temp must be a positive temperature in kelvin");
+      }
+    } else if (arg == "--lut-k") {
+      args.flow.lut_k = static_cast<unsigned>(parse_uint(arg, next()));
+    } else if (arg == "--epsilon") {
+      args.flow.epsilon = parse_double(arg, next());
+    } else if (arg == "--activity") {
+      args.flow.input_activity = parse_double(arg, next());
+    } else if (arg == "--seed") {
+      args.flow.seed = parse_uint(arg, next());
+    } else if (arg == "--bench") {
+      args.bench_name = next();
+    } else if (arg == "--lib") {
+      args.lib_path = next();
+    } else if (arg == "--out") {
+      args.out_path = next();
+    } else if (arg == "--report") {
+      args.report_path = next();
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (arg == "--list-passes") {
+      list_passes();
+      std::exit(0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option '" + arg + "'");
+    } else if (args.input_path.empty()) {
+      args.input_path = arg;
+    } else {
+      usage_error("unexpected extra operand '" + arg + "' (input already '" +
+                  args.input_path + "')");
+    }
+  }
+  if (args.input_path.empty() && args.bench_name.empty()) {
+    usage_error("no input: give an AIGER file or --bench NAME");
+  }
+  if (!args.input_path.empty() && !args.bench_name.empty()) {
+    usage_error("give either an AIGER file or --bench, not both");
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // Compile the recipe first: a typo should fail before we spend
+  // characterization time.
+  const std::string script = args.script.empty()
+                                 ? core::canonical_recipe(args.flow)
+                                 : args.script;
+  core::Pipeline pipeline;
+  try {
+    core::validate(args.flow);
+    pipeline = core::Pipeline::parse(script);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    logic::Aig design = args.bench_name.empty()
+                            ? logic::read_aiger_file(args.input_path)
+                            : resolve_benchmark(args.bench_name);
+    if (design.name().empty()) {
+      design.set_name("user_design");
+    }
+    if (!args.quiet) {
+      std::printf("design : %s — %u PIs, %u POs, %u AND nodes, depth %u\n",
+                  design.name().c_str(), design.num_pis(), design.num_pos(),
+                  design.num_ands(), design.depth());
+      std::printf("recipe : %s\n", pipeline.to_string().c_str());
+    }
+
+    std::string lib_path = args.lib_path;
+    if (lib_path.empty()) {
+      lib_path = "cryoeda_out/cryoeda_lib_" +
+                 std::to_string(static_cast<int>(args.temperature)) + "K.lib";
+    }
+    if (!args.quiet) {
+      std::printf("library: %s @ %g K\n", lib_path.c_str(), args.temperature);
+    }
+    const auto lib_dir = std::filesystem::path{lib_path}.parent_path();
+    if (!lib_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(lib_dir, ec);
+    }
+    const auto library = cells::load_or_characterize(
+        lib_path, cells::standard_catalog(), args.temperature);
+    const map::CellMatcher matcher{library};
+
+    core::FlowState state;
+    state.aig = std::move(design);
+    state.matcher = &matcher;
+    state.options = args.flow;
+    pipeline.run(state);
+
+    std::printf("\nresults:\n");
+    std::printf("  AIG          : %u -> %u AND nodes\n", state.initial_ands,
+                state.aig.num_ands());
+    if (state.has_netlist) {
+      std::printf("  netlist      : %zu gates, %.2f um^2\n",
+                  state.netlist.gate_count(), state.netlist.total_area());
+      const auto signoff = sta::analyze(state.netlist, {});
+      std::printf("  critical path: %.1f ps\n",
+                  signoff.critical_delay * 1e12);
+      std::printf("  power @1GHz  : %.4g W (leakage %.4g, internal %.4g, "
+                  "switching %.4g)\n",
+                  signoff.power.total(), signoff.power.leakage,
+                  signoff.power.internal, signoff.power.switching);
+    } else {
+      std::printf("  (recipe has no 'map' pass — no netlist/signoff)\n");
+    }
+
+    if (!args.out_path.empty()) {
+      if (!state.has_netlist) {
+        std::fprintf(stderr,
+                     "cryoeda: --out needs a mapped netlist; add 'map' to "
+                     "the recipe\n");
+        return 2;
+      }
+      map::write_verilog(state.netlist, args.out_path);
+      std::printf("  netlist written to %s\n", args.out_path.c_str());
+    }
+    if (!args.report_path.empty()) {
+      util::obs::ReportOptions report;
+      report.flow = "cryoeda";
+      util::obs::write_report(args.report_path, report);
+      std::printf("  run report written to %s\n", args.report_path.c_str());
+    }
+    return 0;
+  } catch (const core::RecipeError& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 1;
+  }
+}

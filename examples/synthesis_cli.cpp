@@ -11,7 +11,7 @@
 // (the EPFL-style 64-bit adder).
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 
 #include "cells/characterize.hpp"
@@ -22,6 +22,19 @@
 #include "sta/sta.hpp"
 
 using namespace cryo;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: synthesis_cli [input.aig] [--priority pad|pda|baseline] "
+    "[--temp K] [--lib cache.lib] [--out netlist.v]\n";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "synthesis_cli: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string input_path;
@@ -34,79 +47,91 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
+        usage_error("missing value for " + arg);
       }
       return argv[++i];
     };
     if (arg == "--priority") {
       const std::string p = next();
-      priority = p == "pad"        ? opt::CostPriority::kPowerAreaDelay
-                 : p == "pda"      ? opt::CostPriority::kPowerDelayArea
-                 : p == "baseline" ? opt::CostPriority::kBaselinePowerAware
-                                   : (std::fprintf(stderr,
-                                                   "unknown priority %s\n",
-                                                   p.c_str()),
-                                      std::exit(2), priority);
+      const auto parsed = opt::priority_from_string(p);
+      if (!parsed) {
+        usage_error("unknown priority '" + p +
+                    "' (expected baseline | pad | pda)");
+      }
+      priority = *parsed;
     } else if (arg == "--temp") {
-      temperature = std::stod(next());
+      const std::string raw = next();
+      char* end = nullptr;
+      temperature = std::strtod(raw.c_str(), &end);
+      if (raw.empty() || end != raw.c_str() + raw.size() ||
+          !(temperature > 0.0)) {
+        usage_error("--temp needs a positive temperature in kelvin, got '" +
+                    raw + "'");
+      }
     } else if (arg == "--lib") {
       lib_path = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: %s [input.aig] [--priority pad|pda|baseline] "
-          "[--temp K] [--lib cache.lib] [--out netlist.v]\n",
-          argv[0]);
+      std::printf("%s", kUsage);
       return 0;
-    } else {
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option '" + arg + "'");
+    } else if (input_path.empty()) {
       input_path = arg;
+    } else {
+      usage_error("unexpected extra operand '" + arg + "' (input already '" +
+                  input_path + "')");
     }
   }
 
-  logic::Aig design;
-  if (input_path.empty()) {
-    std::printf("no input given — running the built-in 64-bit adder demo\n");
-    design = epfl::make_adder(64);
-  } else {
-    design = logic::read_aiger_file(input_path);
-    design.set_name("user_design");
+  try {
+    logic::Aig design;
+    if (input_path.empty()) {
+      std::printf("no input given — running the built-in 64-bit adder demo\n");
+      design = epfl::make_adder(64);
+    } else {
+      design = logic::read_aiger_file(input_path);
+      design.set_name("user_design");
+    }
+    std::printf("design: %u PIs, %u POs, %u AND nodes, depth %u\n",
+                design.num_pis(), design.num_pos(), design.num_ands(),
+                design.depth());
+
+    if (lib_path.empty()) {
+      lib_path = "cryoeda_lib_" + std::to_string(static_cast<int>(temperature)) +
+                 "K.lib";
+    }
+    std::printf("library: %s @ %.0f K (characterizing on first use...)\n",
+                lib_path.c_str(), temperature);
+    const auto library = cells::load_or_characterize(
+        lib_path, cells::standard_catalog(), temperature);
+    const map::CellMatcher matcher{library};
+
+    core::FlowOptions flow;
+    flow.priority = priority;
+    std::printf("synthesizing with priority %s...\n",
+                opt::to_string(priority).c_str());
+    const auto result = core::synthesize(design, matcher, flow);
+    const auto signoff = sta::analyze(result.netlist, {});
+
+    std::printf("\nresults:\n");
+    std::printf("  AIG          : %u -> %u -> %u AND nodes\n",
+                result.initial_ands, result.after_c2rs,
+                result.after_power_stage);
+    std::printf("  netlist      : %zu gates, %.2f um^2\n",
+                result.netlist.gate_count(), result.netlist.total_area());
+    std::printf("  critical path: %.1f ps\n", signoff.critical_delay * 1e12);
+    std::printf("  power @1GHz  : %.4g W (leakage %.4g, internal %.4g, "
+                "switching %.4g)\n",
+                signoff.power.total(), signoff.power.leakage,
+                signoff.power.internal, signoff.power.switching);
+
+    map::write_verilog(result.netlist, out_path);
+    std::printf("  netlist written to %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synthesis_cli: %s\n", e.what());
+    return 1;
   }
-  std::printf("design: %u PIs, %u POs, %u AND nodes, depth %u\n",
-              design.num_pis(), design.num_pos(), design.num_ands(),
-              design.depth());
-
-  if (lib_path.empty()) {
-    lib_path = "cryoeda_lib_" + std::to_string(static_cast<int>(temperature)) +
-               "K.lib";
-  }
-  std::printf("library: %s @ %.0f K (characterizing on first use...)\n",
-              lib_path.c_str(), temperature);
-  const auto library = cells::load_or_characterize(
-      lib_path, cells::standard_catalog(), temperature);
-  const map::CellMatcher matcher{library};
-
-  core::FlowOptions flow;
-  flow.priority = priority;
-  std::printf("synthesizing with priority %s...\n",
-              opt::to_string(priority).c_str());
-  const auto result = core::synthesize(design, matcher, flow);
-  const auto signoff = sta::analyze(result.netlist, {});
-
-  std::printf("\nresults:\n");
-  std::printf("  AIG          : %u -> %u -> %u AND nodes\n",
-              result.initial_ands, result.after_c2rs,
-              result.after_power_stage);
-  std::printf("  netlist      : %zu gates, %.2f um^2\n",
-              result.netlist.gate_count(), result.netlist.total_area());
-  std::printf("  critical path: %.1f ps\n", signoff.critical_delay * 1e12);
-  std::printf("  power @1GHz  : %.4g W (leakage %.4g, internal %.4g, "
-              "switching %.4g)\n",
-              signoff.power.total(), signoff.power.leakage,
-              signoff.power.internal, signoff.power.switching);
-
-  map::write_verilog(result.netlist, out_path);
-  std::printf("  netlist written to %s\n", out_path.c_str());
-  return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
+#include "core/pipeline.hpp"
 #include "liberty/json_io.hpp"
 #include "util/artifact_cache.hpp"
 #include "util/hash.hpp"
@@ -26,42 +28,70 @@ double CircuitComparison::delay_overhead_pda() const {
   return pda.delay / baseline.delay - 1.0;
 }
 
-namespace {
+std::vector<ScenarioSpec> fig3_scenarios(const FlowOptions& flow) {
+  std::vector<ScenarioSpec> specs;
+  for (const auto priority :
+       {opt::CostPriority::kBaselinePowerAware,
+        opt::CostPriority::kPowerAreaDelay,
+        opt::CostPriority::kPowerDelayArea}) {
+    FlowOptions f = flow;
+    f.priority = priority;
+    specs.push_back(
+        {opt::short_name(priority), priority, canonical_recipe(f)});
+  }
+  return specs;
+}
 
-const char* scenario_name(opt::CostPriority priority) {
-  switch (priority) {
-    case opt::CostPriority::kPowerAreaDelay: return "pad";
-    case opt::CostPriority::kPowerDelayArea: return "pda";
-    default: return "baseline";
+void validate(const ExperimentOptions& options) {
+  validate(options.flow);
+  if (options.threads < 0) {
+    throw std::invalid_argument{
+        "ExperimentOptions.threads = " + std::to_string(options.threads) +
+        " is unusable: use 0 for the CRYOEDA_THREADS default, 1 for "
+        "serial, or a positive worker count"};
+  }
+  if (!(options.sta.clock_period > 0.0)) {
+    throw std::invalid_argument{
+        "ExperimentOptions.sta.clock_period must be a positive time in "
+        "seconds"};
+  }
+  if (!(options.sta.input_slew > 0.0)) {
+    throw std::invalid_argument{
+        "ExperimentOptions.sta.input_slew must be a positive time in "
+        "seconds"};
   }
 }
 
+namespace {
+
 /// Artifact-cache stage of one synthesis + STA scenario (one benchmark,
 /// one recipe). The key covers the circuit structure, the characterized
-/// library (via fingerprint), the matcher bounds, and every flow / STA
-/// knob that steers the result; the value is the scalar signoff figures
-/// — small enough to persist per (circuit, recipe, corner) forever.
+/// library (via fingerprint), the matcher bounds, the *canonical printed
+/// recipe*, and the shared flow/STA knobs that steer the result; the
+/// value is the scalar signoff figures — small enough to persist per
+/// (circuit, recipe, corner) forever.
 constexpr std::string_view kScenarioStage = "core.scenario";
 
 util::Json scenario_cache_inputs(const logic::Aig& aig,
                                  const map::CellMatcher& matcher,
                                  const ExperimentOptions& options,
-                                 opt::CostPriority priority) {
+                                 const std::string& canonical) {
   util::Json inputs = util::Json::object();
   inputs["aig_fingerprint"] = util::Json{util::hex64(logic::fingerprint(aig))};
   inputs["library_fingerprint"] =
       util::Json{util::hex64(liberty::fingerprint(matcher.library()))};
   inputs["matcher_max_inputs"] = util::Json{matcher.max_inputs()};
   inputs["matcher_max_matches"] = util::Json{matcher.max_matches_per_key()};
-  inputs["priority"] = util::Json{opt::to_string(priority)};
+  // The recipe replaces the old ad-hoc option tuple (priority,
+  // use_choices, use_mfs, lut_k): those knobs are spelled out by the
+  // canonical pipeline print, so two option sets compiling to the same
+  // recipe share an entry.
+  inputs["recipe"] = util::Json{canonical};
 
   const FlowOptions& flow = options.flow;
   util::Json f = util::Json::object();
   f["epsilon"] = util::Json{flow.epsilon};
   f["input_activity"] = util::Json{flow.input_activity};
-  f["use_choices"] = util::Json{flow.use_choices};
-  f["use_mfs"] = util::Json{flow.use_mfs};
-  f["lut_k"] = util::Json{flow.lut_k};
   f["clock_estimate"] = util::Json{flow.clock_estimate};
   f["seed"] = util::Json{flow.seed};
   inputs["flow"] = std::move(f);
@@ -93,9 +123,11 @@ util::Json scenario_to_json(const ScenarioResult& result) {
 }
 
 ScenarioResult scenario_from_json(const util::Json& json,
-                                  opt::CostPriority priority) {
+                                  const ScenarioSpec& spec) {
   ScenarioResult result;
-  result.priority = priority;
+  result.scenario = spec.name;
+  result.recipe = spec.recipe;
+  result.priority = spec.priority;
   result.power.leakage = json.at("leakage_w").as_double();
   result.power.internal = json.at("internal_w").as_double();
   result.power.switching = json.at("switching_w").as_double();
@@ -110,30 +142,34 @@ ScenarioResult scenario_from_json(const util::Json& json,
 ScenarioResult run_scenario(const logic::Aig& aig,
                             const map::CellMatcher& matcher,
                             const ExperimentOptions& options,
-                            opt::CostPriority priority) {
+                            const ScenarioSpec& spec) {
   const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
-                             scenario_name(priority)};
+                             spec.name};
+  // Cache under the canonical (parsed-and-printed) recipe, so spelling
+  // variants of the same pipeline share an entry.
+  const std::string canonical = Pipeline::parse(spec.recipe).to_string();
   auto& cache = util::ArtifactCache::global();
   std::string cache_key;
   if (cache.enabled()) {
     cache_key = util::ArtifactCache::key(
         kScenarioStage,
-        scenario_cache_inputs(aig, matcher, options, priority));
+        scenario_cache_inputs(aig, matcher, options, canonical));
     if (auto hit = cache.load(kScenarioStage, cache_key)) {
       try {
-        return scenario_from_json(*hit, priority);
+        return scenario_from_json(*hit, spec);
       } catch (const std::exception&) {
         obs::counter("cache.corrupt").add();
       }
     }
   }
   obs::counter("core.scenarios_run").add();
-  FlowOptions flow = options.flow;
-  flow.priority = priority;
-  const FlowResult result = synthesize(aig, matcher, flow);
+  const FlowResult result =
+      synthesize_with_recipe(aig, matcher, options.flow, spec.recipe);
   const sta::StaResult signoff = sta::analyze(result.netlist, options.sta);
   ScenarioResult out;
-  out.priority = priority;
+  out.scenario = spec.name;
+  out.recipe = spec.recipe;
+  out.priority = spec.priority;
   out.power = signoff.power;
   out.total_power = signoff.power.total();
   out.delay = signoff.critical_delay;
@@ -161,19 +197,18 @@ void renormalize(ScenarioResult& s, double analysis_clock,
 CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
                                   const map::CellMatcher& matcher,
                                   const ExperimentOptions& options) {
+  validate(options);
   CircuitComparison cmp;
   cmp.circuit = benchmark.name;
-  // The three scenarios are independent synthesis runs; when this is the
-  // outermost parallel level (e.g. a single-circuit ablation) they run
-  // concurrently, otherwise inline on the per-benchmark worker.
-  const opt::CostPriority priorities[] = {
-      opt::CostPriority::kBaselinePowerAware,
-      opt::CostPriority::kPowerAreaDelay,
-      opt::CostPriority::kPowerDelayArea};
+  // The three rows are three recipe strings (no per-scenario branches):
+  // independent synthesis runs that, when this is the outermost parallel
+  // level (e.g. a single-circuit ablation), run concurrently, otherwise
+  // inline on the per-benchmark worker.
+  const std::vector<ScenarioSpec> specs = fig3_scenarios(options.flow);
   const auto scenarios = util::parallel_map(
-      3,
+      specs.size(),
       [&](std::size_t i) {
-        return run_scenario(benchmark.aig, matcher, options, priorities[i]);
+        return run_scenario(benchmark.aig, matcher, options, specs[i]);
       },
       options.threads);
   cmp.baseline = scenarios[0];
@@ -194,7 +229,7 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
   // they use the *normalized* figures that the paper tables report.
   for (const ScenarioResult* s : {&cmp.baseline, &cmp.pad, &cmp.pda}) {
     const std::string prefix =
-        "experiment." + cmp.circuit + "." + scenario_name(s->priority) + ".";
+        "experiment." + cmp.circuit + "." + s->scenario + ".";
     obs::gauge(prefix + "power_w").set(s->total_power);
     obs::gauge(prefix + "delay_s", obs::Unit::kSeconds).set(s->delay);
     obs::gauge(prefix + "area_um2").set(s->area);
@@ -206,6 +241,7 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
 std::vector<CircuitComparison> run_synthesis_comparison(
     const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
     const ExperimentOptions& options) {
+  validate(options);
   const obs::ScopedSpan span{"core.synthesis_comparison"};
   // One synthesis+STA pipeline per benchmark; rows are written by suite
   // index, so the table ordering (and every value in it) matches the

@@ -8,8 +8,23 @@
 
 namespace cryo::core {
 
+/// One synthesis scenario, as data: a row label, the priority it
+/// reports under, and the recipe string the pipeline executes. The
+/// paper's §V-B rows are three of these differing only in `-p`.
+struct ScenarioSpec {
+  std::string name;              ///< row label: "baseline" | "pad" | "pda"
+  opt::CostPriority priority{};  ///< reporting/normalization tag
+  std::string recipe;            ///< pass script (core/pipeline.hpp)
+};
+
+/// The Fig. 3 scenario set for the given shared flow knobs: the
+/// canonical recipe instantiated for baseline, p->a->d, and p->d->a.
+std::vector<ScenarioSpec> fig3_scenarios(const FlowOptions& flow);
+
 /// Signoff figures of one synthesis scenario on one circuit.
 struct ScenarioResult {
+  std::string scenario;      ///< row label (ScenarioSpec::name)
+  std::string recipe;        ///< recipe that produced the figures
   opt::CostPriority priority{};
   double total_power = 0.0;  ///< [W], at the normalized clock
   sta::PowerReport power;
@@ -43,6 +58,12 @@ struct ExperimentOptions {
   /// identical for any thread count.
   int threads = 0;
 };
+
+/// Reject unusable experiment knobs (delegates to the FlowOptions
+/// validator; additionally rejects a negative thread count and
+/// non-positive signoff clock/slew). Called by the experiment drivers
+/// on entry.
+void validate(const ExperimentOptions& options);
 
 /// Run the three scenarios of paper §V-B on one circuit, normalizing the
 /// power clock to the slowest variant (footnote 1 of the paper).

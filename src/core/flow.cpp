@@ -1,81 +1,84 @@
 #include "core/flow.hpp"
 
-#include "opt/lut_map.hpp"
-#include "opt/passes.hpp"
-#include "sat/sweep.hpp"
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::core {
 
 namespace obs = util::obs;
 
-FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
-                      const FlowOptions& options) {
+void validate(const FlowOptions& options) {
+  if (options.lut_k < 2 || options.lut_k > 16) {
+    throw std::invalid_argument{
+        "FlowOptions.lut_k = " + std::to_string(options.lut_k) +
+        " is unusable: the k-LUT stage supports k in [2, 16]"};
+  }
+  if (!(options.epsilon >= 0.0) || !std::isfinite(options.epsilon)) {
+    throw std::invalid_argument{
+        "FlowOptions.epsilon = " + std::to_string(options.epsilon) +
+        " is unusable: the tie-break threshold must be a finite value >= 0 "
+        "(0 disables threshold relaxation)"};
+  }
+  if (!(options.input_activity > 0.0) || options.input_activity > 1.0) {
+    throw std::invalid_argument{
+        "FlowOptions.input_activity = " +
+        std::to_string(options.input_activity) +
+        " is unusable: the PI toggle rate must be in (0, 1]"};
+  }
+  if (!(options.clock_estimate > 0.0) ||
+      !std::isfinite(options.clock_estimate)) {
+    throw std::invalid_argument{
+        "FlowOptions.clock_estimate = " +
+        std::to_string(options.clock_estimate) +
+        " is unusable: the clock period estimate must be a positive finite "
+        "time in seconds"};
+  }
+}
+
+namespace {
+
+FlowResult run_recipe(const logic::Aig& input, const map::CellMatcher& matcher,
+                      const FlowOptions& options, const Pipeline& pipeline) {
   const obs::ScopedSpan flow_span{"core.synthesize:" + input.name()};
   obs::counter("core.synthesis_runs").add();
+
+  FlowState state;
+  state.aig = input;
+  state.matcher = &matcher;
+  state.options = options;
+  pipeline.run(state);
+
   FlowResult result;
-  result.initial_ands = input.num_ands();
-
-  // (1) Technology-independent compression.
-  logic::Aig compact = [&] {
-    const obs::ScopedSpan span{"flow.c2rs"};
-    return opt::compress2rs(input);
-  }();
-  result.after_c2rs = compact.num_ands();
-
-  // (2) Power-aware optimization with structural choices.
-  const std::vector<std::vector<logic::Lit>>* choices = nullptr;
-  sat::SweepResult sweep;
-  if (options.use_choices) {
-    const obs::ScopedSpan span{"flow.dch"};
-    sat::SweepOptions sopt;
-    sopt.seed = options.seed;
-    sweep = sat::sat_sweep(compact, sopt);
-    choices = &sweep.choices;
-  }
-  const logic::Aig& choice_aig = options.use_choices ? sweep.aig : compact;
-
-  opt::LutMapOptions lopt;
-  lopt.k = options.lut_k;
-  lopt.priority = options.priority;
-  lopt.epsilon = options.epsilon;
-  lopt.input_activity = options.input_activity;
-  lopt.seed = options.seed;
-  opt::LutMapping luts = [&] {
-    const obs::ScopedSpan span{"flow.lut_map"};
-    return opt::lut_map(choice_aig, lopt, choices);
-  }();
-  if (options.use_mfs) {
-    const obs::ScopedSpan span{"flow.mfs"};
-    opt::MfsOptions mopt;
-    mopt.seed = options.seed;
-    (void)opt::mfs(luts, mopt);
-  }
-  logic::Aig optimized = opt::luts_to_aig(luts);
-  // Keep the better of the two stages (the LUT round-trip occasionally
-  // inflates small networks; ABC scripts guard similarly).
-  if (optimized.num_ands() > compact.num_ands()) {
-    optimized = std::move(compact);
-  }
-  result.after_power_stage = optimized.num_ands();
-  if (result.initial_ands > result.after_power_stage) {
-    obs::counter("core.nodes_saved")
-        .add(result.initial_ands - result.after_power_stage);
-  }
-
-  // (3) Cryogenic-aware technology mapping.
-  map::TechMapOptions topt;
-  topt.priority = options.priority;
-  topt.epsilon = options.epsilon;
-  topt.input_activity = options.input_activity;
-  topt.clock_estimate = options.clock_estimate;
-  topt.seed = options.seed;
-  {
-    const obs::ScopedSpan span{"flow.tech_map"};
-    result.netlist = map::tech_map(optimized, matcher, topt);
-  }
-  result.optimized = std::move(optimized);
+  result.initial_ands = state.initial_ands;
+  result.after_c2rs = state.after_c2rs;
+  // A recipe without `strash` never closes stage 2; report the final
+  // network size so the figures stay meaningful.
+  result.after_power_stage =
+      state.saw_strash ? state.after_power_stage : state.aig.num_ands();
+  result.netlist = std::move(state.netlist);
+  result.optimized = std::move(state.aig);
   return result;
+}
+
+}  // namespace
+
+FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
+                      const FlowOptions& options) {
+  validate(options);
+  return run_recipe(input, matcher, options,
+                    Pipeline::parse(canonical_recipe(options)));
+}
+
+FlowResult synthesize_with_recipe(const logic::Aig& input,
+                                  const map::CellMatcher& matcher,
+                                  const FlowOptions& options,
+                                  std::string_view recipe) {
+  validate(options);
+  return run_recipe(input, matcher, options, Pipeline::parse(recipe));
 }
 
 }  // namespace cryo::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string_view>
+
 #include "logic/aig.hpp"
 #include "map/mapper.hpp"
 #include "opt/cost.hpp"
@@ -20,6 +22,14 @@ struct FlowOptions {
   std::uint64_t seed = 29;
 };
 
+/// Reject unusable flow knobs with an actionable std::invalid_argument:
+/// `lut_k` outside [2, 16], `epsilon` negative or not finite (0 is
+/// valid — it disables tie-break relaxation and is swept by the epsilon
+/// ablation), `input_activity` outside (0, 1], `clock_estimate` not a
+/// positive finite time. Called by `synthesize` and the experiment
+/// drivers on entry.
+void validate(const FlowOptions& options);
+
 /// Result of a full synthesis run.
 struct FlowResult {
   logic::Aig optimized;   ///< AIG after stages (1) and (2)
@@ -36,7 +46,21 @@ struct FlowResult {
 ///      don't-care minimization (`mfs`), re-strash;
 ///  (3) cryogenic-aware technology mapping (`map`) with the configured
 ///      priority list.
+///
+/// Executes `core::canonical_recipe(options)` through the pass pipeline
+/// (core/pipeline.hpp); behaviour-identical to the historical
+/// hard-coded sequence (asserted bit-for-bit by tests/test_pipeline).
 FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
                       const FlowOptions& options = {});
+
+/// Synthesize with an explicit recipe string instead of the canonical
+/// one — `options` still supplies the shared knobs (epsilon, activity,
+/// seeds, defaults for `-K`/`-p`). Throws core::RecipeError on a
+/// malformed recipe. If the recipe never runs `map`, the returned
+/// netlist is empty.
+FlowResult synthesize_with_recipe(const logic::Aig& input,
+                                  const map::CellMatcher& matcher,
+                                  const FlowOptions& options,
+                                  std::string_view recipe);
 
 }  // namespace cryo::core

@@ -18,6 +18,29 @@ std::string to_string(CostPriority priority) {
   return "?";
 }
 
+std::string short_name(CostPriority priority) {
+  switch (priority) {
+    case CostPriority::kBaselinePowerAware:
+      return "baseline";
+    case CostPriority::kPowerAreaDelay:
+      return "pad";
+    case CostPriority::kPowerDelayArea:
+      return "pda";
+  }
+  return "?";
+}
+
+std::optional<CostPriority> priority_from_string(std::string_view text) {
+  for (const auto priority :
+       {CostPriority::kBaselinePowerAware, CostPriority::kPowerAreaDelay,
+        CostPriority::kPowerDelayArea}) {
+    if (text == short_name(priority) || text == to_string(priority)) {
+      return priority;
+    }
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 /// -1: a better, +1: b better, 0: tie within epsilon.

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace cryo::opt {
 
@@ -21,6 +23,14 @@ enum class CostPriority {
 };
 
 std::string to_string(CostPriority priority);
+
+/// Short machine-readable name: "baseline" | "pad" | "pda". These are
+/// the spellings recipe strings (`map -p pad`) and CLI flags use.
+std::string short_name(CostPriority priority);
+
+/// Parse a priority from its short name (also accepts the long
+/// `to_string` forms). Returns nullopt for anything else.
+std::optional<CostPriority> priority_from_string(std::string_view text);
 
 /// A cost triple. Which member is compared first depends on the priority
 /// list; each comparison uses a relative threshold `epsilon` (ties within

@@ -78,6 +78,7 @@ const char* unit_name(Unit unit) {
     case Unit::kSeconds: return "s";
     case Unit::kWallSeconds: return "wall_s";
     case Unit::kBytes: return "bytes";
+    case Unit::kNodes: return "nodes";
   }
   return "count";
 }
@@ -231,8 +232,11 @@ public:
 
     Json gauges = Json::object();
     for (const auto& [name, g] : gauges_) {
-      if (g.unit.load(std::memory_order_relaxed) == Unit::kWallSeconds &&
-          !options.include_wallclock) {
+      const Unit unit = g.unit.load(std::memory_order_relaxed);
+      if (unit == Unit::kWallSeconds && !options.include_wallclock) {
+        continue;
+      }
+      if (unit == Unit::kNodes && !options.include_diagnostics) {
         continue;
       }
       gauges[name] = Json{g.gauge.get()};
@@ -244,6 +248,9 @@ public:
       for (const auto& [name, h] : histograms_) {
         const Unit unit = h.unit.load(std::memory_order_relaxed);
         if (unit == Unit::kWallSeconds && !options.include_wallclock) {
+          continue;
+        }
+        if (unit == Unit::kNodes && !options.include_diagnostics) {
           continue;
         }
         const auto& hist = h.histogram;

@@ -48,7 +48,12 @@ void set_enabled(bool on);
 /// What a metric measures. Wall-clock metrics vary run to run and are
 /// excluded from deterministic reports; everything else (event counts,
 /// circuit-time figures like delays/slacks) is workload-determined.
-enum class Unit { kCount, kSeconds, kWallSeconds, kBytes };
+/// `kNodes` marks network-size *diagnostics* (per-pass AND/LUT/gate
+/// counts): deterministic, but they measure work shape — which
+/// legitimately differs between recipes and between cold and warm
+/// artifact-cache runs — so the signoff profile excludes them like it
+/// excludes counters.
+enum class Unit { kCount, kSeconds, kWallSeconds, kBytes, kNodes };
 
 /// Monotonic event counter.
 class Counter {
@@ -169,6 +174,7 @@ struct ReportOptions {
   bool include_meta = true;
   bool include_counters = true;
   bool include_histograms = true;
+  bool include_diagnostics = true;  ///< Unit::kNodes work-shape gauges
 
   /// The signoff profile: only the quality gauges (schema + non-wall
   /// gauges). This is what the canonical `report.json` uses — counters
@@ -183,6 +189,7 @@ struct ReportOptions {
     options.include_meta = false;
     options.include_counters = false;
     options.include_histograms = false;
+    options.include_diagnostics = false;
     return options;
   }
 };

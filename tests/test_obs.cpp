@@ -273,6 +273,26 @@ TEST_F(ObsTest, DeterministicReportIsByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial.find("test.det_gauge"), std::string::npos);
 }
 
+TEST_F(ObsTest, SignoffReportExcludesDiagnosticNodeGauges) {
+  obs::gauge("test.signoff_quality").set(3.5);
+  obs::gauge("pass.test_if.nodes", obs::Unit::kNodes).set(128.0);
+  obs::histogram("test.nodes_hist", obs::Unit::kNodes).record(64.0);
+
+  // The full report keeps the work-shape diagnostics...
+  const std::string full = obs::report_json({}).dump(2);
+  EXPECT_NE(full.find("pass.test_if.nodes"), std::string::npos);
+  EXPECT_NE(full.find("test.nodes_hist"), std::string::npos);
+
+  // ...the signoff profile drops them but keeps the quality gauges, so
+  // adding per-pass instrumentation cannot change the canonical
+  // report.json.
+  const std::string signoff =
+      obs::report_json(obs::ReportOptions::signoff()).dump(2);
+  EXPECT_EQ(signoff.find("pass.test_if.nodes"), std::string::npos);
+  EXPECT_EQ(signoff.find("test.nodes_hist"), std::string::npos);
+  EXPECT_NE(signoff.find("test.signoff_quality"), std::string::npos);
+}
+
 TEST_F(ObsTest, DisabledModeRecordsNothing) {
   obs::Counter& c = obs::counter("test.disabled_count");
   obs::Histogram& h = obs::histogram("test.disabled_hist");

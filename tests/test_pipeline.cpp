@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cells/characterize.hpp"
+#include "core/experiment.hpp"
+#include "core/flow.hpp"
+#include "core/pipeline.hpp"
+#include "epfl/benchmarks.hpp"
+#include "opt/lut_map.hpp"
+#include "opt/passes.hpp"
+#include "sat/sweep.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace cryo;
+
+// ---------------------------------------------------------------------------
+// Script parser: round-trip and diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(PipelineParse, CanonicalRoundTrip) {
+  const std::string script = "c2rs; dch; if -K 6 -p pad; mfs; strash; map -p pad";
+  const auto pipeline = core::Pipeline::parse(script);
+  EXPECT_EQ(pipeline.to_string(), script);
+  // parse(print(p)) is a fixpoint.
+  EXPECT_EQ(core::Pipeline::parse(pipeline.to_string()).to_string(), script);
+}
+
+TEST(PipelineParse, NormalizesWhitespaceAndEmptySegments) {
+  const auto pipeline = core::Pipeline::parse(
+      "  c2rs ;;  dch ;\n if   -K 6\t-p pda ; strash ;; ");
+  EXPECT_EQ(pipeline.to_string(), "c2rs; dch; if -K 6 -p pda; strash");
+  EXPECT_EQ(pipeline.sequence().size(), 4u);
+}
+
+TEST(PipelineParse, ArgsPrintInSpecOrderRegardlessOfInputOrder) {
+  // -p before -K in the input; canonical print follows the declaration
+  // order of the pass's ArgSpecs.
+  const auto pipeline = core::Pipeline::parse("if -p pad -K 4; strash");
+  EXPECT_EQ(pipeline.to_string(), "if -K 4 -p pad; strash");
+}
+
+TEST(PipelineParse, PriorityLongNamesCanonicalizeToShortNames) {
+  const auto pipeline =
+      core::Pipeline::parse("if -p p->d->a; strash; map -p baseline-power-aware");
+  EXPECT_EQ(pipeline.to_string(), "if -p pda; strash; map -p baseline");
+}
+
+void expect_recipe_error(const std::string& script,
+                         const std::string& needle) {
+  try {
+    (void)core::Pipeline::parse(script);
+    FAIL() << "expected RecipeError for script: " << script;
+  } catch (const core::RecipeError& e) {
+    EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(PipelineParse, UnknownPassNamesTheSegmentAndKnownPasses) {
+  expect_recipe_error("c2rs; bogus; strash", "segment 2");
+  expect_recipe_error("c2rs; bogus; strash", "unknown pass 'bogus'");
+  expect_recipe_error("c2rs; bogus; strash", "known:");
+}
+
+TEST(PipelineParse, UnknownFlagIsRejected) {
+  expect_recipe_error("if -Q 3", "unknown flag '-Q'");
+  expect_recipe_error("c2rs -K 6", "unknown flag '-K'");
+}
+
+TEST(PipelineParse, MissingValueIsRejected) {
+  expect_recipe_error("if -K", "missing value");
+}
+
+TEST(PipelineParse, MalformedOrOutOfRangeValuesAreRejected) {
+  expect_recipe_error("if -K banana", "bad value for -K");
+  expect_recipe_error("if -K banana", "[2, 16]");
+  expect_recipe_error("if -K 99", "out of range");
+  expect_recipe_error("if -K 1", "out of range");
+  expect_recipe_error("if -K -6", "bad value for -K");
+  expect_recipe_error("if -p turbo", "bad value for -p");
+}
+
+TEST(PipelineParse, DuplicateFlagIsRejected) {
+  expect_recipe_error("if -K 6 -K 4", "duplicate flag -K");
+}
+
+TEST(PipelineParse, EmptyRecipeIsRejected) {
+  expect_recipe_error("", "no passes");
+  expect_recipe_error("  ;; ; ", "no passes");
+}
+
+TEST(PipelineParse, SequencingErrorsAreCaughtStatically) {
+  // mfs/strash need a pending LUT cover from `if`.
+  expect_recipe_error("mfs", "needs a pending LUT cover");
+  expect_recipe_error("c2rs; strash", "needs a pending LUT cover");
+  // AIG transforms / a second `if` / `map` cannot run over a pending cover.
+  expect_recipe_error("if -K 4; rewrite", "while a LUT cover is pending");
+  expect_recipe_error("if; if", "while a LUT cover is pending");
+  expect_recipe_error("if; map", "while a LUT cover is pending");
+  // A recipe must not end with the cover still pending.
+  expect_recipe_error("c2rs; if -K 6", "ends with a pending LUT cover");
+}
+
+TEST(PipelineParse, CanonicalRecipeTracksFlowOptions) {
+  core::FlowOptions options;  // defaults: choices+mfs on, k=6, baseline
+  EXPECT_EQ(core::canonical_recipe(options),
+            "c2rs; dch; if -K 6 -p baseline; mfs; strash; map -p baseline");
+  options.priority = opt::CostPriority::kPowerDelayArea;
+  options.lut_k = 4;
+  EXPECT_EQ(core::canonical_recipe(options),
+            "c2rs; dch; if -K 4 -p pda; mfs; strash; map -p pda");
+  options.use_choices = false;
+  options.use_mfs = false;
+  EXPECT_EQ(core::canonical_recipe(options),
+            "c2rs; if -K 4 -p pda; strash; map -p pda");
+  // The canonical recipe always parses.
+  EXPECT_EQ(core::Pipeline::parse(core::canonical_recipe(options)).to_string(),
+            core::canonical_recipe(options));
+}
+
+// ---------------------------------------------------------------------------
+// Option validation (satellite: reject misconfiguration on entry)
+// ---------------------------------------------------------------------------
+
+TEST(OptionValidation, FlowOptionsBoundsAreEnforced) {
+  core::FlowOptions ok;
+  EXPECT_NO_THROW(core::validate(ok));
+
+  core::FlowOptions bad = ok;
+  bad.lut_k = 0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.lut_k = 1;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.lut_k = 17;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = ok;
+  bad.epsilon = -0.01;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  // epsilon = 0 is deliberately valid (the epsilon ablation sweeps it).
+  bad.epsilon = 0.0;
+  EXPECT_NO_THROW(core::validate(bad));
+
+  bad = ok;
+  bad.input_activity = 0.0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.input_activity = 1.5;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.input_activity = 1.0;
+  EXPECT_NO_THROW(core::validate(bad));
+
+  bad = ok;
+  bad.clock_estimate = 0.0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.clock_estimate = -1e9;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+}
+
+TEST(OptionValidation, ExperimentOptionsBoundsAreEnforced) {
+  core::ExperimentOptions ok;
+  EXPECT_NO_THROW(core::validate(ok));
+
+  core::ExperimentOptions bad = ok;
+  bad.threads = -1;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = ok;
+  bad.sta.clock_period = 0.0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = ok;
+  bad.sta.input_slew = -1e-12;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = ok;
+  bad.flow.lut_k = 0;  // flow validation is included
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+}
+
+TEST(OptionValidation, SynthesizeRejectsBadOptionsBeforeRunning) {
+  const auto aig = epfl::make_adder(4);
+  core::FlowOptions bad;
+  bad.lut_k = 0;
+  // No matcher needed: validation fires before any pass.
+  core::FlowState state;
+  state.aig = aig;
+  state.options = bad;
+  const auto pipeline = core::Pipeline::parse("c2rs");
+  EXPECT_THROW(pipeline.run(state), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 scenarios are recipe strings
+// ---------------------------------------------------------------------------
+
+TEST(Scenarios, Fig3RowsAreThreeRecipes) {
+  core::FlowOptions flow;
+  const auto specs = core::fig3_scenarios(flow);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "baseline");
+  EXPECT_EQ(specs[1].name, "pad");
+  EXPECT_EQ(specs[2].name, "pda");
+  EXPECT_EQ(specs[0].recipe,
+            "c2rs; dch; if -K 6 -p baseline; mfs; strash; map -p baseline");
+  EXPECT_EQ(specs[1].recipe,
+            "c2rs; dch; if -K 6 -p pad; mfs; strash; map -p pad");
+  EXPECT_EQ(specs[2].recipe,
+            "c2rs; dch; if -K 6 -p pda; mfs; strash; map -p pda");
+  for (const auto& spec : specs) {
+    // Every scenario recipe is already canonical.
+    EXPECT_EQ(core::Pipeline::parse(spec.recipe).to_string(), spec.recipe);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-vs-legacy equivalence: the refactored core::synthesize must
+// reproduce the pre-pipeline flow exactly (same option structs, same
+// call order, same strash guard) at both corners.
+// ---------------------------------------------------------------------------
+
+/// Verbatim copy of the pre-pipeline core::synthesize (minus the obs
+/// instrumentation): the reference the recipe executor must match
+/// bit-for-bit.
+core::FlowResult legacy_synthesize(const logic::Aig& input,
+                                   const map::CellMatcher& matcher,
+                                   const core::FlowOptions& options) {
+  core::FlowResult result;
+  result.initial_ands = input.num_ands();
+
+  logic::Aig compact = opt::compress2rs(input);
+  result.after_c2rs = compact.num_ands();
+
+  const std::vector<std::vector<logic::Lit>>* choices = nullptr;
+  sat::SweepResult sweep;
+  if (options.use_choices) {
+    sat::SweepOptions sopt;
+    sopt.seed = options.seed;
+    sweep = sat::sat_sweep(compact, sopt);
+    choices = &sweep.choices;
+  }
+  const logic::Aig& choice_aig = options.use_choices ? sweep.aig : compact;
+
+  opt::LutMapOptions lopt;
+  lopt.k = options.lut_k;
+  lopt.priority = options.priority;
+  lopt.epsilon = options.epsilon;
+  lopt.input_activity = options.input_activity;
+  lopt.seed = options.seed;
+  opt::LutMapping luts = opt::lut_map(choice_aig, lopt, choices);
+  if (options.use_mfs) {
+    opt::MfsOptions mopt;
+    mopt.seed = options.seed;
+    (void)opt::mfs(luts, mopt);
+  }
+  logic::Aig optimized = opt::luts_to_aig(luts);
+  if (optimized.num_ands() > compact.num_ands()) {
+    optimized = std::move(compact);
+  }
+  result.after_power_stage = optimized.num_ands();
+
+  map::TechMapOptions topt;
+  topt.priority = options.priority;
+  topt.epsilon = options.epsilon;
+  topt.input_activity = options.input_activity;
+  topt.clock_estimate = options.clock_estimate;
+  topt.seed = options.seed;
+  result.netlist = map::tech_map(optimized, matcher, topt);
+  result.optimized = std::move(optimized);
+  return result;
+}
+
+class PipelineEquivalence : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 48e-12};
+    options.loads = {2e-16, 1e-15, 4e-15};
+    options.include_sequential = false;
+    lib_300k_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 300.0, options));
+    lib_10k_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 10.0, options));
+    matcher_300k_ = new map::CellMatcher(*lib_300k_);
+    matcher_10k_ = new map::CellMatcher(*lib_10k_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_10k_;
+    delete matcher_300k_;
+    delete lib_10k_;
+    delete lib_300k_;
+    matcher_10k_ = nullptr;
+    matcher_300k_ = nullptr;
+    lib_10k_ = nullptr;
+    lib_300k_ = nullptr;
+  }
+  static liberty::Library* lib_300k_;
+  static liberty::Library* lib_10k_;
+  static map::CellMatcher* matcher_300k_;
+  static map::CellMatcher* matcher_10k_;
+};
+
+liberty::Library* PipelineEquivalence::lib_300k_ = nullptr;
+liberty::Library* PipelineEquivalence::lib_10k_ = nullptr;
+map::CellMatcher* PipelineEquivalence::matcher_300k_ = nullptr;
+map::CellMatcher* PipelineEquivalence::matcher_10k_ = nullptr;
+
+void expect_flow_results_identical(const core::FlowResult& got,
+                                   const core::FlowResult& want,
+                                   const std::string& label) {
+  EXPECT_EQ(got.initial_ands, want.initial_ands) << label;
+  EXPECT_EQ(got.after_c2rs, want.after_c2rs) << label;
+  EXPECT_EQ(got.after_power_stage, want.after_power_stage) << label;
+  EXPECT_EQ(got.optimized.num_ands(), want.optimized.num_ands()) << label;
+  ASSERT_EQ(got.netlist.gate_count(), want.netlist.gate_count()) << label;
+  // Exact double equality: the pipeline must feed the passes the same
+  // options in the same order, so areas and the full STA signoff agree
+  // to the last bit.
+  EXPECT_EQ(got.netlist.total_area(), want.netlist.total_area()) << label;
+  const auto got_sta = sta::analyze(got.netlist, {});
+  const auto want_sta = sta::analyze(want.netlist, {});
+  EXPECT_EQ(got_sta.critical_delay, want_sta.critical_delay) << label;
+  EXPECT_EQ(got_sta.power.leakage, want_sta.power.leakage) << label;
+  EXPECT_EQ(got_sta.power.internal, want_sta.power.internal) << label;
+  EXPECT_EQ(got_sta.power.switching, want_sta.power.switching) << label;
+}
+
+TEST_F(PipelineEquivalence, CanonicalRecipeMatchesLegacyFlowAtBothCorners) {
+  const auto suite = epfl::mini_suite();
+  ASSERT_GE(suite.size(), 3u);
+  const std::pair<const map::CellMatcher*, const char*> corners[] = {
+      {matcher_300k_, "300K"}, {matcher_10k_, "10K"}};
+  // Two benchmarks x two corners x the three Fig. 3 priorities.
+  for (const std::size_t bench_idx : {std::size_t{0}, std::size_t{2}}) {
+    const auto& bench = suite[bench_idx];
+    for (const auto& [matcher, corner] : corners) {
+      for (const auto priority :
+           {opt::CostPriority::kBaselinePowerAware,
+            opt::CostPriority::kPowerDelayArea}) {
+        core::FlowOptions options;
+        options.priority = priority;
+        const std::string label = bench.name + "@" + corner + "/" +
+                                  opt::short_name(priority);
+        const auto want = legacy_synthesize(bench.aig, *matcher, options);
+        const auto got = core::synthesize(bench.aig, *matcher, options);
+        expect_flow_results_identical(got, want, label);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineEquivalence, RecipeVariantsMatchLegacyFlags) {
+  // use_choices / use_mfs off map to recipes without dch / mfs.
+  const auto suite = epfl::mini_suite();
+  const auto& bench = suite[2];  // dec4: small, fast
+  core::FlowOptions options;
+  options.use_choices = false;
+  options.use_mfs = false;
+  options.priority = opt::CostPriority::kPowerAreaDelay;
+  const auto want = legacy_synthesize(bench.aig, *matcher_10k_, options);
+  const auto got = core::synthesize(bench.aig, *matcher_10k_, options);
+  expect_flow_results_identical(got, want, "dec4/no-dch-no-mfs");
+  // And the same result again via an explicit --script-style recipe.
+  const auto scripted = core::synthesize_with_recipe(
+      bench.aig, *matcher_10k_, options,
+      "c2rs ;  if -K 6 -p pad ; strash ; map -p pad");
+  expect_flow_results_identical(scripted, want, "dec4/explicit-script");
+}
+
+TEST_F(PipelineEquivalence, RecipeWithoutMapYieldsNoNetlist) {
+  core::FlowState state;
+  state.aig = epfl::make_adder(8);
+  state.options = core::FlowOptions{};
+  const auto pipeline = core::Pipeline::parse("c2rs; if -K 6; strash");
+  pipeline.run(state);  // no matcher needed: recipe never maps
+  EXPECT_FALSE(state.has_netlist);
+  EXPECT_TRUE(state.saw_strash);
+  EXPECT_GT(state.after_c2rs, 0u);
+}
+
+TEST_F(PipelineEquivalence, MapWithoutMatcherIsARecipeError) {
+  core::FlowState state;
+  state.aig = epfl::make_adder(4);
+  state.options = core::FlowOptions{};
+  const auto pipeline = core::Pipeline::parse("map");
+  EXPECT_THROW(pipeline.run(state), core::RecipeError);
+}
+
+}  // namespace
