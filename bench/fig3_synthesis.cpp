@@ -47,6 +47,13 @@ int main() {
   std::vector<double> over_pad;
   std::vector<double> over_pda;
   for (const auto& row : rows) {
+    if (!row.ok()) {
+      std::fprintf(stderr,
+                   "fig3: circuit %s had failed scenarios; excluded from "
+                   "averages\n",
+                   row.circuit.c_str());
+      continue;
+    }
     save_pad.push_back(row.power_saving_pad());
     save_pda.push_back(row.power_saving_pda());
     over_pad.push_back(row.delay_overhead_pad());

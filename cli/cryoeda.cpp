@@ -9,7 +9,8 @@
 //   cryoeda --bench dec4 --temp 10 --priority pda --out dec4.v --report run.json
 //   cryoeda --list-passes
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage / recipe error.
+// Exit codes: 0 success, 1 internal failure, 2 usage / recipe error,
+// 3 I/O error, 4 budget exhausted / cancelled, 5 numerical failure.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,8 @@
 #include "logic/aiger.hpp"
 #include "map/verilog.hpp"
 #include "sta/sta.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
 #include "util/obs.hpp"
 
 using namespace cryo;
@@ -45,6 +48,13 @@ constexpr const char* kUsage =
     "  --activity A       PI toggle rate, (0,1]       (default 0.2)\n"
     "  --seed N           flow seed                   (default 29)\n"
     "\n"
+    "budget options:\n"
+    "  --deadline S       wall-clock budget in seconds; when it runs out\n"
+    "                     remaining optimization passes degrade (skip /\n"
+    "                     stop early) but 'map' still produces a netlist\n"
+    "  --sat-budget N     per-call SAT conflict ceiling of dch sweeping\n"
+    "                     (>= 1, or -1 for unlimited; default 500)\n"
+    "\n"
     "i/o options:\n"
     "  --lib PATH         liberty cache path (default\n"
     "                     cryoeda_out/cryoeda_lib_<T>K.lib)\n"
@@ -52,7 +62,11 @@ constexpr const char* kUsage =
     "  --report PATH      write the observability run report (JSON)\n"
     "  --quiet            suppress progress chatter\n"
     "  --list-passes      print the pass registry and exit\n"
-    "  -h, --help         this text\n";
+    "  -h, --help         this text\n"
+    "\n"
+    "exit codes: 0 success, 1 internal failure, 2 usage/recipe error,\n"
+    "            3 I/O error, 4 budget exhausted/cancelled, 5 numerical\n"
+    "            failure\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "cryoeda: %s\n\n%s", message.c_str(), kUsage);
@@ -160,6 +174,22 @@ Args parse_args(int argc, char** argv) {
       args.flow.input_activity = parse_double(arg, next());
     } else if (arg == "--seed") {
       args.flow.seed = parse_uint(arg, next());
+    } else if (arg == "--deadline") {
+      const double seconds = parse_double(arg, next());
+      if (!(seconds > 0.0)) {
+        usage_error("--deadline must be a positive time in seconds");
+      }
+      util::Budget::global().set_deadline_in(seconds);
+    } else if (arg == "--sat-budget") {
+      const std::string raw = next();
+      char* end = nullptr;
+      const long long conflicts = std::strtoll(raw.c_str(), &end, 10);
+      if (raw.empty() || end != raw.c_str() + raw.size() ||
+          (conflicts != -1 && conflicts < 1)) {
+        usage_error("bad value for --sat-budget: '" + raw +
+                    "' (expected an integer >= 1, or -1 for unlimited)");
+      }
+      args.flow.sat_conflict_budget = conflicts;
     } else if (arg == "--bench") {
       args.bench_name = next();
     } else if (arg == "--lib") {
@@ -287,6 +317,9 @@ int main(int argc, char** argv) {
   } catch (const core::RecipeError& e) {
     std::fprintf(stderr, "cryoeda: %s\n", e.what());
     return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return error_exit_code(e.kind());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cryoeda: %s\n", e.what());
     return 1;

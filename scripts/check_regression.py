@@ -16,7 +16,13 @@ a checked-in baseline and fails when a quality figure drifts:
   class. The canonical signoff ``report.json`` carries no wall clock, so
   pass ``--fresh-wall-from cryoeda_out/BENCH_<name>.json`` to source the
   fresh wall time from the full diagnostic report;
-* schema versions must match.
+* schema versions must match;
+* with ``--fail-on-degraded``, any nonzero degradation counter
+  (``pass.*.degraded``, ``fleet.scenario_errors``) in the fresh report —
+  or in an extra report named by ``--degradation-from`` — fails the gate.
+  A baseline-gated signoff run is expected to be clean: degradation means
+  the quality figures were produced by a partially skipped flow, so the
+  comparison is not measuring what the baseline measured.
 
 Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
 
@@ -95,6 +101,34 @@ def wall_seconds(report, path):
     return float(wall)
 
 
+def degraded_counters(report, path):
+    """Nonzero degradation counters from a report, as a sorted name->value
+    dict.
+
+    Reads both the dedicated ``degradation`` section (full diagnostic
+    reports) and the ``counters`` section (in case the section was
+    filtered out); the signoff report carries neither, which is why
+    ``--degradation-from`` exists to point at the BENCH_<name>.json.
+    ``cache.retries`` / ``cache.quarantined`` are resilience events, not
+    degradation — the flow recovered — so they are reported but never
+    counted against the gate.
+    """
+    found = {}
+    for section in ("degradation", "counters"):
+        values = report.get(section, {})
+        if not isinstance(values, dict):
+            fail_usage(f"{path}: '{section}' is {type(values).__name__}, "
+                       "expected an object")
+        for name, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            is_degradation = (name.endswith(".degraded")
+                              or name == "fleet.scenario_errors")
+            if is_degradation and value != 0:
+                found[name] = value
+    return dict(sorted(found.items()))
+
+
 def rel_diff(baseline, fresh):
     if baseline == fresh:
         return 0.0
@@ -124,6 +158,16 @@ def main():
         help="read the fresh side's meta.wall_s from this report instead "
              "of FRESH (the canonical signoff report carries no wall "
              "clock; point this at the full BENCH_<name>.json)")
+    parser.add_argument(
+        "--fail-on-degraded", action="store_true",
+        help="fail the gate when any pass.*.degraded or "
+             "fleet.scenario_errors counter is nonzero (a baseline-gated "
+             "run must not silently compare a degraded flow)")
+    parser.add_argument(
+        "--degradation-from", metavar="PATH",
+        help="additionally scan this report for degradation counters "
+             "(the signoff report excludes them; point this at the full "
+             "BENCH_<name>.json)")
     args = parser.parse_args()
 
     base = load_report(args.baseline, "baseline report")
@@ -191,6 +235,26 @@ def main():
                 failures.append(message)
     else:
         print("wall time: not compared (meta.wall_s missing on one side)")
+
+    degraded = degraded_counters(fresh, args.fresh)
+    degraded_path = args.fresh
+    if args.degradation_from:
+        extra = load_report(args.degradation_from, "degradation report")
+        extra_degraded = degraded_counters(extra, args.degradation_from)
+        if extra_degraded:
+            degraded = dict(sorted({**degraded, **extra_degraded}.items()))
+            degraded_path = args.degradation_from
+    if degraded:
+        print(f"degradation in {degraded_path}:")
+        for name, value in degraded.items():
+            print(f"  {name} = {value:g}")
+        if args.fail_on_degraded:
+            failures.append(
+                f"{len(degraded)} nonzero degradation counter(s) in "
+                f"{degraded_path} (e.g. {next(iter(degraded))}) — the "
+                "gated quality figures come from a degraded flow")
+    elif args.fail_on_degraded:
+        print("degradation: none (clean flow)")
 
     if worst[1] is not None:
         print(f"checked {checked} gauges under {args.prefix!r}; worst drift "

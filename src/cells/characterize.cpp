@@ -12,6 +12,9 @@
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
 #include "util/artifact_cache.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -662,10 +665,22 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
   // Cells are characterized in parallel but assembled in catalog order,
   // so the library is identical to the serial run for any thread count.
   std::atomic<std::size_t> progress{0};
+  util::Budget& budget =
+      options.budget != nullptr ? *options.budget : util::Budget::global();
   auto cells = util::parallel_map(
       catalog.size(),
       [&](std::size_t i) -> std::optional<liberty::Cell> {
         const auto& spec = catalog[i];
+        // A partially characterized library would poison every
+        // downstream figure, so both cancellation and a blown deadline
+        // abort the characterization outright.
+        budget.check_cancelled("cells.characterize");
+        if (budget.deadline_exceeded()) {
+          throw Error{ErrorKind::kBudget,
+                      "wall-clock deadline exceeded in cells.characterize"};
+        }
+        util::faultinject::maybe_fail("cells.characterize",
+                                      ErrorKind::kInternal);
         const obs::ScopedSpan span{"cells.characterize:" + spec.name};
         const util::ScopedTimer cell_timer{spec.name, /*log=*/false};
         std::optional<liberty::Cell> cell;
@@ -711,6 +726,20 @@ liberty::Library load_or_characterize(const std::string& cache_path,
   obs::counter("cells.cache_misses").add();
   liberty::Library lib = characterize(catalog, temperature_k, options);
   liberty::write_liberty(lib, cache_path);
+  // Return the *re-read* library, not the in-memory one: the writer's
+  // unit conversions can perturb values by an ulp, and a cold run must
+  // see bit-identical tables to every later warm run that loads this
+  // file, or downstream signoff reports lose byte-identity across runs.
+  try {
+    liberty::Library reread = liberty::read_liberty(cache_path);
+    if (cache_matches(reread, catalog, temperature_k, options)) {
+      return reread;
+    }
+  } catch (const std::exception&) {
+    // A just-written file that does not read back is a transient disk
+    // problem at worst; the in-memory library is still good.
+  }
+  obs::counter("cells.cache_readback_misses").add();
   return lib;
 }
 

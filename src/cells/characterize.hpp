@@ -5,6 +5,10 @@
 #include "cells/catalog.hpp"
 #include "liberty/library.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::cells {
 
 /// Characterization options. Defaults reproduce the paper's setup: a
@@ -23,6 +27,11 @@ struct CharOptions {
   /// concurrency; 1 = the serial path (byte-identical results either
   /// way — outputs are assembled in index order).
   int threads = 0;
+  /// Shared resource budget; nullptr means `util::Budget::global()`.
+  /// Characterization cannot degrade — a partial library would poison
+  /// every downstream figure — so cancellation *and* deadline both abort
+  /// with cryo::Error{kBudget}.
+  util::Budget* budget = nullptr;
 };
 
 /// Characterize a cell catalog at the given temperature into a liberty

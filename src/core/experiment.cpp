@@ -7,6 +7,9 @@
 #include "core/pipeline.hpp"
 #include "liberty/json_io.hpp"
 #include "util/artifact_cache.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/hash.hpp"
 #include "util/obs.hpp"
 #include "util/thread_pool.hpp"
@@ -16,15 +19,27 @@ namespace cryo::core {
 namespace obs = util::obs;
 
 double CircuitComparison::power_saving_pad() const {
+  if (!pad.ok || !baseline.ok || !(baseline.total_power > 0.0)) {
+    return 0.0;
+  }
   return 1.0 - pad.total_power / baseline.total_power;
 }
 double CircuitComparison::power_saving_pda() const {
+  if (!pda.ok || !baseline.ok || !(baseline.total_power > 0.0)) {
+    return 0.0;
+  }
   return 1.0 - pda.total_power / baseline.total_power;
 }
 double CircuitComparison::delay_overhead_pad() const {
+  if (!pad.ok || !baseline.ok || !(baseline.delay > 0.0)) {
+    return 0.0;
+  }
   return pad.delay / baseline.delay - 1.0;
 }
 double CircuitComparison::delay_overhead_pda() const {
+  if (!pda.ok || !baseline.ok || !(baseline.delay > 0.0)) {
+    return 0.0;
+  }
   return pda.delay / baseline.delay - 1.0;
 }
 
@@ -145,6 +160,10 @@ ScenarioResult run_scenario(const logic::Aig& aig,
                             const ScenarioSpec& spec) {
   const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
                              spec.name};
+  // A cached scenario would otherwise return before reaching any pass
+  // boundary, so honor cancellation here too.
+  util::Budget::global().check_cancelled("core.scenario");
+  util::faultinject::maybe_fail("core.scenario", ErrorKind::kInternal);
   // Cache under the canonical (parsed-and-printed) recipe, so spelling
   // variants of the same pipeline share an entry.
   const std::string canonical = Pipeline::parse(spec.recipe).to_string();
@@ -175,8 +194,13 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   out.delay = signoff.critical_delay;
   out.area = result.netlist.total_area();
   out.gates = result.netlist.gate_count();
-  if (cache.enabled()) {
+  // Never cache a degraded run: the key covers inputs only (not the
+  // budget state), so a budget-starved result would later be served to
+  // unbudgeted runs as the authoritative figures for this scenario.
+  if (cache.enabled() && !result.degraded) {
     cache.store(kScenarioStage, cache_key, scenario_to_json(out));
+  } else if (result.degraded) {
+    obs::counter("cache.degraded_skips").add();
   }
   return out;
 }
@@ -208,7 +232,36 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
   const auto scenarios = util::parallel_map(
       specs.size(),
       [&](std::size_t i) {
-        return run_scenario(benchmark.aig, matcher, options, specs[i]);
+        // Per-scenario fault isolation: a failing scenario records a
+        // structured error in its row and lets its siblings complete.
+        // Budget cancellation is the one exception — it must stop the
+        // whole fleet, so it propagates.
+        try {
+          return run_scenario(benchmark.aig, matcher, options, specs[i]);
+        } catch (const Error& e) {
+          if (e.kind() == ErrorKind::kBudget) {
+            throw;
+          }
+          ScenarioResult failed;
+          failed.scenario = specs[i].name;
+          failed.recipe = specs[i].recipe;
+          failed.priority = specs[i].priority;
+          failed.ok = false;
+          failed.error = e.what();
+          failed.error_kind = std::string{error_kind_name(e.kind())};
+          obs::counter("fleet.scenario_errors").add();
+          return failed;
+        } catch (const std::exception& e) {
+          ScenarioResult failed;
+          failed.scenario = specs[i].name;
+          failed.recipe = specs[i].recipe;
+          failed.priority = specs[i].priority;
+          failed.ok = false;
+          failed.error = e.what();
+          failed.error_kind = "internal";
+          obs::counter("fleet.scenario_errors").add();
+          return failed;
+        }
       },
       options.threads);
   cmp.baseline = scenarios[0];
@@ -217,17 +270,27 @@ CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
 
   // Footnote 1: every variant's power is reported at the clock period of
   // the slowest variant of the same circuit, so faster variants are not
-  // penalized with proportionally higher clock power.
-  cmp.clock_period =
-      std::max({cmp.baseline.delay, cmp.pad.delay, cmp.pda.delay});
-  renormalize(cmp.baseline, options.sta.clock_period, cmp.clock_period);
-  renormalize(cmp.pad, options.sta.clock_period, cmp.clock_period);
-  renormalize(cmp.pda, options.sta.clock_period, cmp.clock_period);
+  // penalized with proportionally higher clock power. Failed scenarios
+  // (zero figures) are excluded from the normalization and the gauges.
+  cmp.clock_period = 0.0;
+  for (const ScenarioResult* s : {&cmp.baseline, &cmp.pad, &cmp.pda}) {
+    if (s->ok) {
+      cmp.clock_period = std::max(cmp.clock_period, s->delay);
+    }
+  }
+  for (ScenarioResult* s : {&cmp.baseline, &cmp.pad, &cmp.pda}) {
+    if (s->ok && cmp.clock_period > 0.0) {
+      renormalize(*s, options.sta.clock_period, cmp.clock_period);
+    }
+  }
 
   // Per-scenario signoff roll-up: these gauges are the quality surface
   // the CI regression gate (scripts/check_regression.py) compares, so
   // they use the *normalized* figures that the paper tables report.
   for (const ScenarioResult* s : {&cmp.baseline, &cmp.pad, &cmp.pda}) {
+    if (!s->ok) {
+      continue;
+    }
     const std::string prefix =
         "experiment." + cmp.circuit + "." + s->scenario + ".";
     obs::gauge(prefix + "power_w").set(s->total_power);

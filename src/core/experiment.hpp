@@ -31,6 +31,12 @@ struct ScenarioResult {
   double delay = 0.0;        ///< critical path [s]
   double area = 0.0;         ///< [um^2]
   std::size_t gates = 0;
+  /// Fault isolation: a scenario whose synthesis threw records the
+  /// failure here instead of sinking its sibling scenarios; its figures
+  /// above stay zero and are excluded from normalization and gauges.
+  bool ok = true;
+  std::string error;       ///< what() of the failure (empty when ok)
+  std::string error_kind;  ///< cryo::ErrorKind name, or "internal"
 };
 
 /// Paper Fig. 3 rows: baseline vs the two proposed priority lists.
@@ -39,8 +45,14 @@ struct CircuitComparison {
   ScenarioResult baseline;
   ScenarioResult pad;  ///< power -> area -> delay
   ScenarioResult pda;  ///< power -> delay -> area
-  double clock_period = 0.0;  ///< normalized clock (slowest variant)
+  double clock_period = 0.0;  ///< normalized clock (slowest OK variant)
 
+  /// All three scenarios produced valid figures.
+  bool ok() const { return baseline.ok && pad.ok && pda.ok; }
+
+  /// Savings/overheads are 0 when either side failed (or the baseline
+  /// figure is non-positive), so a faulted row renders as "no change"
+  /// rather than NaN/inf.
   double power_saving_pad() const;  ///< positive = proposed saves power
   double power_saving_pda() const;
   double delay_overhead_pad() const;  ///< positive = proposed is slower

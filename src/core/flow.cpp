@@ -37,6 +37,13 @@ void validate(const FlowOptions& options) {
         " is unusable: the clock period estimate must be a positive finite "
         "time in seconds"};
   }
+  if (options.sat_conflict_budget == 0 || options.sat_conflict_budget < -1) {
+    throw std::invalid_argument{
+        "FlowOptions.sat_conflict_budget = " +
+        std::to_string(options.sat_conflict_budget) +
+        " is unusable: the per-call SAT conflict ceiling must be >= 1, or "
+        "-1 for unlimited (disable sweeping with use_choices instead of 0)"};
+  }
 }
 
 namespace {
@@ -61,6 +68,7 @@ FlowResult run_recipe(const logic::Aig& input, const map::CellMatcher& matcher,
       state.saw_strash ? state.after_power_stage : state.aig.num_ands();
   result.netlist = std::move(state.netlist);
   result.optimized = std::move(state.aig);
+  result.degraded = state.degraded;
   return result;
 }
 

@@ -20,14 +20,19 @@ struct FlowOptions {
   unsigned lut_k = 6;            ///< k of the power-aware LUT stage (if)
   double clock_estimate = 1e-9;  ///< leakage-vs-dynamic weighting in costs
   std::uint64_t seed = 29;
+  /// Per-call SAT conflict ceiling of the dch sweeping stage (`cryoeda
+  /// --sat-budget`): a candidate pair whose proof exceeds it stays
+  /// unmerged. -1 = unlimited; 0 is rejected by `validate` (it would
+  /// silently disable sweeping — use `use_choices = false` for that).
+  std::int64_t sat_conflict_budget = 500;
 };
 
 /// Reject unusable flow knobs with an actionable std::invalid_argument:
 /// `lut_k` outside [2, 16], `epsilon` negative or not finite (0 is
 /// valid — it disables tie-break relaxation and is swept by the epsilon
 /// ablation), `input_activity` outside (0, 1], `clock_estimate` not a
-/// positive finite time. Called by `synthesize` and the experiment
-/// drivers on entry.
+/// positive finite time, `sat_conflict_budget` zero or below -1. Called
+/// by `synthesize` and the experiment drivers on entry.
 void validate(const FlowOptions& options);
 
 /// Result of a full synthesis run.
@@ -37,6 +42,10 @@ struct FlowResult {
   unsigned initial_ands = 0;
   unsigned after_c2rs = 0;
   unsigned after_power_stage = 0;
+  /// True when any pass degraded under a budget (skipped, stopped
+  /// early, or reverted). Callers that persist results keyed on inputs
+  /// alone (the scenario artifact cache) must not store degraded runs.
+  bool degraded = false;
 };
 
 /// The three-stage pipeline:

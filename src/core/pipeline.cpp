@@ -5,6 +5,7 @@
 
 #include "opt/passes.hpp"
 #include "sat/sweep.hpp"
+#include "util/budget.hpp"
 #include "util/obs.hpp"
 #include "util/strings.hpp"
 
@@ -101,6 +102,10 @@ Pass aig_pass(std::string name, std::string help, std::vector<ArgSpec> args,
   return pass;
 }
 
+util::Budget& budget_of(const FlowState& s) {
+  return s.budget != nullptr ? *s.budget : util::Budget::global();
+}
+
 PassRegistry make_builtin_registry() {
   PassRegistry registry;
 
@@ -122,32 +127,47 @@ PassRegistry make_builtin_registry() {
         s.aig = opt::refactor(s.aig, args.get_uint("-l", 10));
       }));
 
-  registry.add(aig_pass(
-      "resub", "windowed resubstitution",
-      {uint_arg("-l", 4, 16, "max window leaves")},
-      [](FlowState& s, const PassArgs& args) {
-        s.aig = opt::resub(s.aig, args.get_uint("-l", 8));
-      }));
+  {
+    Pass pass = aig_pass(
+        "resub", "windowed resubstitution",
+        {uint_arg("-l", 4, 16, "max window leaves")},
+        [](FlowState& s, const PassArgs& args) {
+          s.aig = opt::resub(s.aig, args.get_uint("-l", 8), &budget_of(s));
+        });
+    pass.budget_aware = true;
+    registry.add(std::move(pass));
+  }
 
-  registry.add(aig_pass(
-      "c2rs", "compress2rs: resub/rewrite/refactor/balance to fixpoint", {},
-      [](FlowState& s, const PassArgs&) {
-        s.aig = opt::compress2rs(s.aig);
-        s.after_c2rs = s.aig.num_ands();
-      }));
+  {
+    Pass pass = aig_pass(
+        "c2rs", "compress2rs: resub/rewrite/refactor/balance to fixpoint", {},
+        [](FlowState& s, const PassArgs&) {
+          s.aig = opt::compress2rs(s.aig, &budget_of(s));
+          s.after_c2rs = s.aig.num_ands();
+        });
+    pass.budget_aware = true;
+    registry.add(std::move(pass));
+  }
 
-  registry.add(aig_pass(
-      "dch", "SAT sweeping for structural choices", {},
-      [](FlowState& s, const PassArgs&) {
-        // The AIG entering stage 2 is what `strash` compares against.
-        s.stage_checkpoint = s.aig;
-        sat::SweepOptions sopt;
-        sopt.seed = s.options.seed;
-        sat::SweepResult sweep = sat::sat_sweep(s.aig, sopt);
-        s.aig = std::move(sweep.aig);
-        s.choices = std::move(sweep.choices);
-        s.has_choices = true;
-      }));
+  {
+    Pass pass = aig_pass(
+        "dch", "SAT sweeping for structural choices", {},
+        [](FlowState& s, const PassArgs&) {
+          // The AIG entering stage 2 is what `strash` compares against.
+          s.stage_checkpoint = s.aig;
+          sat::SweepOptions sopt;
+          sopt.seed = s.options.seed;
+          sopt.conflict_limit = s.options.sat_conflict_budget;
+          sopt.budget = &budget_of(s);
+          sat::SweepResult sweep = sat::sat_sweep(s.aig, sopt);
+          s.aig = std::move(sweep.aig);
+          s.choices = std::move(sweep.choices);
+          s.has_choices = true;
+        });
+    pass.uses_sat = true;
+    pass.budget_aware = true;
+    registry.add(std::move(pass));
+  }
 
   {
     Pass pass;
@@ -176,9 +196,12 @@ PassRegistry make_builtin_registry() {
     pass.name = "mfs";
     pass.help = "SAT don't-care minimization of the pending LUT cover";
     pass.needs_luts = true;
+    pass.uses_sat = true;
+    pass.budget_aware = true;
     pass.run = [](FlowState& s, const PassArgs&) {
       opt::MfsOptions mopt;
       mopt.seed = s.options.seed;
+      mopt.budget = &budget_of(s);
       (void)opt::mfs(*s.luts, mopt);
     };
     registry.add(std::move(pass));
@@ -229,6 +252,7 @@ PassRegistry make_builtin_registry() {
       topt.input_activity = s.options.input_activity;
       topt.clock_estimate = s.options.clock_estimate;
       topt.seed = s.options.seed;
+      topt.budget = &budget_of(s);
       s.netlist = map::tech_map(s.aig, *s.matcher, topt);
       s.has_netlist = true;
     };
@@ -435,14 +459,61 @@ std::string Pipeline::to_string() const {
 
 void Pipeline::run(FlowState& state) const {
   validate(state.options);
+  util::Budget& budget = budget_of(state);
   state.initial_ands = state.aig.num_ands();
   for (const PassInvocation& invocation : sequence_) {
     const Pass& pass = *invocation.pass;
-    {
-      const obs::ScopedSpan span{"pass." + pass.name};
-      pass.run(state, invocation.args);
+    budget.check_cancelled("pass." + pass.name);
+
+    // Soft budget exhaustion *degrades* the flow instead of failing it:
+    // out of wall-clock, every optimization pass is skipped; out of SAT
+    // conflicts, only the SAT-backed passes are. `map` is never skipped
+    // — the flow must still produce a netlist.
+    bool degraded = false;
+    bool skipped = false;
+    const bool degradable = pass.name != "map";
+    if (degradable && (budget.deadline_exceeded() ||
+                       (pass.uses_sat && budget.sat_exhausted()))) {
+      skipped = true;
+      degraded = true;
+    } else if (pass.needs_luts && !state.luts) {
+      // An upstream skip consumed this pass's input (`if` skipped under
+      // deadline leaves no pending cover): no-op instead of crashing.
+      skipped = true;
+      degraded = true;
     }
-    obs::counter("pass." + pass.name + ".runs").add();
+
+    if (!skipped) {
+      // Optional node-growth ceiling: revert any AIG transform whose
+      // result inflated the network past the configured factor.
+      const double growth_limit = budget.node_growth_limit();
+      const bool guarded = growth_limit > 0.0 && pass.aig_transform;
+      logic::Aig snapshot;
+      if (guarded) {
+        snapshot = state.aig;
+      }
+      {
+        const obs::ScopedSpan span{"pass." + pass.name};
+        pass.run(state, invocation.args);
+      }
+      if (guarded && static_cast<double>(state.aig.num_ands()) >
+                         growth_limit *
+                             std::max(1u, snapshot.num_ands())) {
+        state.aig = std::move(snapshot);
+        degraded = true;
+      }
+      // A budget found exhausted right after a budget-aware pass means
+      // the pass stopped early; record that as a degradation too.
+      if (pass.budget_aware && (budget.deadline_exceeded() ||
+                                (pass.uses_sat && budget.sat_exhausted()))) {
+        degraded = true;
+      }
+      obs::counter("pass." + pass.name + ".runs").add();
+    }
+    if (degraded) {
+      obs::counter("pass." + pass.name + ".degraded").add();
+      state.degraded = true;
+    }
     // Diagnostic (Unit::kNodes, excluded from the signoff report):
     // network size leaving the pass — gates once mapped, LUTs while a
     // cover is pending, AND nodes otherwise.

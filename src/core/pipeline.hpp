@@ -11,6 +11,10 @@
 #include "core/flow.hpp"
 #include "opt/lut_map.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::core {
 
 /// Scriptable pass pipeline (ABC-style): every transform of the
@@ -59,6 +63,16 @@ struct FlowState {
   unsigned after_c2rs = 0;
   unsigned after_power_stage = 0;
   bool saw_strash = false;
+  /// True once any pass in this run degraded (skipped, stopped early,
+  /// or was reverted by the node-growth guard). Degraded results must
+  /// never enter the artifact cache: they would be served to later
+  /// *unbudgeted* runs as if they were full-quality.
+  bool degraded = false;
+
+  /// Shared resource budget for the whole run; nullptr means
+  /// `util::Budget::global()`. See Pipeline::run for the degradation
+  /// semantics.
+  util::Budget* budget = nullptr;
 };
 
 /// Kinds a pass argument value can take.
@@ -102,6 +116,13 @@ struct Pass {
   bool needs_luts = false;
   bool makes_luts = false;
   bool aig_transform = false;
+  /// Pass is backed by SAT calls (dch, mfs): an exhausted SAT-conflict
+  /// ceiling makes Pipeline::run skip it instead of running it.
+  bool uses_sat = false;
+  /// Pass consults the budget internally and may stop early (c2rs,
+  /// resub, dch, mfs): a budget found exhausted right after such a pass
+  /// ran is recorded as a degradation.
+  bool budget_aware = false;
   std::function<void(FlowState&, const PassArgs&)> run;
 };
 
@@ -152,6 +173,20 @@ public:
   /// after `map`) around every step. Throws RecipeError if a pass needs
   /// a matcher and `state.matcher` is null; propagates
   /// std::invalid_argument from option validation.
+  ///
+  /// Budget semantics (`state.budget`, or `util::Budget::global()`):
+  ///  * cancellation throws cryo::Error{kBudget} at the next pass
+  ///    boundary (and inside budget-aware kernels);
+  ///  * a blown wall-clock deadline *degrades*: remaining optimization
+  ///    passes are skipped — but `map` always runs, so the flow still
+  ///    produces a netlist;
+  ///  * an exhausted SAT-conflict ceiling skips only SAT-backed passes
+  ///    (`uses_sat`: dch, mfs);
+  ///  * a pass whose result exceeded the node-growth ceiling is reverted
+  ///    to its input network;
+  ///  * every skipped / stopped-early / reverted pass bumps
+  ///    `pass.<name>.degraded`, surfaced in the report's `degradation`
+  ///    section (absent from the signoff profile).
   void run(FlowState& state) const;
 
   const std::vector<PassInvocation>& sequence() const { return sequence_; }

@@ -8,6 +8,8 @@
 
 #include "liberty/library.hpp"
 #include "liberty/units.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/strings.hpp"
 
 namespace cryo::liberty {
@@ -344,6 +346,7 @@ Cell extract_cell(const Group& g) {
 }  // namespace
 
 Library parse_liberty(const std::string& text) {
+  util::faultinject::maybe_fail("liberty.parse", ErrorKind::kIo);
   Parser parser{text};
   const Group top = parser.parse_top();
   if (top.type != "library") {

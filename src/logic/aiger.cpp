@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace cryo::logic {
 namespace {
 
@@ -221,7 +223,7 @@ Aig read_aiger(const std::string& contents) {
 void write_aiger_file(const Aig& aig, const std::string& path, bool binary) {
   std::ofstream out{path, std::ios::binary};
   if (!out) {
-    throw std::runtime_error{"write_aiger_file: cannot open " + path};
+    throw Error{ErrorKind::kIo, "write_aiger_file: cannot open " + path};
   }
   out << (binary ? write_aiger_binary(aig) : write_aiger_ascii(aig));
 }
@@ -229,7 +231,7 @@ void write_aiger_file(const Aig& aig, const std::string& path, bool binary) {
 Aig read_aiger_file(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) {
-    throw std::runtime_error{"read_aiger_file: cannot open " + path};
+    throw Error{ErrorKind::kIo, "read_aiger_file: cannot open " + path};
   }
   std::ostringstream buf;
   buf << in.rdbuf();

@@ -8,6 +8,7 @@
 
 #include "logic/cuts.hpp"
 #include "logic/simulate.hpp"
+#include "util/budget.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::map {
@@ -57,6 +58,11 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
                  const TechMapOptions& options,
                  const std::vector<std::vector<logic::Lit>>* choices) {
   const obs::ScopedSpan span{"map.tech_map"};
+  // Mapping must always produce a netlist, so soft budget exhaustion is
+  // ignored here; only a hard cancellation aborts.
+  util::Budget& budget =
+      options.budget != nullptr ? *options.budget : util::Budget::global();
+  budget.check_cancelled("map.tech_map");
   std::uint64_t matches_tried = 0;  // flushed to obs after the rounds
   logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node};
   cuts.run();
@@ -137,9 +143,13 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
   std::vector<bool> in_cover(aig.num_nodes(), false);
 
   for (unsigned round = 0; round < options.rounds; ++round) {
+    budget.check_cancelled("map.tech_map");
     for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
       if (!aig.is_and(v)) {
         continue;
+      }
+      if ((v & 0x3FFu) == 0) {
+        budget.check_cancelled("map.tech_map");
       }
       bool have = false;
       Cost best_cost;

@@ -5,6 +5,10 @@
 #include "map/netlist.hpp"
 #include "opt/cost.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::map {
 
 /// Options for cut-based standard-cell technology mapping (ABC's `map`,
@@ -20,6 +24,10 @@ struct TechMapOptions {
   double nominal_load = 1e-15;
   double clock_estimate = 1e-9;   ///< converts leakage [W] into energy [J]
   std::uint64_t seed = 17;
+  /// Shared resource budget; nullptr means `util::Budget::global()`.
+  /// Mapping must always produce a netlist, so only *cancellation* is
+  /// honored (throws cryo::Error{kBudget}); soft exhaustion is ignored.
+  util::Budget* budget = nullptr;
 };
 
 /// Map an AIG onto a standard-cell library using the given cost-priority

@@ -7,6 +7,7 @@
 #include "logic/simulate.hpp"
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
+#include "util/budget.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::opt {
@@ -231,6 +232,9 @@ std::size_t mfs(LutMapping& mapping, const MfsOptions& options) {
   sim.run();
 
   sat::Solver solver;
+  util::Budget& budget =
+      options.budget != nullptr ? *options.budget : util::Budget::global();
+  solver.set_budget(&budget);
   const sat::CnfMap cnf = sat::encode_aig(aig, solver);
 
   // Process high-activity LUTs first (power-aware ordering): don't-cares
@@ -248,8 +252,8 @@ std::size_t mfs(LutMapping& mapping, const MfsOptions& options) {
   std::size_t found = 0;
   std::size_t sat_calls = 0;
   for (const NodeIdx v : roots) {
-    if (sat_calls >= options.sat_call_budget) {
-      break;
+    if (sat_calls >= options.sat_call_budget || budget.exhausted()) {
+      break;  // keep don't-cares found so far; the rest stay care
     }
     const Cut& c = mapping.chosen[v];
     const unsigned n = c.size;
@@ -270,7 +274,7 @@ std::size_t mfs(LutMapping& mapping, const MfsOptions& options) {
       if ((observed >> m) & 1ull) {
         continue;
       }
-      if (sat_calls >= options.sat_call_budget) {
+      if (sat_calls >= options.sat_call_budget || budget.exhausted()) {
         break;
       }
       std::vector<sat::Lit> assumptions;

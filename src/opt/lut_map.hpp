@@ -6,6 +6,10 @@
 #include "logic/cuts.hpp"
 #include "opt/cost.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::opt {
 
 /// Options for technology-independent k-LUT mapping (ABC's `if`).
@@ -51,6 +55,10 @@ struct MfsOptions {
   std::int64_t conflict_limit = 200;  ///< per-minterm SAT budget
   std::size_t sat_call_budget = 20000;
   std::uint64_t seed = 13;
+  /// Shared resource budget; nullptr means `util::Budget::global()`.
+  /// Exhaustion stops the search early — don't-cares found so far are
+  /// kept, the rest are conservatively treated as care.
+  util::Budget* budget = nullptr;
 };
 
 /// Compute satisfiability don't-cares of every covered LUT's leaf space

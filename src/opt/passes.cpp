@@ -7,6 +7,7 @@
 #include "logic/cuts.hpp"
 #include "logic/factor.hpp"
 #include "logic/tt.hpp"
+#include "util/budget.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::opt {
@@ -349,7 +350,7 @@ Aig refactor(const Aig& input, unsigned max_leaves) {
 
 // ------------------------------------------------------------- resub ----
 
-Aig resub(const Aig& input, unsigned max_leaves) {
+Aig resub(const Aig& input, unsigned max_leaves, const util::Budget* budget) {
   Aig out;
   out.set_name(input.name());
   std::vector<Lit> map(input.num_nodes(), logic::kConst0);
@@ -357,9 +358,17 @@ Aig resub(const Aig& input, unsigned max_leaves) {
     map[logic::lit_var(input.pi(i))] = out.add_pi(input.pi_name(i));
   }
 
+  bool early_stop = false;
   for (NodeIdx v = 1; v < input.num_nodes(); ++v) {
     if (!input.is_and(v)) {
       continue;
+    }
+    // Degrade under an exhausted budget: the remaining nodes are copied
+    // structurally (the plain `land` below), skipping only the windowed
+    // search, so the output stays equivalent.
+    if (!early_stop && budget != nullptr && (v & 0xFFu) == 0 &&
+        budget->exhausted()) {
+      early_stop = true;
     }
     const Lit f0 = input.fanin0(v);
     const Lit f1 = input.fanin1(v);
@@ -369,7 +378,7 @@ Aig resub(const Aig& input, unsigned max_leaves) {
         logic::lit_notif(map[logic::lit_var(f1)], logic::lit_compl(f1)));
     NodeIdx best_cost = out.num_nodes() - base;
 
-    if (best_cost > 0) {
+    if (best_cost > 0 && !early_stop) {
       std::vector<NodeIdx> cone_nodes;
       const auto leaves = collect_cone(input, v, max_leaves, cone_nodes);
       if (leaves.size() <= max_leaves && cone_nodes.size() >= 2) {
@@ -452,14 +461,17 @@ Aig resub(const Aig& input, unsigned max_leaves) {
 
 // -------------------------------------------------------------- c2rs ----
 
-Aig compress2rs(const Aig& input) {
+Aig compress2rs(const Aig& input, const util::Budget* budget) {
   // Mirrors ABC's compress2rs spirit: b; rs; rw; rs; rf; b, iterated
   // while the network keeps shrinking.
   const util::obs::ScopedSpan span{"opt.c2rs"};
   Aig current = balance(input);
   for (int round = 0; round < 4; ++round) {
+    if (budget != nullptr && budget->exhausted()) {
+      break;  // keep the compression achieved so far
+    }
     const NodeIdx before = current.num_ands();
-    current = resub(current);
+    current = resub(current, 8, budget);
     current = rewrite(current);
     current = refactor(current);
     current = balance(current);

@@ -2,6 +2,10 @@
 
 #include "logic/aig.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::opt {
 
 /// Technology-independent AIG optimization passes (paper §IV-A1).
@@ -29,11 +33,17 @@ logic::Aig refactor(const logic::Aig& input, unsigned max_leaves = 10);
 /// Resubstitution: re-expresses nodes as single gates over existing
 /// divisor signals inside a reconvergent window (0- and 1-resub with
 /// complement handling), validated exactly on the window function.
-logic::Aig resub(const logic::Aig& input, unsigned max_leaves = 8);
+/// An exhausted `budget` (nullable; checked periodically) stops the
+/// windowed search early — remaining nodes are copied structurally, so
+/// the result stays equivalent.
+logic::Aig resub(const logic::Aig& input, unsigned max_leaves = 8,
+                 const util::Budget* budget = nullptr);
 
 /// The `c2rs` compression script of the paper's stage (1): an alternation
 /// of resubstitution, rewriting, refactoring, and balancing, iterated
-/// while the network shrinks.
-logic::Aig compress2rs(const logic::Aig& input);
+/// while the network shrinks. An exhausted `budget` (nullable) stops the
+/// iteration between rounds.
+logic::Aig compress2rs(const logic::Aig& input,
+                       const util::Budget* budget = nullptr);
 
 }  // namespace cryo::opt

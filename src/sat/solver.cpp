@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/budget.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::sat {
@@ -328,16 +330,18 @@ std::int64_t Solver::luby(std::int64_t x) {
 
 Status Solver::solve(const std::vector<Lit>& assumptions,
                      std::int64_t conflict_limit) {
-  // Per-call SAT stats, flushed to the observability registry on every
-  // exit path (the synthesis flow issues thousands of short calls, so
-  // counting locally and flushing once keeps the solver loop clean).
-  struct SolveStats {
+  // Per-call SAT stats, finalized into `last_stats_` and flushed to the
+  // observability registry on every exit path (the synthesis flow issues
+  // thousands of short calls, so counting locally and flushing once
+  // keeps the solver loop clean).
+  last_stats_ = SolveStats{};
+  SolveStats& st = last_stats_;
+  struct StatsFlush {
+    SolveStats& out;
     std::int64_t& conflicts_total;
     std::int64_t conflicts_before;
-    std::uint64_t decisions = 0;
-    std::uint64_t restarts = 0;
-    Status status = Status::kUnknown;
-    ~SolveStats() {
+    ~StatsFlush() {
+      out.conflicts = conflicts_total - conflicts_before;
       namespace obs = util::obs;
       if (!obs::enabled()) {
         return;
@@ -354,25 +358,33 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       static obs::Counter& results_unknown =
           obs::counter("sat.results_unknown");
       calls.add();
-      conflicts.add(
-          static_cast<std::uint64_t>(conflicts_total - conflicts_before));
-      decision_count.add(decisions);
-      restart_count.add(restarts);
-      (status == Status::kSat     ? results_sat
-       : status == Status::kUnsat ? results_unsat
-                                  : results_unknown)
+      conflicts.add(static_cast<std::uint64_t>(out.conflicts));
+      decision_count.add(out.decisions);
+      restart_count.add(out.restarts);
+      (out.status == Status::kSat     ? results_sat
+       : out.status == Status::kUnsat ? results_unsat
+                                      : results_unknown)
           .add();
     }
-  } stats{conflicts_total_, conflicts_total_};
+  } stats{st, conflicts_total_, conflicts_total_};
+  (void)stats;
+
+  if (util::faultinject::should_fail("sat.solve")) {
+    return Status::kUnknown;
+  }
+  if (budget_ != nullptr && budget_->exhausted()) {
+    st.budget_exhausted = true;
+    return Status::kUnknown;
+  }
 
   if (!ok_) {
-    stats.status = Status::kUnsat;
+    st.status = Status::kUnsat;
     return Status::kUnsat;
   }
   backtrack(0);
   if (propagate() >= 0) {
     ok_ = false;
-    stats.status = Status::kUnsat;
+    st.status = Status::kUnsat;
     return Status::kUnsat;
   }
 
@@ -390,7 +402,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       ++conflicts_since_restart;
       if (trail_lim_.empty()) {
         ok_ = false;
-        stats.status = Status::kUnsat;
+        st.status = Status::kUnsat;
         return Status::kUnsat;
       }
       int back_level = 0;
@@ -410,13 +422,26 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       }
       decay_var_activity();
       cla_inc_ /= 0.999;
+      if (budget_ != nullptr) {
+        budget_->charge_sat_conflicts(1);
+        // The SAT ceiling is checked on every conflict (it is what this
+        // loop spends); the full exhaustion check — which may consult a
+        // clock — only every 256 conflicts.
+        if (budget_->sat_exhausted() ||
+            ((conflicts_this_call & 0xFF) == 0 && budget_->exhausted())) {
+          backtrack(0);
+          st.budget_exhausted = true;
+          return Status::kUnknown;
+        }
+      }
       if (conflict_limit >= 0 && conflicts_this_call >= conflict_limit) {
         backtrack(0);
+        st.hit_conflict_limit = true;
         return Status::kUnknown;
       }
       if (conflicts_since_restart >= restart_budget) {
         conflicts_since_restart = 0;
-        ++stats.restarts;
+        ++st.restarts;
         restart_budget = 100 * luby(++restart_count);
         backtrack(0);
         reduce_learnts();
@@ -433,7 +458,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       }
       if (value(a) == kFalse) {
         backtrack(0);
-        stats.status = Status::kUnsat;
+        st.status = Status::kUnsat;
         return Status::kUnsat;  // conflicting assumptions
       }
       trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
@@ -446,10 +471,10 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       // Full model.
       model_ = assigns_;
       backtrack(0);
-      stats.status = Status::kSat;
+      st.status = Status::kSat;
       return Status::kSat;
     }
-    ++stats.decisions;
+    ++st.decisions;
     trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
     enqueue(decision, -1);
   }

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::sat {
 
 /// SAT variable (0-based) and literal (2*var + sign).
@@ -17,6 +21,20 @@ inline constexpr bool lit_sign(Lit l) { return (l & 1) != 0; }
 inline constexpr Lit lit_neg(Lit l) { return l ^ 1; }
 
 enum class Status { kSat, kUnsat, kUnknown };
+
+/// Outcome record of the most recent `Solver::solve` call, including
+/// *why* a call came back kUnknown: its own per-call `conflict_limit`
+/// (`hit_conflict_limit`) versus the shared `util::Budget` running out
+/// (`budget_exhausted`). Callers that degrade on budget exhaustion use
+/// the distinction to stop issuing further calls.
+struct SolveStats {
+  std::int64_t conflicts = 0;  ///< conflicts spent by this call
+  std::uint64_t decisions = 0;
+  std::uint64_t restarts = 0;
+  Status status = Status::kUnknown;
+  bool hit_conflict_limit = false;
+  bool budget_exhausted = false;
+};
 
 /// A CDCL SAT solver in the MiniSat tradition: two-literal watches,
 /// first-UIP conflict learning, VSIDS decision order, phase saving, and
@@ -51,6 +69,15 @@ public:
   }
 
   std::int64_t num_conflicts() const { return conflicts_total_; }
+
+  /// Attach a shared resource budget (nullptr detaches): every conflict
+  /// is charged against the budget's SAT-conflict ceiling, and an
+  /// exhausted budget makes `solve` return kUnknown immediately with
+  /// `last_stats().budget_exhausted` set.
+  void set_budget(util::Budget* budget) { budget_ = budget; }
+
+  /// Stats of the most recent `solve` call.
+  const SolveStats& last_stats() const { return last_stats_; }
 
 private:
   static constexpr std::int8_t kTrue = 1;
@@ -102,6 +129,8 @@ private:
   bool ok_ = true;
   std::int64_t conflicts_total_ = 0;
   std::vector<std::int32_t> learnt_indices_;
+  SolveStats last_stats_;
+  util::Budget* budget_ = nullptr;
 
   // scratch for analyze()
   std::vector<std::int8_t> seen_;

@@ -4,6 +4,7 @@
 
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
+#include "util/budget.hpp"
 #include "util/obs.hpp"
 #include "util/rng.hpp"
 
@@ -133,6 +134,9 @@ SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
 
   // --- rebuild with merging --------------------------------------------
   Solver solver;
+  util::Budget& budget =
+      options.budget != nullptr ? *options.budget : util::Budget::global();
+  solver.set_budget(&budget);
   IncrementalCnf cnf{solver};
   std::vector<logic::Lit> repr(input.num_nodes(), logic::kConst0);
   result.choices.assign(1, {});  // grown alongside `out`
@@ -201,6 +205,12 @@ SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
     const auto key = hash_sig(canon(v, v_phase));
     auto& bucket = buckets[key];
     for (const Entry& entry : bucket) {
+      // An exhausted budget degrades the sweep instead of failing it:
+      // this class stays unmerged and the rebuild continues structurally.
+      if (budget.exhausted()) {
+        ++result.unresolved;
+        break;
+      }
       // Candidate: v == entry (up to phases).
       const logic::Lit other = repr[entry.old_node];
       if (other == logic::kConst0 && entry.old_node != 0) {

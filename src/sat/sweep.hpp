@@ -4,6 +4,10 @@
 
 #include "logic/aig.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::sat {
 
 /// Options for SAT sweeping.
@@ -11,6 +15,11 @@ struct SweepOptions {
   unsigned sim_words = 8;            ///< initial random simulation words
   std::int64_t conflict_limit = 500; ///< per-pair SAT budget
   std::uint64_t seed = 5;
+  /// Shared resource budget; nullptr means `util::Budget::global()`.
+  /// When exhausted, the sweep degrades: remaining candidate pairs stay
+  /// unmerged (counted in `unresolved`) but the result is still a valid,
+  /// equivalent AIG.
+  util::Budget* budget = nullptr;
 };
 
 /// Result of SAT sweeping (fraiging).

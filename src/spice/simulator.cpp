@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs.hpp"
 
 namespace cryo::spice {
@@ -249,6 +251,7 @@ TransientResult Simulator::transient(const TransientOptions& options,
   if (options.steps < 2 || options.t_stop <= 0.0) {
     throw std::invalid_argument{"Simulator::transient: bad options"};
   }
+  util::faultinject::maybe_fail("spice.solve", ErrorKind::kNumeric);
   obs::counter("spice.transient_runs").add();
   obs::counter("spice.transient_steps")
       .add(static_cast<std::uint64_t>(options.steps));
@@ -310,8 +313,9 @@ TransientResult Simulator::transient(const TransientOptions& options,
       v[src.node] = src.waveform.at(t);
     }
     if (!newton_solve(v, options.gmin, options, &caps)) {
-      throw std::runtime_error{
-          "Simulator::transient: Newton failed at t = " + std::to_string(t)};
+      throw Error{ErrorKind::kNumeric,
+                  "Simulator::transient: Newton failed at t = " +
+                      std::to_string(t)};
     }
     for (std::size_t k = 0; k < caps.size(); ++k) {
       const auto& c = circuit_.caps()[k];

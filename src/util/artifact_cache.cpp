@@ -1,14 +1,18 @@
 #include "util/artifact_cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
+#include "util/faultinject.hpp"
 #include "util/hash.hpp"
 #include "util/obs.hpp"
 
@@ -35,6 +39,106 @@ std::string unique_temp_name(const std::string& key) {
   name << ".tmp-" << key << "-" << ::getpid() << "-"
        << sequence.fetch_add(1, std::memory_order_relaxed);
   return name.str();
+}
+
+/// Outcome of one raw I/O attempt. Transient failures (EINTR/EAGAIN,
+/// short writes, injected faults) are worth retrying; hard failures
+/// (ENOSPC, EACCES, ...) are not.
+enum class IoStatus { kOk, kAbsent, kTransient, kHard };
+
+constexpr int kMaxIoRetries = 3;
+
+/// Run `attempt` until it stops reporting kTransient, retrying up to
+/// kMaxIoRetries times with bounded exponential backoff (1/2/4 ms).
+/// Each retry bumps `cache.retries`.
+template <typename AttemptFn>
+IoStatus with_retries(AttemptFn&& attempt) {
+  IoStatus status = attempt();
+  for (int retry = 0; status == IoStatus::kTransient && retry < kMaxIoRetries;
+       ++retry) {
+    obs::counter("cache.retries").add();
+    std::this_thread::sleep_for(std::chrono::milliseconds{1 << retry});
+    status = attempt();
+  }
+  return status;
+}
+
+IoStatus read_once(const fs::path& path, std::string& out) {
+  if (faultinject::should_fail("cache.read")) {
+    return IoStatus::kTransient;
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return IoStatus::kAbsent;
+    }
+    return errno == EINTR || errno == EAGAIN ? IoStatus::kTransient
+                                             : IoStatus::kHard;
+  }
+  out.clear();
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n > 0) {
+      out.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      ::close(fd);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    const bool transient = errno == EAGAIN;
+    ::close(fd);
+    return transient ? IoStatus::kTransient : IoStatus::kHard;
+  }
+}
+
+IoStatus write_once(const fs::path& path, std::string_view data) {
+  if (faultinject::should_fail("cache.write")) {
+    return IoStatus::kTransient;
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return errno == EINTR || errno == EAGAIN ? IoStatus::kTransient
+                                             : IoStatus::kHard;
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    // A short write (n == 0) or EAGAIN is transient; anything else
+    // (ENOSPC, EIO, ...) is hard.
+    const bool transient = n == 0 || errno == EAGAIN;
+    ::close(fd);
+    return transient ? IoStatus::kTransient : IoStatus::kHard;
+  }
+  return ::close(fd) == 0 ? IoStatus::kOk : IoStatus::kHard;
+}
+
+/// Move a corrupt entry aside for post-mortem instead of deleting it:
+/// rename into `<root>/quarantine/<stage>-<key>.json` (remove as a
+/// fallback if the rename itself fails) and bump `cache.quarantined`.
+void quarantine_entry(const fs::path& root, std::string_view stage,
+                      const std::string& key, const fs::path& path) {
+  std::error_code ec;
+  const fs::path dir = root / "quarantine";
+  fs::create_directories(dir, ec);
+  const fs::path dest = dir / (std::string{stage} + "-" + key + ".json");
+  fs::rename(path, dest, ec);
+  if (ec) {
+    fs::remove(path, ec);
+  }
+  obs::counter("cache.quarantined").add();
 }
 
 }  // namespace
@@ -102,20 +206,25 @@ std::optional<Json> ArtifactCache::load(std::string_view stage,
     return std::nullopt;
   }
   const fs::path path = entry_path(stage, key);
-  std::ifstream in{path, std::ios::binary};
-  if (!in) {
+  std::string raw;
+  const IoStatus status = with_retries([&] { return read_once(path, raw); });
+  if (status != IoStatus::kOk) {
+    // Absent is the ordinary cold-cache miss; a read that stayed
+    // transient through all retries or failed hard also degrades to a
+    // miss (the stage recomputes) but is counted as an error.
+    if (status != IoStatus::kAbsent) {
+      obs::counter("cache.errors").add();
+    }
     count(stage, "misses");
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string raw = buffer.str();
-  in.close();
+  if (!raw.empty() && faultinject::should_fail("cache.corrupt")) {
+    raw[raw.size() / 2] ^= 0x20;  // deterministic single-byte bit flip
+  }
 
   auto corrupt = [&]() -> std::optional<Json> {
     obs::counter("cache.corrupt").add();
-    std::error_code ec;
-    fs::remove(path, ec);
+    quarantine_entry(config_.root, stage, key, path);
     count(stage, "misses");
     return std::nullopt;
   };
@@ -168,23 +277,18 @@ void ArtifactCache::store(std::string_view stage, const std::string& key,
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
   const fs::path temp = path.parent_path() / unique_temp_name(key);
-  {
-    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
-    if (!out) {
-      obs::counter("cache.errors").add();
-      return;
-    }
-    out << kMagic << ' '
-        << Fnv1a{}.bytes(payload.data(), payload.size()).hex() << ' '
-        << payload.size() << '\n'
-        << payload << '\n';
-    out.flush();
-    if (!out) {
-      obs::counter("cache.errors").add();
-      out.close();
-      fs::remove(temp, ec);
-      return;
-    }
+  std::ostringstream framed;
+  framed << kMagic << ' '
+         << Fnv1a{}.bytes(payload.data(), payload.size()).hex() << ' '
+         << payload.size() << '\n'
+         << payload << '\n';
+  const std::string content = framed.str();
+  const IoStatus status =
+      with_retries([&] { return write_once(temp, content); });
+  if (status != IoStatus::kOk) {
+    obs::counter("cache.errors").add();
+    fs::remove(temp, ec);
+    return;
   }
   fs::rename(temp, path, ec);
   if (ec) {

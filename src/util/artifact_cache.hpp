@@ -35,9 +35,17 @@ inline constexpr int kCacheSchemaVersion = 1;
 ///    into place, so concurrent writers (threads or processes) racing on
 ///    one key leave exactly one valid entry and readers never observe a
 ///    partial write;
+///  * raw reads and writes distinguish *transient* failures (EINTR,
+///    EAGAIN, short writes, injected `cache.read` / `cache.write`
+///    faults) from *hard* ones: transients retry up to 3 times with
+///    bounded exponential backoff (1/2/4 ms, `cache.retries` counter);
+///    exhausted or hard failures degrade to a miss / dropped store and
+///    bump `cache.errors` — the cache never fails the flow;
 ///  * every entry carries a one-line header with a checksum and payload
 ///    size; truncated or bit-flipped entries are detected on load,
-///    deleted, counted in `cache.corrupt`, and treated as misses;
+///    quarantined into `<root>/quarantine/<stage>-<key>.json` for
+///    post-mortem (`cache.quarantined`), counted in `cache.corrupt`,
+///    and treated as misses;
 ///  * a size-capped LRU eviction pass (by mtime, refreshed on hits) runs
 ///    after stores once the cache outgrows `max_bytes`.
 ///
@@ -47,7 +55,8 @@ inline constexpr int kCacheSchemaVersion = 1;
 ///  * CRYOEDA_CACHE_MAX_MB — LRU size cap (default 512 MiB).
 ///
 /// Observability: `cache.hits` / `cache.misses` / `cache.stores` /
-/// `cache.evictions` / `cache.corrupt` counters, plus per-stage
+/// `cache.evictions` / `cache.corrupt` / `cache.retries` /
+/// `cache.quarantined` / `cache.errors` counters, plus per-stage
 /// `cache.<stage>.hits` / `cache.<stage>.misses`, all in `util::obs`.
 class ArtifactCache {
 public:
@@ -88,9 +97,10 @@ public:
   std::filesystem::path entry_path(std::string_view stage,
                                    const std::string& key) const;
 
-  /// Fetch an entry. Absent, corrupted, or disabled-cache lookups return
-  /// nullopt (corruption also deletes the entry and bumps
-  /// `cache.corrupt`). A hit refreshes the entry's LRU timestamp.
+  /// Fetch an entry. Absent, corrupted, unreadable, or disabled-cache
+  /// lookups return nullopt (corruption also quarantines the entry and
+  /// bumps `cache.corrupt`; transient read failures retry with backoff
+  /// first). A hit refreshes the entry's LRU timestamp.
   std::optional<Json> load(std::string_view stage, const std::string& key);
 
   /// Persist an entry (atomic rename; last writer wins), then run the

@@ -1,0 +1,110 @@
+#include "util/budget.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cryo::util {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Budget::set_deadline_in(double seconds) {
+  deadline_ns_.store(steady_now_ns() +
+                         static_cast<std::int64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+  has_deadline_.store(true, std::memory_order_relaxed);
+}
+
+void Budget::clear_deadline() {
+  has_deadline_.store(false, std::memory_order_relaxed);
+}
+
+void Budget::set_sat_conflict_ceiling(std::int64_t conflicts) {
+  sat_ceiling_.store(conflicts < 0 ? -1 : conflicts,
+                     std::memory_order_relaxed);
+}
+
+void Budget::set_node_growth_limit(double factor) {
+  node_growth_.store(factor > 0.0 ? factor : 0.0, std::memory_order_relaxed);
+}
+
+void Budget::cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+void Budget::reset() {
+  cancelled_.store(false, std::memory_order_relaxed);
+  has_deadline_.store(false, std::memory_order_relaxed);
+  sat_ceiling_.store(-1, std::memory_order_relaxed);
+  sat_spent_.store(0, std::memory_order_relaxed);
+  node_growth_.store(0.0, std::memory_order_relaxed);
+}
+
+bool Budget::active() const {
+  return cancelled_.load(std::memory_order_relaxed) ||
+         has_deadline_.load(std::memory_order_relaxed) ||
+         sat_ceiling_.load(std::memory_order_relaxed) >= 0 ||
+         node_growth_.load(std::memory_order_relaxed) > 0.0;
+}
+
+bool Budget::deadline_exceeded() const {
+  return has_deadline_.load(std::memory_order_relaxed) &&
+         steady_now_ns() >= deadline_ns_.load(std::memory_order_relaxed);
+}
+
+void Budget::check_cancelled(std::string_view where) const {
+  if (cancelled()) {
+    throw Error{ErrorKind::kBudget, "cancelled in " + std::string{where}};
+  }
+}
+
+std::int64_t Budget::sat_call_limit(std::int64_t requested) const {
+  const std::int64_t ceiling = sat_ceiling_.load(std::memory_order_relaxed);
+  if (ceiling < 0) {
+    return requested;
+  }
+  const std::int64_t spent = sat_spent_.load(std::memory_order_relaxed);
+  const std::int64_t remaining = ceiling > spent ? ceiling - spent : 0;
+  return requested < 0 ? remaining : std::min(requested, remaining);
+}
+
+Budget& Budget::global() {
+  static Budget budget;
+  static const bool configured = [] {
+    if (const char* env = std::getenv("CRYOEDA_DEADLINE")) {
+      char* end = nullptr;
+      const double seconds = std::strtod(env, &end);
+      if (end != env && seconds > 0.0) {
+        budget.set_deadline_in(seconds);
+      }
+    }
+    if (const char* env = std::getenv("CRYOEDA_SAT_BUDGET")) {
+      char* end = nullptr;
+      const long long conflicts = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && conflicts >= 0) {
+        budget.set_sat_conflict_ceiling(conflicts);
+      }
+    }
+    if (const char* env = std::getenv("CRYOEDA_NODE_GROWTH")) {
+      char* end = nullptr;
+      const double factor = std::strtod(env, &end);
+      if (end != env && factor > 0.0) {
+        budget.set_node_growth_limit(factor);
+      }
+    }
+    return true;
+  }();
+  (void)configured;
+  return budget;
+}
+
+}  // namespace cryo::util

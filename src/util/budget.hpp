@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace cryo::util {
+
+/// Cooperative resource budget threaded through the flow: a wall-clock
+/// deadline, a total SAT-conflict ceiling, an AIG node-growth ceiling,
+/// and a cancellation token. Thread-safe (all state is atomic) and
+/// near-free when unconstrained — every check short-circuits on a
+/// relaxed load before touching a clock.
+///
+/// Semantics, enforced by `core::Pipeline` and the kernels it calls:
+///  * **cancellation is hard**: the next cooperative checkpoint throws
+///    `cryo::Error{kBudget}` and the flow aborts;
+///  * **deadline and SAT ceiling are soft**: exhaustion makes passes
+///    *degrade* — skip, stop early, or keep unproven equivalences
+///    unmerged — so the flow still completes end-to-end and produces a
+///    netlist, recorded via `pass.<name>.degraded` counters;
+///  * the node-growth ceiling bounds how much any single AIG transform
+///    may inflate the network before its result is reverted.
+///
+/// `Budget::global()` is the process-wide instance, configured from the
+/// environment on first use (unlimited when unset):
+///  * CRYOEDA_DEADLINE    — wall-clock budget in seconds (> 0);
+///  * CRYOEDA_SAT_BUDGET  — total SAT conflict ceiling (>= 0; 0 means
+///                          "exhausted from the start": every SAT-backed
+///                          pass degrades deterministically);
+///  * CRYOEDA_NODE_GROWTH — max per-pass AIG growth factor (> 0).
+class Budget {
+public:
+  Budget() = default;
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  // --- configuration ---------------------------------------------------
+
+  /// Arm the deadline `seconds` from now (steady clock).
+  void set_deadline_in(double seconds);
+  void clear_deadline();
+  /// Total conflicts all solvers sharing this budget may spend together;
+  /// negative = unlimited (the default).
+  void set_sat_conflict_ceiling(std::int64_t conflicts);
+  /// Max factor any single AIG transform may grow the network by;
+  /// <= 0 disables the ceiling (the default).
+  void set_node_growth_limit(double factor);
+  /// Request a hard stop at the next cooperative checkpoint.
+  void cancel();
+  /// Back to unlimited and uncancelled (tests reuse one instance).
+  void reset();
+
+  // --- checks ----------------------------------------------------------
+
+  /// Any constraint armed at all? False for a default instance, so the
+  /// unbudgeted flow pays only this one relaxed load per check.
+  bool active() const;
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool deadline_exceeded() const;
+  bool sat_exhausted() const {
+    const std::int64_t ceiling = sat_ceiling_.load(std::memory_order_relaxed);
+    return ceiling >= 0 &&
+           sat_spent_.load(std::memory_order_relaxed) >= ceiling;
+  }
+  /// Out of a *soft* resource (deadline or SAT ceiling): degrade.
+  bool soft_exhausted() const {
+    return deadline_exceeded() || sat_exhausted();
+  }
+  /// Any reason to stop work, hard or soft.
+  bool exhausted() const { return cancelled() || soft_exhausted(); }
+
+  double node_growth_limit() const {
+    return node_growth_.load(std::memory_order_relaxed);
+  }
+
+  /// Throw cryo::Error{kBudget, "cancelled in <where>"} if cancelled.
+  void check_cancelled(std::string_view where) const;
+
+  // --- SAT accounting --------------------------------------------------
+
+  /// Charge `n` conflicts against the ceiling (no-op when unlimited).
+  void charge_sat_conflicts(std::int64_t n) {
+    if (sat_ceiling_.load(std::memory_order_relaxed) >= 0) {
+      sat_spent_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t sat_conflicts_spent() const {
+    return sat_spent_.load(std::memory_order_relaxed);
+  }
+  /// Per-call conflict limit honoring both the caller's `requested`
+  /// limit and whatever remains under the ceiling (-1 = unlimited).
+  std::int64_t sat_call_limit(std::int64_t requested) const;
+
+  /// The process-wide budget, configured from the environment (header
+  /// comment) on first use.
+  static Budget& global();
+
+private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady-clock ns
+  std::atomic<std::int64_t> sat_ceiling_{-1};
+  std::atomic<std::int64_t> sat_spent_{0};
+  std::atomic<double> node_growth_{0.0};
+};
+
+}  // namespace cryo::util

@@ -1,0 +1,37 @@
+#include "util/error.hpp"
+
+namespace cryo {
+
+std::string_view error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kRecipe:
+      return "recipe";
+    case ErrorKind::kIo:
+      return "io";
+    case ErrorKind::kBudget:
+      return "budget";
+    case ErrorKind::kNumeric:
+      return "numeric";
+    case ErrorKind::kInternal:
+      break;
+  }
+  return "internal";
+}
+
+int error_exit_code(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kRecipe:
+      return 2;
+    case ErrorKind::kIo:
+      return 3;
+    case ErrorKind::kBudget:
+      return 4;
+    case ErrorKind::kNumeric:
+      return 5;
+    case ErrorKind::kInternal:
+      break;
+  }
+  return 1;
+}
+
+}  // namespace cryo

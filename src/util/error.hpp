@@ -1,0 +1,47 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cryo {
+
+/// Structured failure taxonomy of the flow. Every error the stack
+/// surfaces to a driver (CLI, service loop, fleet worker) is classified
+/// into one of these kinds, and the `cryoeda` driver maps each kind onto
+/// a distinct exit code so callers can react without parsing messages:
+///
+///   kind      | exit | meaning
+///   ----------+------+------------------------------------------------
+///   kRecipe   |   2  | malformed user input: recipe strings, CLI
+///             |      | flags, CRYOEDA_FAULTS specs
+///   kIo       |   3  | filesystem or parse failures (AIGER, liberty)
+///   kBudget   |   4  | a resource budget was exhausted where degrading
+///             |      | is impossible, or the flow was cancelled
+///   kNumeric  |   5  | numerical divergence (SPICE Newton failures)
+///   kInternal |   1  | invariant violations and everything unclassified
+enum class ErrorKind { kRecipe, kIo, kBudget, kNumeric, kInternal };
+
+/// Stable lowercase name: "recipe", "io", "budget", "numeric",
+/// "internal". Used as the `what()` prefix and in fleet error records.
+std::string_view error_kind_name(ErrorKind kind);
+
+/// The driver exit code of a kind (table above).
+int error_exit_code(ErrorKind kind);
+
+/// A classified runtime error. `what()` is "<kind>: <message>", so logs
+/// carry the taxonomy even through a plain std::exception catch.
+class Error : public std::runtime_error {
+public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error{std::string{error_kind_name(kind)} + ": " +
+                           message},
+        kind_{kind} {}
+
+  ErrorKind kind() const { return kind_; }
+
+private:
+  ErrorKind kind_;
+};
+
+}  // namespace cryo

@@ -1,0 +1,176 @@
+#include "util/faultinject.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/obs.hpp"
+#include "util/strings.hpp"
+
+namespace cryo::util::faultinject {
+
+namespace {
+
+struct SiteState {
+  enum class Mode { kEveryN, kOnceAt };
+  Mode mode = Mode::kEveryN;
+  std::uint64_t n = 1;  ///< period (every-N) or target arrival (once@K)
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<std::uint64_t> injected{0};
+};
+
+struct Registry {
+  std::atomic<bool> armed{false};
+  std::atomic<bool> env_loaded{false};
+  mutable std::shared_mutex mutex;
+  std::map<std::string, std::unique_ptr<SiteState>, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+[[noreturn]] void bad_spec(const std::string& detail) {
+  throw Error{ErrorKind::kRecipe, "CRYOEDA_FAULTS: " + detail};
+}
+
+std::uint64_t parse_count(std::string_view text, const std::string& entry) {
+  char* end = nullptr;
+  const std::string raw{text};
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (raw.empty() || end != raw.c_str() + raw.size() || value == 0) {
+    bad_spec("bad count '" + raw + "' in '" + entry +
+             "' (expected an integer >= 1)");
+  }
+  return value;
+}
+
+/// Parse CRYOEDA_FAULTS the first time any site is consulted. The env
+/// var is intentionally lazy: libraries never pay for it, and a
+/// malformed spec surfaces as cryo::Error{kRecipe} from the first wired
+/// site (exit 2 in the driver) instead of a startup crash.
+void ensure_env_loaded() {
+  Registry& r = registry();
+  if (r.env_loaded.load(std::memory_order_acquire)) {
+    return;
+  }
+  static std::once_flag once;
+  std::call_once(once, [&r] {
+    if (const char* env = std::getenv("CRYOEDA_FAULTS")) {
+      configure(env);
+    } else {
+      r.env_loaded.store(true, std::memory_order_release);
+    }
+  });
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      "cache.corrupt",     "cache.read",    "cache.write",
+      "cells.characterize", "core.scenario", "liberty.parse",
+      "sat.solve",          "spice.solve",
+  };
+  return sites;
+}
+
+bool armed() {
+  ensure_env_loaded();
+  return registry().armed.load(std::memory_order_relaxed);
+}
+
+void configure(std::string_view spec) {
+  Registry& r = registry();
+  std::map<std::string, std::unique_ptr<SiteState>, std::less<>> sites;
+  for (const std::string& entry : split(spec, ",")) {
+    const std::string_view trimmed = trim(entry);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec("missing '=' in '" + std::string{trimmed} +
+               "' (expected <site>=every-<N> or <site>=once@<K>)");
+    }
+    const std::string site{trim(trimmed.substr(0, eq))};
+    const std::string_view mode = trim(trimmed.substr(eq + 1));
+    const auto& known = known_sites();
+    if (std::find(known.begin(), known.end(), site) == known.end()) {
+      std::string names;
+      for (const std::string& s : known) {
+        names += (names.empty() ? "" : ", ") + s;
+      }
+      bad_spec("unknown site '" + site + "' (known: " + names + ")");
+    }
+    if (sites.count(site) != 0) {
+      bad_spec("duplicate site '" + site + "'");
+    }
+    auto state = std::make_unique<SiteState>();
+    if (starts_with(mode, "every-")) {
+      state->mode = SiteState::Mode::kEveryN;
+      state->n = parse_count(mode.substr(6), std::string{trimmed});
+    } else if (starts_with(mode, "once@")) {
+      state->mode = SiteState::Mode::kOnceAt;
+      state->n = parse_count(mode.substr(5), std::string{trimmed});
+    } else {
+      bad_spec("bad mode '" + std::string{mode} + "' for site '" + site +
+               "' (expected every-<N> or once@<K>)");
+    }
+    sites.emplace(site, std::move(state));
+  }
+  const bool any = !sites.empty();
+  {
+    const std::unique_lock<std::shared_mutex> lock{r.mutex};
+    r.sites = std::move(sites);
+  }
+  r.armed.store(any, std::memory_order_relaxed);
+  // An explicit configure (tests) overrides whatever the environment
+  // would have loaded.
+  r.env_loaded.store(true, std::memory_order_release);
+}
+
+bool should_fail(std::string_view site) {
+  if (!armed()) {
+    return false;
+  }
+  Registry& r = registry();
+  const std::shared_lock<std::shared_mutex> lock{r.mutex};
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) {
+    return false;
+  }
+  SiteState& state = *it->second;
+  const std::uint64_t arrival =
+      state.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool fire = state.mode == SiteState::Mode::kEveryN
+                        ? arrival % state.n == 0
+                        : arrival == state.n;
+  if (fire) {
+    state.injected.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("fault." + std::string{site} + ".injected").add();
+  }
+  return fire;
+}
+
+void maybe_fail(std::string_view site, ErrorKind kind) {
+  if (should_fail(site)) {
+    throw Error{kind, "injected fault at " + std::string{site}};
+  }
+}
+
+std::uint64_t injected(std::string_view site) {
+  Registry& r = registry();
+  const std::shared_lock<std::shared_mutex> lock{r.mutex};
+  const auto it = r.sites.find(site);
+  return it == r.sites.end()
+             ? 0
+             : it->second->injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace cryo::util::faultinject

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cryo::util::faultinject {
+
+/// Deterministic fault injection for robustness testing.
+///
+/// The flow wires named *sites* at its failure-prone seams (cache I/O,
+/// SPICE solves, SAT calls, parsers, fleet workers). A site decides
+/// whether to fail purely from its per-site arrival counter — no
+/// wall clock and no real RNG — so a given spec fails the exact same
+/// arrivals on every run (modulo thread scheduling of *which* worker
+/// makes the k-th arrival; pin threads for full determinism).
+///
+/// Configuration comes from the CRYOEDA_FAULTS environment variable (or
+/// `configure()` in tests): a comma-separated list of
+///
+///   <site>=every-<N>   fail every N-th arrival (N >= 1)
+///   <site>=once@<K>    fail exactly the K-th arrival (K >= 1)
+///
+/// e.g. CRYOEDA_FAULTS="cache.read=every-3,spice.solve=once@2".
+/// A malformed spec or unknown site throws cryo::Error{kRecipe} at
+/// first use (exit code 2 in the driver). With the variable unset the
+/// registry is disarmed and every site costs one relaxed atomic load.
+///
+/// Registered sites (each also bumps `fault.<site>.injected` in
+/// `util::obs` when it fires):
+///   cache.read          ArtifactCache::load — transient read failure
+///   cache.write         ArtifactCache::store — transient write failure
+///   cache.corrupt       ArtifactCache::load — flip a byte of a
+///                       successfully read entry (exercises quarantine)
+///   cells.characterize  per-cell characterization worker (kInternal)
+///   core.scenario       per-scenario fleet worker (kInternal)
+///   liberty.parse       parse_liberty entry (kIo)
+///   sat.solve           Solver::solve returns kUnknown
+///   spice.solve         Simulator::transient entry (kNumeric)
+
+/// All site names the flow has wired (sorted). `configure` rejects
+/// anything else.
+const std::vector<std::string>& known_sites();
+
+/// Cheap global switch: false means no spec is loaded and `should_fail`
+/// returns false without touching the registry.
+bool armed();
+
+/// Count an arrival at `site` and decide whether it fails this time.
+bool should_fail(std::string_view site);
+
+/// `should_fail`, surfaced as a classified error:
+/// throws cryo::Error{kind, "injected fault at <site>"}.
+void maybe_fail(std::string_view site, ErrorKind kind);
+
+/// (Re)load a spec ("" disarms). Tests drive this directly; production
+/// code never calls it — the CRYOEDA_FAULTS variable is parsed lazily on
+/// first use. Throws cryo::Error{kRecipe} on a malformed spec or an
+/// unknown site. Resets all arrival/injection counters.
+void configure(std::string_view spec);
+
+/// Injections fired at `site` since the last `configure`.
+std::uint64_t injected(std::string_view site);
+
+}  // namespace cryo::util::faultinject

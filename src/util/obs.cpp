@@ -230,6 +230,26 @@ public:
       report["counters"] = std::move(counters);
     }
 
+    if (options.include_degradation) {
+      // Nonzero robustness counters in one section: which passes
+      // degraded, how often the cache retried or quarantined, and how
+      // many fleet scenarios failed. Absent entirely on a clean run.
+      Json degradation = Json::object();
+      for (const auto& [name, c] : counters_) {
+        const bool relevant =
+            (name.size() > 9 &&
+             name.compare(name.size() - 9, 9, ".degraded") == 0) ||
+            name == "cache.retries" || name == "cache.quarantined" ||
+            name == "cache.degraded_skips" || name == "fleet.scenario_errors";
+        if (relevant && c.get() != 0) {
+          degradation[name] = Json{c.get()};
+        }
+      }
+      if (!degradation.members().empty()) {
+        report["degradation"] = std::move(degradation);
+      }
+    }
+
     Json gauges = Json::object();
     for (const auto& [name, g] : gauges_) {
       const Unit unit = g.unit.load(std::memory_order_relaxed);

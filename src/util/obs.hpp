@@ -175,6 +175,11 @@ struct ReportOptions {
   bool include_counters = true;
   bool include_histograms = true;
   bool include_diagnostics = true;  ///< Unit::kNodes work-shape gauges
+  /// `degradation` section: the nonzero robustness counters
+  /// (`pass.*.degraded`, `cache.retries`, `cache.quarantined`,
+  /// `fleet.scenario_errors`) collected in one place, so a degraded run
+  /// is visible at a glance. Omitted entirely when all are zero.
+  bool include_degradation = true;
 
   /// The signoff profile: only the quality gauges (schema + non-wall
   /// gauges). This is what the canonical `report.json` uses — counters
@@ -190,6 +195,10 @@ struct ReportOptions {
     options.include_counters = false;
     options.include_histograms = false;
     options.include_diagnostics = false;
+    // Degradation counters measure *work shape* (a degraded run differs
+    // from a clean one by construction), so they would break the warm ==
+    // cold byte-identity contract of the signoff report.
+    options.include_degradation = false;
     return options;
   }
 };

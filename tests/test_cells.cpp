@@ -5,6 +5,7 @@
 #include "cells/catalog.hpp"
 #include "cells/characterize.hpp"
 #include "liberty/function.hpp"
+#include "liberty/json_io.hpp"
 
 namespace {
 
@@ -216,6 +217,11 @@ TEST(Characterize, CacheRoundTrip) {
     EXPECT_NEAR(cached.cells[i].leakage_power, fresh.cells[i].leakage_power,
                 std::abs(fresh.cells[i].leakage_power) * 1e-3 + 1e-18);
   }
+  // Cold/warm coherence: the cold call returns the *re-read* library, so
+  // a warm load must be bit-identical — same fingerprint, same scenario
+  // cache keys, byte-identical signoff reports regardless of cache state.
+  EXPECT_EQ(cryo::liberty::fingerprint(cached),
+            cryo::liberty::fingerprint(fresh));
   std::filesystem::remove(path);
 }
 

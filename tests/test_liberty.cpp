@@ -171,6 +171,22 @@ TEST(Liberty, RoundTripPreservesEverything) {
   EXPECT_EQ(dff->next_state, "D");
 }
 
+TEST(Liberty, WriterKeepsFullDoublePrecision) {
+  // The default ostream precision (6 significant digits) used to
+  // quantize every table value at ~1e-6 relative, so a library loaded
+  // from the .lib cache differed from the freshly characterized one and
+  // warm runs drifted off cold runs. The writer emits max_digits10
+  // digits: a value survives the write -> parse round trip to within an
+  // ulp of the unit conversion.
+  Library lib = sample_library();
+  const double awkward = 1.2244754282154207e-12;
+  lib.cells[0].arcs[0].cell_rise = NldmTable{{1e-12}, {1e-16}, {awkward}};
+  const Library parsed = parse_liberty(to_liberty(lib));
+  const double got =
+      parsed.find("INV_X1")->arcs[0].cell_rise.lookup(1e-12, 1e-16);
+  EXPECT_NEAR(got, awkward, awkward * 1e-15);
+}
+
 TEST(Liberty, ParserHandlesCommentsAndContinuations) {
   const std::string text = R"(
 /* a comment */
