@@ -1,0 +1,122 @@
+// Prefix-reuse microbenchmark: how much wall time the per-pass artifact
+// cache (core/pipeline.hpp, stage `core.pass`) saves between recipes
+// that share a script prefix — the workload shape of the recipe-search
+// driver, where every variant starts from the same compression passes.
+//
+// Three phases over a set of recipes that share the `c2rs; dch` prefix:
+//   cold  — empty cache directory, every pass executes and stores;
+//   warm  — same recipes again, the shared prefix restores from cache;
+//   off   — pass cache disabled, the no-cache reference.
+// Prints per-recipe wall times and the hit/miss counters, and asserts
+// warm results match cold results exactly (the cache must be invisible
+// in the figures).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/flow.hpp"
+#include "epfl/benchmarks.hpp"
+#include "map/matcher.hpp"
+#include "sta/sta.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/table.hpp"
+
+using namespace cryo;
+
+namespace {
+
+struct Figures {
+  std::size_t gates = 0;
+  double area = 0.0;
+  double delay = 0.0;
+  double power = 0.0;
+};
+
+Figures run_once(const logic::Aig& aig, const map::CellMatcher& matcher,
+                 const std::string& recipe) {
+  const auto result = core::synthesize_with_recipe(aig, matcher, {}, recipe);
+  const auto signoff = sta::analyze(result.netlist, {});
+  Figures figures;
+  figures.gates = result.netlist.gate_count();
+  figures.area = result.netlist.total_area();
+  figures.delay = signoff.critical_delay;
+  figures.power = signoff.power.total();
+  return figures;
+}
+
+bool same(const Figures& a, const Figures& b) {
+  return a.gates == b.gates && a.area == b.area && a.delay == b.delay &&
+         a.power == b.power;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Prefix reuse: per-pass cache across recipe variants ===\n\n");
+  const auto lib = bench::corner_library(10.0);
+  const map::CellMatcher matcher{lib};
+  logic::Aig design = epfl::make_dec(5);
+  design.set_name("dec5");
+
+  // The recipe-search shape: one shared compression prefix, divergent
+  // LUT/map tails. Only the prefix is pass-cacheable (AIG-to-AIG).
+  const std::vector<std::string> recipes{
+      "c2rs; dch; if -K 6 -p pad; mfs; strash; map -p pad",
+      "c2rs; dch; if -K 6 -p pda; mfs; strash; map -p pda",
+      "c2rs; dch; if -K 5 -p pad; mfs; strash; map -p pad",
+      "c2rs; dch; if -K 4 -p baseline; strash; map -p baseline",
+  };
+
+  // A scratch cache root keeps the experiment self-contained: the cold
+  // phase must not be warmed by a previous run or by the env cache.
+  auto& cache = util::ArtifactCache::global();
+  const auto saved = util::ArtifactCache::env_config();
+  const auto root = bench::output_dir() / "prefix_reuse_cache";
+  std::filesystem::remove_all(root);
+  cache.configure({true, root, 256ull << 20});
+
+  util::Table table{{"phase", "recipe", "wall [ms]"}};
+  std::vector<Figures> cold, warm;
+  double cold_s = 0.0, warm_s = 0.0, off_s = 0.0;
+  for (const char* phase : {"cold", "warm", "off"}) {
+    const bool off = std::string{phase} == "off";
+    if (off) {
+      cache.configure({false, root, 256ull << 20});
+    }
+    for (const auto& recipe : recipes) {
+      util::ScopedTimer timer{std::string{phase} + " " + recipe,
+                              /*log=*/false};
+      const Figures figures = run_once(design, matcher, recipe);
+      const double s = timer.elapsed_s();
+      (off ? off_s : (std::string{phase} == "cold" ? cold_s : warm_s)) += s;
+      (std::string{phase} == "cold" ? cold : warm).push_back(figures);
+      table.add_row({phase, recipe, util::Table::num(s * 1e3, 2)});
+    }
+  }
+  cache.configure(saved);
+
+  table.write_csv(bench::csv_path("prefix_reuse.csv"));
+  std::printf("%s\n", table.render().c_str());
+  std::printf("totals: cold %.1f ms, warm %.1f ms, cache-off %.1f ms\n",
+              cold_s * 1e3, warm_s * 1e3, off_s * 1e3);
+
+  // `warm` accumulated both the warm and off phases (same figures
+  // expected from all three); any divergence means the cache leaked
+  // into the results.
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    if (!same(cold[i % cold.size()], warm[i])) {
+      std::fprintf(stderr,
+                   "FAIL: recipe %zu figures differ between phases — the "
+                   "pass cache changed the result\n",
+                   i % cold.size());
+      return 1;
+    }
+  }
+  std::printf("figures identical across cold/warm/off phases\n");
+  bench::write_bench_report("prefix_reuse");
+  return 0;
+}

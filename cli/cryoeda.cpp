@@ -15,10 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "cells/characterize.hpp"
 #include "core/pipeline.hpp"
+#include "core/search.hpp"
 #include "epfl/benchmarks.hpp"
 #include "logic/aiger.hpp"
 #include "map/verilog.hpp"
@@ -55,6 +58,20 @@ constexpr const char* kUsage =
     "  --sat-budget N     per-call SAT conflict ceiling of dch sweeping\n"
     "                     (>= 1, or -1 for unlimited; default 500)\n"
     "\n"
+    "search options:\n"
+    "  --search N         recipe-search mode: evaluate N recipe variants\n"
+    "                     (the Fig. 3 seeds plus deterministic mutations)\n"
+    "                     and report the best signoff instead of running\n"
+    "                     one recipe; prefix-sharing variants reuse the\n"
+    "                     per-pass artifact cache\n"
+    "  --search-report P  write the search report (JSON) to P\n"
+    "                     (default cryoeda_out/search.json)\n"
+    "  --search-seed N    variant mutation seed            (default 1)\n"
+    "  --search-deadline S  wall budget of one variant in seconds;\n"
+    "                     a variant that blows it is excluded from best\n"
+    "  --threads N        search workers (0 = CRYOEDA_THREADS env or\n"
+    "                     hardware concurrency, 1 = serial; default 0)\n"
+    "\n"
     "i/o options:\n"
     "  --lib PATH         liberty cache path (default\n"
     "                     cryoeda_out/cryoeda_lib_<T>K.lib)\n"
@@ -83,6 +100,11 @@ struct Args {
   double temperature = 10.0;
   bool quiet = false;
   core::FlowOptions flow;
+  std::size_t search_variants = 0;  ///< 0 = normal single-recipe mode
+  std::string search_report_path = "cryoeda_out/search.json";
+  std::uint64_t search_seed = 1;
+  double search_deadline = 0.0;
+  int threads = 0;
 };
 
 double parse_double(const std::string& flag, const std::string& raw) {
@@ -190,6 +212,22 @@ Args parse_args(int argc, char** argv) {
                     "' (expected an integer >= 1, or -1 for unlimited)");
       }
       args.flow.sat_conflict_budget = conflicts;
+    } else if (arg == "--search") {
+      args.search_variants = parse_uint(arg, next());
+      if (args.search_variants == 0) {
+        usage_error("--search needs at least 1 variant");
+      }
+    } else if (arg == "--search-report") {
+      args.search_report_path = next();
+    } else if (arg == "--search-seed") {
+      args.search_seed = parse_uint(arg, next());
+    } else if (arg == "--search-deadline") {
+      args.search_deadline = parse_double(arg, next());
+      if (!(args.search_deadline > 0.0)) {
+        usage_error("--search-deadline must be a positive time in seconds");
+      }
+    } else if (arg == "--threads") {
+      args.threads = static_cast<int>(parse_uint(arg, next()));
     } else if (arg == "--bench") {
       args.bench_name = next();
     } else if (arg == "--lib") {
@@ -220,6 +258,9 @@ Args parse_args(int argc, char** argv) {
   }
   if (!args.input_path.empty() && !args.bench_name.empty()) {
     usage_error("give either an AIGER file or --bench, not both");
+  }
+  if (args.search_variants > 0 && !args.script.empty()) {
+    usage_error("--search enumerates its own recipes; drop --script");
   }
   return args;
 }
@@ -273,6 +314,60 @@ int main(int argc, char** argv) {
     const auto library = cells::load_or_characterize(
         lib_path, cells::standard_catalog(), args.temperature);
     const map::CellMatcher matcher{library};
+
+    if (args.search_variants > 0) {
+      core::SearchOptions search;
+      search.experiment.flow = args.flow;
+      search.experiment.verbose = !args.quiet;
+      search.experiment.threads = args.threads;
+      search.variants = args.search_variants;
+      search.seed = args.search_seed;
+      search.per_variant_deadline_s = args.search_deadline;
+
+      std::vector<epfl::Benchmark> suite;
+      suite.push_back({design.name(), false, std::move(design)});
+      const auto results = core::search_recipes(suite, matcher, search);
+
+      std::printf("\nsearch results (%zu variants):\n", args.search_variants);
+      for (const auto& circuit : results) {
+        if (circuit.best < 0) {
+          std::printf("  %s: no variant produced a clean signoff\n",
+                      circuit.circuit.c_str());
+          continue;
+        }
+        const auto& best =
+            circuit.trials[static_cast<std::size_t>(circuit.best)];
+        std::printf("  %s: %.4g W, %.1f ps, %.2f um^2, %zu gates\n",
+                    circuit.circuit.c_str(), best.result.total_power,
+                    best.result.delay * 1e12, best.result.area,
+                    best.result.gates);
+        std::printf("    recipe: %s\n", best.recipe.c_str());
+      }
+
+      const auto report_dir =
+          std::filesystem::path{args.search_report_path}.parent_path();
+      if (!report_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(report_dir, ec);
+      }
+      std::ofstream out{args.search_report_path};
+      if (!out) {
+        throw Error{ErrorKind::kIo, "cannot open search report path '" +
+                                        args.search_report_path +
+                                        "' for writing"};
+      }
+      out << core::search_report(results, search).dump(2) << '\n';
+      std::printf("  search report written to %s\n",
+                  args.search_report_path.c_str());
+
+      if (!args.report_path.empty()) {
+        util::obs::ReportOptions report;
+        report.flow = "cryoeda-search";
+        util::obs::write_report(args.report_path, report);
+        std::printf("  run report written to %s\n", args.report_path.c_str());
+      }
+      return 0;
+    }
 
     core::FlowState state;
     state.aig = std::move(design);

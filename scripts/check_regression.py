@@ -24,6 +24,12 @@ a checked-in baseline and fails when a quality figure drifts:
   the quality figures were produced by a partially skipped flow, so the
   comparison is not measuring what the baseline measured.
 
+* with ``--search-from``, a ``cryoeda --search`` report is gated: every
+  circuit's searched best must be a clean (ok, non-degraded) trial whose
+  power is no worse than the best clean Fig. 3 seed trial of the same
+  report, within ``--rel-tol``. Works standalone (no BASELINE/FRESH) or
+  combined with the baseline gate.
+
 Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
 
 Typical use (CI)::
@@ -136,10 +142,68 @@ def rel_diff(baseline, fresh):
     return abs(fresh - baseline) / scale if scale > 0 else float("inf")
 
 
+def check_search_report(path, rel_tol):
+    """Gate a ``cryoeda --search`` report: searched-best quality must be
+    no worse than the Fig. 3 seed recipes.
+
+    The report tags its first three trials with the seed names
+    (baseline / pad / pda); all trials of a circuit ran at the same
+    corner and analysis clock, so the power figures are directly
+    comparable. Fails when a circuit has no clean best, no clean seed to
+    gate against, or a best whose power exceeds the best seed by more
+    than ``rel_tol`` (the seeds lead the enumeration, so anything worse
+    means the ranking itself is broken).
+    """
+    report = load_json(path, "search report")
+    if not isinstance(report, dict) or \
+            report.get("schema") != "cryoeda-search-v1":
+        fail_usage(f"search report {path} is not a cryoeda search report "
+                   "(expected schema 'cryoeda-search-v1')")
+    circuits = report.get("circuits")
+    if not isinstance(circuits, list) or not circuits:
+        fail_usage(f"search report {path} has no circuits")
+
+    failures = []
+    for circuit in circuits:
+        name = circuit.get("circuit", "<unnamed>")
+        best = circuit.get("best")
+        if not isinstance(best, dict) or not best.get("ok") \
+                or best.get("degraded"):
+            failures.append(
+                f"search[{name}]: no clean best trial — every variant "
+                "failed or degraded")
+            continue
+        seeds = {label: trial
+                 for label, trial in circuit.get("seeds", {}).items()
+                 if isinstance(trial, dict) and trial.get("ok")
+                 and not trial.get("degraded")}
+        if not seeds:
+            failures.append(
+                f"search[{name}]: no clean Fig. 3 seed trial to gate "
+                "against (all seeds failed or degraded)")
+            continue
+        seed_label, seed_trial = min(
+            seeds.items(), key=lambda item: item[1]["power_w"])
+        best_power = best["power_w"]
+        seed_power = seed_trial["power_w"]
+        print(f"search[{name}]: best {best_power:.6g} W "
+              f"({best.get('recipe')}) vs seed '{seed_label}' "
+              f"{seed_power:.6g} W")
+        if best_power > seed_power * (1.0 + rel_tol):
+            failures.append(
+                f"search[{name}]: searched best ({best_power:.6g} W) is "
+                f"worse than the '{seed_label}' seed ({seed_power:.6g} W) "
+                f"beyond tol {rel_tol * 100.0:.2f} % — the seeds lead the "
+                "enumeration, so the ranking is broken")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="checked-in baseline report")
-    parser.add_argument("fresh", help="freshly generated report")
+    parser.add_argument("baseline", nargs="?",
+                        help="checked-in baseline report")
+    parser.add_argument("fresh", nargs="?",
+                        help="freshly generated report")
     parser.add_argument(
         "--rel-tol", type=float, default=0.05,
         help="max relative drift for quality gauges (default %(default)s)")
@@ -168,7 +232,31 @@ def main():
         help="additionally scan this report for degradation counters "
              "(the signoff report excludes them; point this at the full "
              "BENCH_<name>.json)")
+    parser.add_argument(
+        "--search-from", metavar="PATH",
+        help="gate a 'cryoeda --search' report: every circuit's searched "
+             "best must be a clean trial no worse (in power, within "
+             "--rel-tol) than the best clean Fig. 3 seed trial of the "
+             "same report; usable alone or alongside BASELINE FRESH")
     args = parser.parse_args()
+
+    if (args.baseline is None) != (args.fresh is None):
+        fail_usage("give both BASELINE and FRESH, or neither "
+                   "(with --search-from)")
+    if args.baseline is None and not args.search_from:
+        fail_usage("nothing to gate: give BASELINE FRESH, --search-from "
+                   "PATH, or both")
+
+    if args.baseline is None:
+        failures = check_search_report(args.search_from, args.rel_tol)
+        if failures:
+            print(f"\nREGRESSION GATE FAILED ({len(failures)} issue(s)):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("regression gate passed")
+        return 0
 
     base = load_report(args.baseline, "baseline report")
     fresh = load_report(args.fresh, "fresh report")
@@ -255,6 +343,9 @@ def main():
                 "gated quality figures come from a degraded flow")
     elif args.fail_on_degraded:
         print("degradation: none (clean flow)")
+
+    if args.search_from:
+        failures.extend(check_search_report(args.search_from, args.rel_tol))
 
     if worst[1] is not None:
         print(f"checked {checked} gauges under {args.prefix!r}; worst drift "

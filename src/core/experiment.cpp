@@ -154,10 +154,23 @@ ScenarioResult scenario_from_json(const util::Json& json,
   return result;
 }
 
+/// Rescale the dynamic power categories of a scenario from the analysis
+/// clock to the normalized clock (dynamic power is proportional to the
+/// clock frequency; leakage is clock-independent).
+void renormalize(ScenarioResult& s, double analysis_clock,
+                 double normalized_clock) {
+  const double scale = analysis_clock / normalized_clock;
+  s.power.internal *= scale;
+  s.power.switching *= scale;
+  s.total_power = s.power.total();
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const logic::Aig& aig,
                             const map::CellMatcher& matcher,
                             const ExperimentOptions& options,
-                            const ScenarioSpec& spec) {
+                            const ScenarioSpec& spec, util::Budget* budget) {
   const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
                              spec.name};
   // A cached scenario would otherwise return before reaching any pass
@@ -183,7 +196,7 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   }
   obs::counter("core.scenarios_run").add();
   const FlowResult result =
-      synthesize_with_recipe(aig, matcher, options.flow, spec.recipe);
+      synthesize_with_recipe(aig, matcher, options.flow, spec.recipe, budget);
   const sta::StaResult signoff = sta::analyze(result.netlist, options.sta);
   ScenarioResult out;
   out.scenario = spec.name;
@@ -194,6 +207,7 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   out.delay = signoff.critical_delay;
   out.area = result.netlist.total_area();
   out.gates = result.netlist.gate_count();
+  out.degraded = result.degraded;
   // Never cache a degraded run: the key covers inputs only (not the
   // budget state), so a budget-starved result would later be served to
   // unbudgeted runs as the authoritative figures for this scenario.
@@ -204,19 +218,6 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   }
   return out;
 }
-
-/// Rescale the dynamic power categories of a scenario from the analysis
-/// clock to the normalized clock (dynamic power is proportional to the
-/// clock frequency; leakage is clock-independent).
-void renormalize(ScenarioResult& s, double analysis_clock,
-                 double normalized_clock) {
-  const double scale = analysis_clock / normalized_clock;
-  s.power.internal *= scale;
-  s.power.switching *= scale;
-  s.total_power = s.power.total();
-}
-
-}  // namespace
 
 CircuitComparison compare_circuit(const epfl::Benchmark& benchmark,
                                   const map::CellMatcher& matcher,

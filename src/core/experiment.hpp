@@ -37,6 +37,10 @@ struct ScenarioResult {
   bool ok = true;
   std::string error;       ///< what() of the failure (empty when ok)
   std::string error_kind;  ///< cryo::ErrorKind name, or "internal"
+  /// True when the synthesis ran under an exhausted budget (passes
+  /// skipped / stopped early / reverted). Degraded figures are never
+  /// cached, and the recipe-search driver excludes them from "best".
+  bool degraded = false;
 };
 
 /// Paper Fig. 3 rows: baseline vs the two proposed priority lists.
@@ -76,6 +80,18 @@ struct ExperimentOptions {
 /// non-positive signoff clock/slew). Called by the experiment drivers
 /// on entry.
 void validate(const ExperimentOptions& options);
+
+/// Synthesize + signoff one (circuit, recipe) scenario, memoized in the
+/// `core.scenario` artifact-cache stage (degraded runs are never
+/// stored). `budget`, when non-null, bounds this scenario alone — the
+/// recipe-search driver gives every variant its own wall-clock budget;
+/// null uses `util::Budget::global()`. Throws on failure (RecipeError,
+/// cryo::Error, ...); fleet callers wrap it for fault isolation.
+ScenarioResult run_scenario(const logic::Aig& aig,
+                            const map::CellMatcher& matcher,
+                            const ExperimentOptions& options,
+                            const ScenarioSpec& spec,
+                            util::Budget* budget = nullptr);
 
 /// Run the three scenarios of paper §V-B on one circuit, normalizing the
 /// power clock to the slowest variant (footnote 1 of the paper).

@@ -49,7 +49,8 @@ void validate(const FlowOptions& options) {
 namespace {
 
 FlowResult run_recipe(const logic::Aig& input, const map::CellMatcher& matcher,
-                      const FlowOptions& options, const Pipeline& pipeline) {
+                      const FlowOptions& options, const Pipeline& pipeline,
+                      util::Budget* budget = nullptr) {
   const obs::ScopedSpan flow_span{"core.synthesize:" + input.name()};
   obs::counter("core.synthesis_runs").add();
 
@@ -57,6 +58,7 @@ FlowResult run_recipe(const logic::Aig& input, const map::CellMatcher& matcher,
   state.aig = input;
   state.matcher = &matcher;
   state.options = options;
+  state.budget = budget;
   pipeline.run(state);
 
   FlowResult result;
@@ -84,9 +86,10 @@ FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
 FlowResult synthesize_with_recipe(const logic::Aig& input,
                                   const map::CellMatcher& matcher,
                                   const FlowOptions& options,
-                                  std::string_view recipe) {
+                                  std::string_view recipe,
+                                  util::Budget* budget) {
   validate(options);
-  return run_recipe(input, matcher, options, Pipeline::parse(recipe));
+  return run_recipe(input, matcher, options, Pipeline::parse(recipe), budget);
 }
 
 }  // namespace cryo::core

@@ -7,6 +7,10 @@
 #include "opt/cost.hpp"
 #include "sta/sta.hpp"
 
+namespace cryo::util {
+class Budget;
+}  // namespace cryo::util
+
 namespace cryo::core {
 
 /// Options of the three-stage cryogenic-aware synthesis pipeline
@@ -66,10 +70,13 @@ FlowResult synthesize(const logic::Aig& input, const map::CellMatcher& matcher,
 /// one — `options` still supplies the shared knobs (epsilon, activity,
 /// seeds, defaults for `-K`/`-p`). Throws core::RecipeError on a
 /// malformed recipe. If the recipe never runs `map`, the returned
-/// netlist is empty.
+/// netlist is empty. `budget`, when non-null, replaces
+/// `util::Budget::global()` for this run (the recipe-search driver
+/// gives every variant its own wall-clock budget this way).
 FlowResult synthesize_with_recipe(const logic::Aig& input,
                                   const map::CellMatcher& matcher,
                                   const FlowOptions& options,
-                                  std::string_view recipe);
+                                  std::string_view recipe,
+                                  util::Budget* budget = nullptr);
 
 }  // namespace cryo::core

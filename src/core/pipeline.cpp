@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/state_io.hpp"
+#include "liberty/json_io.hpp"
 #include "opt/passes.hpp"
 #include "sat/sweep.hpp"
+#include "util/artifact_cache.hpp"
 #include "util/budget.hpp"
+#include "util/hash.hpp"
 #include "util/obs.hpp"
 #include "util/strings.hpp"
 
@@ -457,13 +461,136 @@ std::string Pipeline::to_string() const {
 
 // ---------------------------------------------------------------- run --
 
+namespace {
+
+/// Artifact-cache stage of one pass execution: key = the state the pass
+/// consumed + the pass itself + everything the pass reads from outside
+/// the state; value = the resulting `FlowState` snapshot (state_io.hpp).
+constexpr std::string_view kPassStage = "core.pass";
+
+/// Process-wide kill switch (`CRYOEDA_PASS_CACHE=0`), separate from
+/// `CRYOEDA_CACHE` so pass-level reuse can be benchmarked against
+/// scenario-level reuse without disabling the whole cache.
+bool pass_cache_env_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("CRYOEDA_PASS_CACHE");
+    return env == nullptr || std::string_view{env} != "0";
+  }();
+  return enabled;
+}
+
+/// A pass participates in the cache iff its incoming state and its
+/// result both round-trip through a snapshot: the AIG transforms and
+/// `dch`. `if` produces a pending LUT cover (not serializable), `mfs` /
+/// `strash` consume one, and `map`'s netlist is cheap relative to the
+/// passes before it.
+bool pass_cacheable(const Pass& pass) {
+  return !pass.needs_luts && !pass.makes_luts && pass.name != "map";
+}
+
+util::Json pass_cache_inputs(std::uint64_t state_fp,
+                             const PassInvocation& invocation,
+                             std::uint64_t library_fp,
+                             const FlowOptions& options) {
+  util::Json inputs = util::Json::object();
+  inputs["state_fingerprint"] = util::Json{util::hex64(state_fp)};
+  // Canonical print, so spelling variants share an entry. Flag defaults
+  // baked into the pass lambdas (e.g. rewrite's k = 4) are not spelled
+  // out here: changing one is a semantics change covered by
+  // kCacheSchemaVersion, like any other pass-body change.
+  inputs["pass"] = util::Json{invocation.to_string()};
+  inputs["library_fingerprint"] = util::Json{util::hex64(library_fp)};
+  // The FlowOptions knobs pass bodies read (fallbacks for -K/-p and the
+  // kernel seeds/thresholds). use_choices/use_mfs steer recipe
+  // *construction*, not pass behaviour, so they stay out.
+  util::Json flow = util::Json::object();
+  flow["priority"] = util::Json{std::string{opt::short_name(options.priority)}};
+  flow["epsilon"] = util::Json{options.epsilon};
+  flow["input_activity"] = util::Json{options.input_activity};
+  flow["lut_k"] = util::Json{options.lut_k};
+  flow["clock_estimate"] = util::Json{options.clock_estimate};
+  flow["seed"] = util::Json{options.seed};
+  flow["sat_conflict_budget"] = util::Json{options.sat_conflict_budget};
+  inputs["flow"] = std::move(flow);
+  return inputs;
+}
+
+}  // namespace
+
 void Pipeline::run(FlowState& state) const {
   validate(state.options);
   util::Budget& budget = budget_of(state);
   state.initial_ands = state.aig.num_ands();
-  for (const PassInvocation& invocation : sequence_) {
+
+  util::ArtifactCache& cache = util::ArtifactCache::global();
+  // Budget constraints that change what a pass *produces* (not merely
+  // whether it finishes) make cached snapshots wrong answers: a
+  // node-growth ceiling reverts inflating transforms, and an already
+  // soft-exhausted budget skips them outright. Restoring a full-quality
+  // snapshot there would silently undo the constraint. A live-but-not-
+  // exhausted deadline or SAT ceiling is fine — clean (non-degraded)
+  // results under those are identical to unbudgeted ones, which is what
+  // lets the recipe-search driver combine per-variant deadlines with
+  // prefix reuse.
+  const bool budget_allows = !budget.cancelled() &&
+                             !budget.soft_exhausted() &&
+                             budget.node_growth_limit() <= 0.0;
+  const bool caching = state.use_pass_cache && budget_allows &&
+                       pass_cache_env_enabled() && cache.enabled();
+  const std::uint64_t library_fp =
+      state.matcher != nullptr
+          ? liberty::fingerprint(state.matcher->library())
+          : 0;
+
+  // Longest-cached-prefix skip: restore snapshots front-to-back until
+  // the first miss or the first pass whose result cannot snapshot. Keys
+  // chain through the restored states, so a hit at step k certifies the
+  // whole prefix up to k.
+  std::size_t resume_at = 0;
+  if (caching && snapshotable(state)) {
+    while (resume_at < sequence_.size()) {
+      const PassInvocation& invocation = sequence_[resume_at];
+      if (!pass_cacheable(*invocation.pass)) {
+        break;
+      }
+      const std::string key = util::ArtifactCache::key(
+          kPassStage, pass_cache_inputs(state_fingerprint(state), invocation,
+                                        library_fp, state.options));
+      auto hit = cache.load(kPassStage, key);
+      if (!hit) {
+        obs::counter("cache.pass_misses").add();
+        break;
+      }
+      try {
+        snapshot_from_json(*hit, state);
+      } catch (const std::exception&) {
+        obs::counter("cache.corrupt").add();
+        break;  // fall through to recomputation from the current state
+      }
+      obs::counter("cache.pass_hits").add();
+      // Keep the work-shape diagnostic meaningful on warm runs too.
+      obs::gauge("pass." + invocation.pass->name + ".nodes",
+                 obs::Unit::kNodes)
+          .set(static_cast<double>(state.aig.num_ands()));
+      ++resume_at;
+    }
+  }
+
+  for (std::size_t step = resume_at; step < sequence_.size(); ++step) {
+    const PassInvocation& invocation = sequence_[step];
     const Pass& pass = *invocation.pass;
     budget.check_cancelled("pass." + pass.name);
+
+    // Compute the store key before the pass mutates the state: entries
+    // are addressed by what the pass *consumed*. Only clean incoming
+    // states get a key — after `if` the state carries a pending cover
+    // and the chain is broken until the next run starts fresh.
+    std::string store_key;
+    if (caching && pass_cacheable(pass) && snapshotable(state)) {
+      store_key = util::ArtifactCache::key(
+          kPassStage, pass_cache_inputs(state_fingerprint(state), invocation,
+                                        library_fp, state.options));
+    }
 
     // Soft budget exhaustion *degrades* the flow instead of failing it:
     // out of wall-clock, every optimization pass is skipped; out of SAT
@@ -513,6 +640,15 @@ void Pipeline::run(FlowState& state) const {
     if (degraded) {
       obs::counter("pass." + pass.name + ".degraded").add();
       state.degraded = true;
+    }
+    // Store the clean snapshot this pass produced. Never a degraded one
+    // (`state.degraded` covers this pass and every pass before it): the
+    // key covers inputs only, so a budget-starved intermediate would be
+    // served to later unbudgeted runs as the full-quality result —
+    // the same rule the scenario cache enforces.
+    if (!store_key.empty() && !skipped && !state.degraded &&
+        snapshotable(state)) {
+      cache.store(kPassStage, store_key, snapshot_to_json(state));
     }
     // Diagnostic (Unit::kNodes, excluded from the signoff report):
     // network size leaving the pass — gates once mapped, LUTs while a

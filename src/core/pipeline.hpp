@@ -73,6 +73,12 @@ struct FlowState {
   /// `util::Budget::global()`. See Pipeline::run for the degradation
   /// semantics.
   util::Budget* budget = nullptr;
+
+  /// Per-pass artifact caching (see Pipeline::run): when true and the
+  /// global `util::ArtifactCache` is enabled, the run skips the longest
+  /// cached prefix of the recipe and stores each clean intermediate
+  /// snapshot. `CRYOEDA_PASS_CACHE=0` disables it process-wide.
+  bool use_pass_cache = true;
 };
 
 /// Kinds a pass argument value can take.
@@ -187,6 +193,22 @@ public:
   ///  * every skipped / stopped-early / reverted pass bumps
   ///    `pass.<name>.degraded`, surfaced in the report's `degradation`
   ///    section (absent from the signoff profile).
+  ///
+  /// Per-pass artifact caching (stage `core.pass` of the global
+  /// `util::ArtifactCache`, gated by `state.use_pass_cache` and
+  /// `CRYOEDA_PASS_CACHE`): each pass whose incoming state and result
+  /// both round-trip through a snapshot (the AIG transforms and `dch` —
+  /// not `if`/`mfs`/`strash`/`map`, whose states carry a pending LUT
+  /// cover or a netlist) is keyed on {incoming `state_fingerprint`,
+  /// canonical pass print, library fingerprint, the FlowOptions knobs
+  /// passes read} and its resulting snapshot is stored after it runs.
+  /// A later run walks the recipe front-to-back, restoring cached
+  /// snapshots until the first miss or non-snapshotable pass — the
+  /// longest cached prefix — and executes only the remainder. Restored
+  /// passes bump `cache.pass_hits`; each failed probe bumps
+  /// `cache.pass_misses`. Degraded passes are never stored (same rule
+  /// as the scenario cache), and a corrupt or fingerprint-mismatched
+  /// entry falls back to recomputation (`cache.corrupt`).
   void run(FlowState& state) const;
 
   const std::vector<PassInvocation>& sequence() const { return sequence_; }

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/json.hpp"
+
+namespace cryo::core {
+
+/// Recipe-search driver: design-space exploration over pass scripts
+/// (the paper's §V-B thesis — synthesis quality comes from reordering
+/// and re-parameterizing the flow — turned into a workload). Variants
+/// are enumerated deterministically from the Fig. 3 seed recipes,
+/// fanned out over `util::ThreadPool` with per-job budgets and fault
+/// isolation, and ranked lexicographically by (power, delay, area) —
+/// the paper's power-first objective. The per-pass prefix cache
+/// (core/pipeline.hpp) is what makes this affordable: variants sharing
+/// a script prefix reuse the cached intermediate states.
+
+struct SearchOptions {
+  ExperimentOptions experiment;  ///< shared flow/STA knobs + threads
+  /// Total variant budget per circuit, *including* the three Fig. 3
+  /// seed recipes that always lead the enumeration (so the search can
+  /// never report a best worse than the paper's own flows).
+  std::size_t variants = 16;
+  std::uint64_t seed = 1;  ///< mutation seed (util::Rng; deterministic)
+  /// Wall-clock budget of one variant evaluation in seconds; a variant
+  /// that blows it degrades and is excluded from "best". 0 = none.
+  double per_variant_deadline_s = 0.0;
+};
+
+/// Reject unusable search knobs (delegates to the ExperimentOptions
+/// validator; additionally rejects a zero variant budget and a negative
+/// or non-finite per-variant deadline).
+void validate(const SearchOptions& options);
+
+/// Deterministic recipe enumeration: the three Fig. 3 seed recipes
+/// first, then mutations (pre-`if` pass order and repetition, `-K` in
+/// 3..6, `-p` priorities, dch/mfs on and off, a second LUT round),
+/// canonicalized via `Pipeline::parse(...).to_string()`, deduplicated,
+/// capped at `count`. Same (flow, count, seed) -> same list.
+std::vector<std::string> enumerate_recipes(const FlowOptions& flow,
+                                           std::size_t count,
+                                           std::uint64_t seed);
+
+/// One evaluated variant on one circuit.
+struct RecipeTrial {
+  std::string recipe;    ///< canonical print
+  ScenarioResult result; ///< signoff figures (ok=false on failure)
+};
+
+struct CircuitSearchResult {
+  std::string circuit;
+  std::vector<RecipeTrial> trials;  ///< in enumeration order
+  /// Index of the best OK, non-degraded trial by (power, delay, area)
+  /// lexicographic comparison, ties broken by recipe string; -1 when
+  /// every trial failed or degraded.
+  int best = -1;
+};
+
+/// Evaluate every enumerated recipe on every circuit of `suite`
+/// (circuits x variants jobs on the shared pool). Each job runs under
+/// its own `util::Budget` deadline (per_variant_deadline_s) and is
+/// fault-isolated like the fig3 fleet: a throwing variant records its
+/// error in the trial row (`search.variant_errors`) instead of sinking
+/// the sweep; only global-budget cancellation propagates. Results are
+/// deterministic for any thread count.
+std::vector<CircuitSearchResult> search_recipes(
+    const std::vector<epfl::Benchmark>& suite, const map::CellMatcher& matcher,
+    const SearchOptions& options);
+
+/// Deterministic JSON search report: the enumerated recipes, then per
+/// circuit the best trial and every trial's figures (at the analysis
+/// clock — figures of different recipes on one circuit are directly
+/// comparable). The first three trials are tagged with their Fig. 3
+/// seed names, which is what scripts/check_regression.py --search-from
+/// gates the best against.
+util::Json search_report(const std::vector<CircuitSearchResult>& results,
+                         const SearchOptions& options);
+
+}  // namespace cryo::core

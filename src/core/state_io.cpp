@@ -1,0 +1,198 @@
+#include "core/state_io.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace cryo::core {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw std::runtime_error{"state snapshot: " + detail};
+}
+
+std::uint32_t as_u32(const util::Json& json, const char* what) {
+  const std::int64_t v = json.as_int();
+  if (v < 0 || v > 0xffffffffll) {
+    malformed(std::string{what} + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+bool snapshotable(const FlowState& state) {
+  return !state.luts.has_value() && !state.has_netlist;
+}
+
+std::uint64_t state_fingerprint(const FlowState& state) {
+  util::Fnv1a h;
+  h.u64(logic::fingerprint(state.aig));
+  h.u64(state.has_choices ? 1 : 0);
+  if (state.has_choices) {
+    h.u64(state.choices.size());
+    for (const auto& cls : state.choices) {
+      h.u64(cls.size());
+      for (const logic::Lit lit : cls) {
+        h.u64(lit);
+      }
+    }
+  }
+  h.u64(state.stage_checkpoint.has_value() ? 1 : 0);
+  if (state.stage_checkpoint.has_value()) {
+    h.u64(logic::fingerprint(*state.stage_checkpoint));
+  }
+  return h.value();
+}
+
+util::Json aig_to_json(const logic::Aig& aig) {
+  util::Json json = util::Json::object();
+  json["name"] = util::Json{aig.name()};
+  util::Json pis = util::Json::array();
+  for (logic::NodeIdx i = 0; i < aig.num_pis(); ++i) {
+    pis.push_back(util::Json{aig.pi_name(i)});
+  }
+  json["pis"] = std::move(pis);
+  // AND fanins, flat, in node order: nodes are [const0, PIs..., ANDs...]
+  // contiguously, and `land` stored each pair already normalized, so
+  // replaying `land` in this order rebuilds identical node indices.
+  util::Json ands = util::Json::array();
+  for (logic::NodeIdx v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    ands.push_back(util::Json{aig.fanin0(v)});
+    ands.push_back(util::Json{aig.fanin1(v)});
+  }
+  json["ands"] = std::move(ands);
+  util::Json pos = util::Json::array();
+  util::Json po_names = util::Json::array();
+  for (logic::NodeIdx i = 0; i < aig.num_pos(); ++i) {
+    pos.push_back(util::Json{aig.po(i)});
+    po_names.push_back(util::Json{aig.po_name(i)});
+  }
+  json["pos"] = std::move(pos);
+  json["po_names"] = std::move(po_names);
+  return json;
+}
+
+logic::Aig aig_from_json(const util::Json& json) {
+  logic::Aig aig;
+  aig.set_name(json.at("name").as_string());
+  const util::Json& pis = json.at("pis");
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    aig.add_pi(pis.at(i).as_string());
+  }
+  const util::Json& ands = json.at("ands");
+  if (ands.size() % 2 != 0) {
+    malformed("odd AND fanin array");
+  }
+  for (std::size_t i = 0; i < ands.size(); i += 2) {
+    const logic::Lit f0 = as_u32(ands.at(i), "AND fanin");
+    const logic::Lit f1 = as_u32(ands.at(i + 1), "AND fanin");
+    if (logic::lit_var(f0) >= aig.num_nodes() ||
+        logic::lit_var(f1) >= aig.num_nodes()) {
+      malformed("AND fanin references a later node");
+    }
+    const logic::Lit got = aig.land(f0, f1);
+    // Stored pairs came out of `land`, so replay must mint exactly the
+    // next node; anything else means the document is not a canonical
+    // AIG dump (treated as corruption by the caller).
+    if (got != logic::make_lit(aig.num_nodes() - 1)) {
+      malformed("non-canonical AND node");
+    }
+  }
+  const util::Json& pos = json.at("pos");
+  const util::Json& po_names = json.at("po_names");
+  if (pos.size() != po_names.size()) {
+    malformed("PO literal/name arrays disagree");
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const logic::Lit driver = as_u32(pos.at(i), "PO literal");
+    if (logic::lit_var(driver) >= aig.num_nodes()) {
+      malformed("PO literal out of range");
+    }
+    aig.add_po(driver, po_names.at(i).as_string());
+  }
+  return aig;
+}
+
+util::Json snapshot_to_json(const FlowState& state) {
+  if (!snapshotable(state)) {
+    throw std::logic_error{
+        "snapshot_to_json: state holds a pending LUT cover or a netlist"};
+  }
+  util::Json json = util::Json::object();
+  json["fingerprint"] = util::Json{util::hex64(state_fingerprint(state))};
+  json["aig"] = aig_to_json(state.aig);
+  json["has_choices"] = util::Json{state.has_choices};
+  util::Json choices = util::Json::array();
+  for (const auto& cls : state.choices) {
+    util::Json lits = util::Json::array();
+    for (const logic::Lit lit : cls) {
+      lits.push_back(util::Json{lit});
+    }
+    choices.push_back(std::move(lits));
+  }
+  json["choices"] = std::move(choices);
+  json["checkpoint"] = state.stage_checkpoint.has_value()
+                           ? aig_to_json(*state.stage_checkpoint)
+                           : util::Json{};
+  json["after_c2rs"] = util::Json{state.after_c2rs};
+  json["after_power_stage"] = util::Json{state.after_power_stage};
+  json["saw_strash"] = util::Json{state.saw_strash};
+  return json;
+}
+
+void snapshot_from_json(const util::Json& json, FlowState& state) {
+  // Parse into locals first; `state` is only touched after the whole
+  // document (including the fingerprint) checked out.
+  logic::Aig aig = aig_from_json(json.at("aig"));
+  const bool has_choices = json.at("has_choices").as_bool();
+  std::vector<std::vector<logic::Lit>> choices;
+  const util::Json& choice_json = json.at("choices");
+  choices.reserve(choice_json.size());
+  for (std::size_t i = 0; i < choice_json.size(); ++i) {
+    const util::Json& cls = choice_json.at(i);
+    std::vector<logic::Lit> lits;
+    lits.reserve(cls.size());
+    for (std::size_t k = 0; k < cls.size(); ++k) {
+      const logic::Lit lit = as_u32(cls.at(k), "choice literal");
+      if (logic::lit_var(lit) >= aig.num_nodes()) {
+        malformed("choice literal out of range");
+      }
+      lits.push_back(lit);
+    }
+    choices.push_back(std::move(lits));
+  }
+  std::optional<logic::Aig> checkpoint;
+  if (!json.at("checkpoint").is_null()) {
+    checkpoint = aig_from_json(json.at("checkpoint"));
+  }
+  const std::uint32_t after_c2rs = as_u32(json.at("after_c2rs"), "counter");
+  const std::uint32_t after_power_stage =
+      as_u32(json.at("after_power_stage"), "counter");
+  const bool saw_strash = json.at("saw_strash").as_bool();
+
+  FlowState restored;
+  restored.aig = std::move(aig);
+  restored.choices = std::move(choices);
+  restored.has_choices = has_choices;
+  restored.stage_checkpoint = std::move(checkpoint);
+  if (json.at("fingerprint").as_string() !=
+      util::hex64(state_fingerprint(restored))) {
+    malformed("fingerprint mismatch (stale or corrupt entry)");
+  }
+
+  state.aig = std::move(restored.aig);
+  state.choices = std::move(restored.choices);
+  state.has_choices = restored.has_choices;
+  state.stage_checkpoint = std::move(restored.stage_checkpoint);
+  state.luts.reset();
+  state.netlist = map::Netlist{};
+  state.has_netlist = false;
+  state.after_c2rs = after_c2rs;
+  state.after_power_stage = after_power_stage;
+  state.saw_strash = saw_strash;
+}
+
+}  // namespace cryo::core

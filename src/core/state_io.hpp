@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/pipeline.hpp"
+#include "util/json.hpp"
+
+namespace cryo::core {
+
+/// JSON round-tripping of intermediate `FlowState` snapshots, the value
+/// format of the per-pass artifact cache (core/pipeline.hpp). A snapshot
+/// captures everything a *later pass* reads from the state — the AIG,
+/// the `dch` structural choices, the stage-2 checkpoint, and the size
+/// bookkeeping — but not the matcher/options/budget (those are supplied
+/// by the run that restores it and are covered by the cache key).
+///
+/// The AIG serialization is exact by construction: AND fanin pairs are
+/// stored in node order as `Aig::land` normalized them, so replaying
+/// `land` reproduces identical node indices, and the PI/PO interface
+/// (including names, which AIGER round-trips would drop) is stored
+/// verbatim. Every snapshot embeds its own `state_fingerprint`; restore
+/// recomputes it and rejects a mismatch, so a corrupt or stale entry
+/// degrades to a recompute instead of silently corrupting the flow.
+
+/// True when `state` can round-trip through a snapshot: no pending LUT
+/// cover (it points into `aig` and `opt::LutMapping` has no serialized
+/// form) and no mapped netlist. Passes whose *result* fails this (`if`,
+/// `mfs`, `strash`, `map`) re-run instead of caching.
+bool snapshotable(const FlowState& state);
+
+/// Semantic fingerprint of what downstream passes consume: the AIG's
+/// structural fingerprint plus the choice classes and the stage-2
+/// checkpoint. States with equal fingerprints drive every later pass
+/// identically (size counters are bookkeeping, not pass inputs).
+std::uint64_t state_fingerprint(const FlowState& state);
+
+/// Serialize `state` (requires `snapshotable(state)`; throws
+/// std::logic_error otherwise).
+util::Json snapshot_to_json(const FlowState& state);
+
+/// Restore a snapshot into `state`, replacing the AIG, choices,
+/// checkpoint, and counters; `matcher` / `options` / `budget` /
+/// `initial_ands` keep their values. All-or-nothing: on a malformed,
+/// inconsistent, or fingerprint-mismatched document it throws
+/// std::runtime_error and leaves `state` untouched (the pass cache
+/// treats that as a corrupt entry and recomputes).
+void snapshot_from_json(const util::Json& json, FlowState& state);
+
+/// Exact AIG <-> JSON conversion (PI/PO names and the design name
+/// included). `aig_from_json` throws std::runtime_error on malformed or
+/// non-canonical documents.
+util::Json aig_to_json(const logic::Aig& aig);
+logic::Aig aig_from_json(const util::Json& json);
+
+}  // namespace cryo::core

@@ -1,4 +1,7 @@
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -239,34 +242,56 @@ private:
   Tokenizer tok_;
 };
 
-std::vector<double> parse_number_list(const std::vector<std::string>& args) {
+/// Strict numeric conversion with attribute context. Liberty numbers
+/// used to go through raw `std::stod`, whose std::invalid_argument /
+/// std::out_of_range escape with no hint of *which* attribute of which
+/// cell was malformed; a corrupted characterization cache then read as
+/// an internal crash instead of a bad input file. Rejects empty values,
+/// trailing garbage, overflow, and non-finite results with the I/O
+/// error taxonomy (exit code 3).
+double to_number(const std::string& raw, const std::string& where) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end != raw.c_str() + raw.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    throw Error{ErrorKind::kIo, "liberty parse: bad number '" + raw +
+                                    "' in " + where +
+                                    " (expected a finite decimal value)"};
+  }
+  return value;
+}
+
+std::vector<double> parse_number_list(const std::vector<std::string>& args,
+                                      const std::string& where) {
   std::vector<double> out;
   for (const auto& arg : args) {
     for (const auto& tok : util::split(arg, ", ")) {
-      out.push_back(std::stod(tok));
+      out.push_back(to_number(tok, where));
     }
   }
   return out;
 }
 
-NldmTable extract_table(const Group& g, double unit) {
+NldmTable extract_table(const Group& g, double unit,
+                        const std::string& where) {
   std::vector<double> index1{0.0};
   std::vector<double> index2{0.0};
   if (const auto it = g.lists.find("index_1"); it != g.lists.end()) {
-    index1 = parse_number_list(it->second);
+    index1 = parse_number_list(it->second, where + " index_1");
     for (double& v : index1) {
       v *= kTimeUnit;
     }
   }
   if (const auto it = g.lists.find("index_2"); it != g.lists.end()) {
-    index2 = parse_number_list(it->second);
+    index2 = parse_number_list(it->second, where + " index_2");
     for (double& v : index2) {
       v *= kCapUnit;
     }
   }
   std::vector<double> values;
   if (const auto it = g.lists.find("values"); it != g.lists.end()) {
-    values = parse_number_list(it->second);
+    values = parse_number_list(it->second, where + " values");
   }
   for (double& v : values) {
     v *= unit;
@@ -287,9 +312,12 @@ ArcSense parse_sense(const std::string& text) {
 Cell extract_cell(const Group& g) {
   Cell cell;
   cell.name = g.args.empty() ? "" : g.args.front();
-  cell.area = std::stod(g.attr("area", "0"));
+  const std::string where = "cell '" + cell.name + "'";
+  cell.area = to_number(g.attr("area", "0"), where + " area");
   cell.leakage_power =
-      std::stod(g.attr("cell_leakage_power", "0")) * kLeakageUnit;
+      to_number(g.attr("cell_leakage_power", "0"),
+                where + " cell_leakage_power") *
+      kLeakageUnit;
   for (const auto& child : g.children) {
     if (child.type == "ff") {
       cell.is_sequential = true;
@@ -303,8 +331,11 @@ Cell extract_cell(const Group& g) {
     Pin pin;
     pin.name = child.args.empty() ? "" : child.args.front();
     pin.is_output = child.attr("direction") == "output";
+    const std::string pin_where = where + " pin '" + pin.name + "'";
     if (!pin.is_output) {
-      pin.capacitance = std::stod(child.attr("capacitance", "0")) * kCapUnit;
+      pin.capacitance =
+          to_number(child.attr("capacitance", "0"), pin_where + " capacitance") *
+          kCapUnit;
     } else {
       pin.function = child.attr("function");
       for (const auto& sub : child.children) {
@@ -314,13 +345,15 @@ Cell extract_cell(const Group& g) {
           arc.sense = parse_sense(sub.attr("timing_sense"));
           for (const auto& t : sub.children) {
             if (t.type == "cell_rise") {
-              arc.cell_rise = extract_table(t, kTimeUnit);
+              arc.cell_rise = extract_table(t, kTimeUnit, pin_where + " cell_rise");
             } else if (t.type == "cell_fall") {
-              arc.cell_fall = extract_table(t, kTimeUnit);
+              arc.cell_fall = extract_table(t, kTimeUnit, pin_where + " cell_fall");
             } else if (t.type == "rise_transition") {
-              arc.rise_transition = extract_table(t, kTimeUnit);
+              arc.rise_transition =
+                  extract_table(t, kTimeUnit, pin_where + " rise_transition");
             } else if (t.type == "fall_transition") {
-              arc.fall_transition = extract_table(t, kTimeUnit);
+              arc.fall_transition =
+                  extract_table(t, kTimeUnit, pin_where + " fall_transition");
             }
           }
           cell.arcs.push_back(std::move(arc));
@@ -329,9 +362,11 @@ Cell extract_cell(const Group& g) {
           arc.related_pin = sub.attr("related_pin");
           for (const auto& t : sub.children) {
             if (t.type == "rise_power") {
-              arc.rise_power = extract_table(t, kEnergyUnit);
+              arc.rise_power =
+                  extract_table(t, kEnergyUnit, pin_where + " rise_power");
             } else if (t.type == "fall_power") {
-              arc.fall_power = extract_table(t, kEnergyUnit);
+              arc.fall_power =
+                  extract_table(t, kEnergyUnit, pin_where + " fall_power");
             }
           }
           cell.power_arcs.push_back(std::move(arc));
@@ -354,13 +389,18 @@ Library parse_liberty(const std::string& text) {
   }
   Library lib;
   lib.name = top.args.empty() ? "" : top.args.front();
+  const std::string lib_where = "library '" + lib.name + "'";
   const std::string kelvin = top.attr("temperature_kelvin");
   if (!kelvin.empty()) {
-    lib.temperature_k = std::stod(kelvin);
+    lib.temperature_k = to_number(kelvin, lib_where + " temperature_kelvin");
   } else {
-    lib.temperature_k = std::stod(top.attr("nom_temperature", "25")) + 273.15;
+    lib.temperature_k =
+        to_number(top.attr("nom_temperature", "25"),
+                  lib_where + " nom_temperature") +
+        273.15;
   }
-  lib.voltage = std::stod(top.attr("nom_voltage", "0.7"));
+  lib.voltage =
+      to_number(top.attr("nom_voltage", "0.7"), lib_where + " nom_voltage");
   for (const auto& child : top.children) {
     if (child.type == "cell") {
       lib.cells.push_back(extract_cell(child));

@@ -1,6 +1,8 @@
 #include "logic/aiger.hpp"
 
 #include <array>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -206,9 +208,38 @@ Aig read_aiger(const std::string& contents) {
     }
     const std::string name = line.substr(space + 1);
     const char kind = line[0];
-    const unsigned index =
-        static_cast<unsigned>(std::stoul(line.substr(1, space - 1)));
-    if (kind == 'o' && index < o) {
+    // Strict symbol validation: a raw std::stoul here used to escape as
+    // std::invalid_argument / std::out_of_range on corrupt tables (e.g.
+    // "oxyz name" or an astronomically large index) — an uncaught crash
+    // with no pointer at the offending line instead of an I/O diagnostic.
+    if (kind != 'i' && kind != 'l' && kind != 'o') {
+      throw Error{ErrorKind::kIo,
+                  "read_aiger: bad symbol-table entry '" + line +
+                      "' (expected i<N>/l<N>/o<N> followed by a name)"};
+    }
+    const std::string digits = line.substr(1, space - 1);
+    const bool all_digits =
+        !digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed =
+        all_digits ? std::strtoull(digits.c_str(), &end, 10) : 0;
+    if (!all_digits || errno == ERANGE ||
+        parsed > std::numeric_limits<std::uint32_t>::max()) {
+      throw Error{ErrorKind::kIo,
+                  "read_aiger: bad symbol index in entry '" + line +
+                      "' (expected a decimal index after '" +
+                      std::string(1, kind) + "')"};
+    }
+    const auto index = static_cast<std::uint32_t>(parsed);
+    if ((kind == 'i' && index >= i) || (kind == 'o' && index >= o)) {
+      throw Error{ErrorKind::kIo,
+                  "read_aiger: symbol index out of range in entry '" + line +
+                      "' (the header declares " + std::to_string(i) +
+                      " inputs and " + std::to_string(o) + " outputs)"};
+    }
+    if (kind == 'o') {
       po_names[index] = name;
     }
     // PI names would require rebuilding; accepted and ignored (PIs were

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -40,10 +41,21 @@ Registry& registry() {
 }
 
 std::uint64_t parse_count(std::string_view text, const std::string& entry) {
-  char* end = nullptr;
   const std::string raw{text};
-  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
-  if (raw.empty() || end != raw.c_str() + raw.size() || value == 0) {
+  // Digits-only, then range-checked. strtoull alone is not enough: it
+  // *accepts* "-1" by wrapping to 2^64-1 (a count that to first
+  // approximation never fires — the injection silently becomes a no-op)
+  // and saturates out-of-range values to ULLONG_MAX with only errno to
+  // tell. A zero count is equally unusable: every-0 would divide by
+  // zero in the arrival check and once@0 can never match an arrival
+  // ordinal (they start at 1).
+  const bool all_digits =
+      !raw.empty() && raw.find_first_not_of("0123456789") == std::string::npos;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value =
+      all_digits ? std::strtoull(raw.c_str(), &end, 10) : 0;
+  if (!all_digits || errno == ERANGE || value == 0) {
     bad_spec("bad count '" + raw + "' in '" + entry +
              "' (expected an integer >= 1)");
   }

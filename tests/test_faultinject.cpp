@@ -142,6 +142,24 @@ TEST_F(FaultInjectTest, MalformedSpecsAreRecipeErrors) {
   expect_spec_error("sat.solve=every-2,sat.solve=once@1", "duplicate site");
 }
 
+TEST_F(FaultInjectTest, DegenerateCountsAreRejectedNotSilentNoOps) {
+  // once@0 can never match an arrival ordinal (they start at 1) and
+  // every-0 would divide by zero in the arrival check: both must be
+  // rejected up front rather than armed as faults that never fire.
+  expect_spec_error("sat.solve=once@0", "bad count");
+  expect_spec_error("sat.solve=every-0", "bad count");
+  // strtoull quietly *accepts* negative counts by wrapping them to the
+  // top of the uint64 range — an injection that would silently never
+  // fire. Same for values past 2^64-1, which saturate with only errno
+  // raised. Both are spec bugs and must fail loudly.
+  expect_spec_error("sat.solve=every--1", "bad count");
+  expect_spec_error("sat.solve=once@-3", "bad count");
+  expect_spec_error("sat.solve=every-18446744073709551616", "bad count");
+  expect_spec_error("sat.solve=once@99999999999999999999999", "bad count");
+  // Stray sign/space characters are not part of a count either.
+  expect_spec_error("sat.solve=every-+2", "bad count");
+}
+
 TEST_F(FaultInjectTest, DisarmedRegistryNeverFires) {
   EXPECT_FALSE(fi::armed());
   for (const std::string& site : fi::known_sites()) {

@@ -6,6 +6,7 @@
 #include "logic/simulate.hpp"
 #include "map/mapper.hpp"
 #include "map/verilog.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -73,6 +74,46 @@ TEST(Aiger, RejectsLatchesAndGarbage) {
   EXPECT_THROW(cryo::logic::read_aiger("not aiger"), std::runtime_error);
   EXPECT_THROW(cryo::logic::read_aiger("aag 5 1 0 1 2\n2\n10\n"),
                std::runtime_error);
+}
+
+// A corrupt symbol table used to reach raw std::stoul, which crashes
+// with std::invalid_argument / std::out_of_range carrying no hint of
+// the offending line. It must surface as cryo::Error{kIo} quoting the
+// entry instead.
+void expect_symbol_error(const std::string& symbols,
+                         const std::string& needle) {
+  // Minimal valid 1-PI/1-PO body; only the symbol table varies.
+  const std::string text = "aag 1 1 0 1 0\n2\n2\n" + symbols;
+  try {
+    cryo::logic::read_aiger(text);
+    FAIL() << "expected Error{kIo} for symbols: " << symbols;
+  } catch (const cryo::Error& e) {
+    EXPECT_EQ(e.kind(), cryo::ErrorKind::kIo);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "message '" << what << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Aiger, CorruptSymbolTablesAreIoErrorsNamingTheLine) {
+  expect_symbol_error("oxyz out\n", "oxyz out");
+  expect_symbol_error("o1x2 out\n", "bad symbol index");
+  expect_symbol_error("o- out\n", "o- out");
+  expect_symbol_error("x0 name\n", "bad symbol-table entry");
+  // An index past 2^32-1 (or past the header's declared counts) names
+  // the entry instead of throwing std::out_of_range.
+  expect_symbol_error("o99999999999999999999 out\n", "bad symbol index");
+  expect_symbol_error("o7 out\n", "out of range");
+  expect_symbol_error("i1 in\n", "out of range");
+}
+
+TEST(Aiger, ValidSymbolTablesStillRoundTrip) {
+  // Valid entries (and the comment section) parse as before; 'l'
+  // entries are tolerated and ignored like 'i'.
+  const Aig parsed = cryo::logic::read_aiger(
+      "aag 1 1 0 1 0\n2\n2\ni0 alpha\no0 result\nc\nnote\n");
+  ASSERT_EQ(parsed.num_pos(), 1u);
+  EXPECT_EQ(parsed.po_name(0), "result");
 }
 
 TEST(Verilog, EmitsStructurallySoundModule) {

@@ -3,6 +3,7 @@
 #include "liberty/function.hpp"
 #include "liberty/library.hpp"
 #include "liberty/nldm.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -220,6 +221,71 @@ TEST(Liberty, ParserThrowsOnTruncatedInputInsteadOfHanging) {
   EXPECT_THROW(parse_liberty("library (x) { index_1 (\"1, 2\""),
                std::runtime_error);
   EXPECT_THROW(parse_liberty("library (x"), std::runtime_error);
+}
+
+// Malformed numeric attributes used to reach raw std::stod, which
+// aborts with std::invalid_argument / std::out_of_range carrying zero
+// context. They must surface as cryo::Error{kIo} (exit 3) naming the
+// cell/pin/attribute, so a corrupted characterization cache reads as a
+// bad input file, not an internal crash.
+void expect_io_error(const std::string& text, const std::string& needle) {
+  try {
+    parse_liberty(text);
+    FAIL() << "expected Error{kIo} for: " << text;
+  } catch (const cryo::Error& e) {
+    EXPECT_EQ(e.kind(), cryo::ErrorKind::kIo);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "message '" << what << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Liberty, MalformedNumbersAreIoErrorsWithAttributeContext) {
+  expect_io_error("library (x) { cell (INV) { area : banana; } }",
+                  "cell 'INV' area");
+  expect_io_error("library (x) { cell (INV) { area : banana; } }", "banana");
+  expect_io_error(
+      "library (x) { cell (NAND2) { cell_leakage_power : 1.2.3; } }",
+      "cell 'NAND2' cell_leakage_power");
+  expect_io_error(
+      "library (x) { cell (INV) { pin (A) { direction : input; "
+      "capacitance : 2e; } } }",
+      "pin 'A' capacitance");
+  expect_io_error("library (x) { nom_temperature : cold; }",
+                  "nom_temperature");
+  expect_io_error("library (x) { temperature_kelvin : 4K; }",
+                  "temperature_kelvin");
+  expect_io_error("library (x) { nom_voltage : 0v7; }", "nom_voltage");
+  // Overflow and non-finite values are as unusable as garbage text.
+  expect_io_error("library (x) { cell (INV) { area : 1e999; } }",
+                  "cell 'INV' area");
+  expect_io_error("library (x) { nom_voltage : nan; }", "nom_voltage");
+}
+
+TEST(Liberty, MalformedTableNumbersNameTheTable) {
+  expect_io_error(
+      "library (x) { cell (INV) { pin (Y) { direction : output; "
+      "timing () { cell_rise (t) { index_1 (\"0.1, oops\"); } } } } }",
+      "cell 'INV' pin 'Y' cell_rise index_1");
+  expect_io_error(
+      "library (x) { cell (INV) { pin (Y) { direction : output; "
+      "timing () { cell_fall (t) { values (\"0.1, 0.2x\"); } } } } }",
+      "cell_fall values");
+  expect_io_error(
+      "library (x) { cell (INV) { pin (Y) { direction : output; "
+      "internal_power () { rise_power (t) { index_2 (\"bad\"); } } } } }",
+      "rise_power index_2");
+}
+
+TEST(Liberty, WellFormedNumbersStillParse) {
+  const Library lib = parse_liberty(
+      "library (x) { nom_temperature : -195.8; nom_voltage : 0.55;\n"
+      "  cell (INV) { area : 0.798; cell_leakage_power : 0.0013;\n"
+      "    pin (A) { direction : input; capacitance : 0.0008; } } }");
+  EXPECT_NEAR(lib.temperature_k, -195.8 + 273.15, 1e-9);
+  EXPECT_DOUBLE_EQ(lib.voltage, 0.55);
+  ASSERT_EQ(lib.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(lib.cells[0].area, 0.798);
 }
 
 TEST(Cell, Helpers) {

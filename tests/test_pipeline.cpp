@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <stdexcept>
 
 #include "cells/characterize.hpp"
 #include "core/experiment.hpp"
 #include "core/flow.hpp"
 #include "core/pipeline.hpp"
+#include "core/search.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/budget.hpp"
+#include "util/obs.hpp"
 #include "epfl/benchmarks.hpp"
 #include "opt/lut_map.hpp"
 #include "opt/passes.hpp"
@@ -386,6 +394,274 @@ TEST_F(PipelineEquivalence, MapWithoutMatcherIsARecipeError) {
   state.options = core::FlowOptions{};
   const auto pipeline = core::Pipeline::parse("map");
   EXPECT_THROW(pipeline.run(state), core::RecipeError);
+}
+
+// ---------------------------------------------------------------------------
+// Per-pass prefix cache (Pipeline::run, stage `core.pass`)
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+namespace obs = util::obs;
+
+class PassCacheTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 48e-12};
+    options.loads = {2e-16, 1e-15, 4e-15};
+    options.include_sequential = false;
+    lib_ = new liberty::Library(
+        cells::characterize(cells::mini_catalog(), 10.0, options));
+    matcher_ = new map::CellMatcher(*lib_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_;
+    delete lib_;
+    matcher_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+    root_ = fs::temp_directory_path() /
+            ("cryoeda_passcache_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    util::ArtifactCache::global().configure({true, root_, 64ull << 20});
+  }
+  void TearDown() override {
+    util::ArtifactCache::global().configure(
+        util::ArtifactCache::env_config());
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  /// One pipeline run on the shared tiny circuit; `use_cache = false`
+  /// gives the no-cache reference result.
+  core::FlowState run(const std::string& recipe, bool use_cache = true,
+                      util::Budget* budget = nullptr) {
+    core::FlowState state;
+    state.aig = epfl::make_dec(5);
+    state.aig.set_name("dec5");
+    state.matcher = matcher_;
+    state.options = core::FlowOptions{};
+    state.use_pass_cache = use_cache;
+    state.budget = budget;
+    core::Pipeline::parse(recipe).run(state);
+    return state;
+  }
+
+  /// Exact signoff figures: the cache must be invisible to the last bit.
+  static void expect_identical(const core::FlowState& got,
+                               const core::FlowState& want,
+                               const std::string& label) {
+    EXPECT_EQ(got.aig.num_ands(), want.aig.num_ands()) << label;
+    ASSERT_EQ(got.netlist.gate_count(), want.netlist.gate_count()) << label;
+    EXPECT_EQ(got.netlist.total_area(), want.netlist.total_area()) << label;
+    const auto got_sta = sta::analyze(got.netlist, {});
+    const auto want_sta = sta::analyze(want.netlist, {});
+    EXPECT_EQ(got_sta.critical_delay, want_sta.critical_delay) << label;
+    EXPECT_EQ(got_sta.power.total(), want_sta.power.total()) << label;
+  }
+
+  std::vector<fs::path> pass_entries() const {
+    std::vector<fs::path> entries;
+    const fs::path stage_dir = root_ / "core.pass";
+    if (!fs::exists(stage_dir)) {
+      return entries;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(stage_dir)) {
+      if (entry.is_regular_file()) {
+        entries.push_back(entry.path());
+      }
+    }
+    return entries;
+  }
+
+  static liberty::Library* lib_;
+  static map::CellMatcher* matcher_;
+  fs::path root_;
+};
+
+liberty::Library* PassCacheTest::lib_ = nullptr;
+map::CellMatcher* PassCacheTest::matcher_ = nullptr;
+
+TEST_F(PassCacheTest, PrefixWarmRunIsByteIdenticalToCold) {
+  const std::string recipe_a =
+      "c2rs; dch; if -K 4 -p pad; mfs; strash; map -p pad";
+  const std::string recipe_b =
+      "c2rs; dch; if -K 5 -p pda; mfs; strash; map -p pda";
+
+  // Reference: recipe B with the pass cache off.
+  const auto reference = run(recipe_b, /*use_cache=*/false);
+  EXPECT_EQ(obs::counter("cache.pass_hits").get(), 0u);
+
+  // Recipe A populates the cache: its `c2rs; dch` prefix snapshots.
+  obs::reset();
+  const auto cold_a = run(recipe_a);
+  EXPECT_EQ(obs::counter("cache.pass_hits").get(), 0u);
+  EXPECT_EQ(obs::counter("cache.core.pass.stores").get(), 2u);
+
+  // Recipe B shares that prefix: both snapshots restore, c2rs and dch
+  // never execute, and the figures match the no-cache run exactly.
+  obs::reset();
+  const auto warm_b = run(recipe_b);
+  EXPECT_EQ(obs::counter("cache.pass_hits").get(), 2u);
+  EXPECT_EQ(obs::counter("cache.pass_misses").get(), 0u);
+  EXPECT_EQ(obs::counter("pass.c2rs.runs").get(), 0u);
+  EXPECT_EQ(obs::counter("pass.dch.runs").get(), 0u);
+  EXPECT_EQ(obs::counter("pass.if.runs").get(), 1u);
+  expect_identical(warm_b, reference, "prefix-warm vs cold");
+}
+
+TEST_F(PassCacheTest, RerunOfSameRecipeReplaysTheWholeCacheablePrefix) {
+  const std::string recipe =
+      "balance; rewrite -k 4; c2rs; dch; if -K 4 -p pad; strash; map -p pad";
+  (void)run(recipe);
+  EXPECT_EQ(obs::counter("cache.core.pass.stores").get(), 4u);
+  obs::reset();
+  const auto warm = run(recipe);
+  // balance, rewrite, c2rs, dch restore; `if` (LUT cover) is the first
+  // non-cacheable pass and executes.
+  EXPECT_EQ(obs::counter("cache.pass_hits").get(), 4u);
+  EXPECT_EQ(obs::counter("pass.balance.runs").get(), 0u);
+  EXPECT_EQ(obs::counter("pass.if.runs").get(), 1u);
+  EXPECT_TRUE(warm.has_netlist);
+}
+
+TEST_F(PassCacheTest, DegradedRunsNeitherStoreNorLoad) {
+  const std::string recipe = "c2rs; dch; if -K 4 -p pad; strash; map -p pad";
+
+  // SAT ceiling 0 (soft-exhausted from the start): the run degrades and
+  // opts out of the pass cache entirely — nothing stored.
+  util::Budget sat_starved;
+  sat_starved.set_sat_conflict_ceiling(0);
+  const auto degraded = run(recipe, /*use_cache=*/true, &sat_starved);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(obs::counter("cache.core.pass.stores").get(), 0u);
+  EXPECT_TRUE(pass_entries().empty());
+
+  // Same for a blown deadline.
+  obs::reset();
+  util::Budget expired;
+  expired.set_deadline_in(0.0);
+  const auto all_degraded = run(recipe, /*use_cache=*/true, &expired);
+  EXPECT_TRUE(all_degraded.degraded);
+  EXPECT_TRUE(all_degraded.has_netlist);  // map is deadline-exempt
+  EXPECT_EQ(obs::counter("cache.core.pass.stores").get(), 0u);
+  EXPECT_TRUE(pass_entries().empty());
+
+  // Warm the cache with a clean run, then rerun under a node-growth
+  // ceiling: the constrained run must recompute (a cached full-quality
+  // snapshot would silently undo the revert-on-growth semantics).
+  obs::reset();
+  (void)run(recipe);
+  EXPECT_EQ(obs::counter("cache.core.pass.stores").get(), 2u);
+  obs::reset();
+  util::Budget guarded;
+  guarded.set_node_growth_limit(1.0);  // any growth reverts
+  (void)run(recipe, /*use_cache=*/true, &guarded);
+  EXPECT_EQ(obs::counter("cache.pass_hits").get(), 0u);
+  EXPECT_EQ(obs::counter("pass.c2rs.runs").get(), 1u);
+}
+
+TEST_F(PassCacheTest, CorruptedEntriesFallBackToRecompute) {
+  const std::string recipe = "c2rs; dch; if -K 4 -p pad; strash; map -p pad";
+  const auto reference = run(recipe, /*use_cache=*/false);
+  const auto cold = run(recipe);
+  const auto entries = pass_entries();
+  ASSERT_EQ(entries.size(), 2u);
+
+  // Valid JSON, wrong shape: the snapshot restore throws, the pipeline
+  // records the corruption and recomputes the pass.
+  {
+    std::ofstream out{entries.front()};
+    out << "{\"fingerprint\": \"0\"}";
+  }
+  // Invalid JSON: the cache layer itself quarantines the entry.
+  {
+    std::ofstream out{entries.back()};
+    out << "{ not json";
+  }
+  obs::reset();
+  const auto recovered = run(recipe);
+  EXPECT_GE(obs::counter("cache.corrupt").get(), 1u);
+  EXPECT_EQ(obs::counter("pass.if.runs").get(), 1u);
+  expect_identical(recovered, reference, "recovered vs reference");
+}
+
+// ---------------------------------------------------------------------------
+// Recipe search (core/search.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(RecipeSearch, EnumerationIsDeterministicAndSeedLed) {
+  const core::FlowOptions flow;
+  const auto recipes = core::enumerate_recipes(flow, 10, 7);
+  EXPECT_EQ(recipes, core::enumerate_recipes(flow, 10, 7));
+  ASSERT_GE(recipes.size(), 3u);
+  EXPECT_LE(recipes.size(), 10u);
+
+  // The Fig. 3 seed recipes lead, in scenario order.
+  const auto seeds = core::fig3_scenarios(flow);
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    EXPECT_EQ(recipes[k],
+              core::Pipeline::parse(seeds[k].recipe).to_string());
+  }
+  // Every variant is canonical, unique, and statically valid.
+  std::set<std::string> unique;
+  for (const auto& recipe : recipes) {
+    EXPECT_EQ(core::Pipeline::parse(recipe).to_string(), recipe);
+    EXPECT_TRUE(unique.insert(recipe).second) << recipe;
+  }
+  // A different seed explores a different neighborhood (the seeds-first
+  // prefix is shared by construction).
+  const auto other = core::enumerate_recipes(flow, 10, 8);
+  EXPECT_NE(recipes, other);
+}
+
+TEST(RecipeSearch, ZeroVariantsAndBadDeadlinesAreRejected) {
+  core::SearchOptions bad;
+  bad.variants = 0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+  bad.variants = 4;
+  bad.per_variant_deadline_s = -1.0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+}
+
+TEST_F(PassCacheTest, SearchResultsAreThreadCountIndependent) {
+  std::vector<epfl::Benchmark> suite;
+  suite.push_back({"dec5", false, epfl::make_dec(5)});
+
+  core::SearchOptions options;
+  options.variants = 5;
+  options.seed = 3;
+  auto run_with = [&](int threads) {
+    options.experiment.threads = threads;
+    return core::search_recipes(suite, *matcher_, options);
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(2);
+  ASSERT_EQ(serial.size(), 1u);
+  ASSERT_EQ(parallel.size(), 1u);
+  EXPECT_EQ(serial[0].best, parallel[0].best);
+  ASSERT_EQ(serial[0].trials.size(), parallel[0].trials.size());
+  for (std::size_t v = 0; v < serial[0].trials.size(); ++v) {
+    EXPECT_EQ(serial[0].trials[v].recipe, parallel[0].trials[v].recipe);
+    EXPECT_EQ(serial[0].trials[v].result.total_power,
+              parallel[0].trials[v].result.total_power);
+  }
+  ASSERT_GE(serial[0].best, 0);
+  // The best can never lose to the pad seed: the seeds are trials too.
+  EXPECT_LE(
+      serial[0].trials[static_cast<std::size_t>(serial[0].best)]
+          .result.total_power,
+      serial[0].trials[1].result.total_power);
+
+  // The report is deterministic and gate-ready: seeds named, best set.
+  const auto report = core::search_report(serial, options);
+  EXPECT_EQ(core::search_report(serial, options).dump(2), report.dump(2));
+  EXPECT_NE(report.at("circuits").at(0).at("seeds").find("pad"), nullptr);
+  EXPECT_FALSE(report.at("circuits").at(0).at("best").is_null());
 }
 
 }  // namespace
