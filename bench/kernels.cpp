@@ -6,15 +6,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cells/catalog.hpp"
 #include "cells/characterize.hpp"
 #include "core/experiment.hpp"
 #include "device/finfet.hpp"
 #include "epfl/benchmarks.hpp"
 #include "logic/cuts.hpp"
+#include "logic/npn.hpp"
 #include "logic/simulate.hpp"
+#include "logic/tt.hpp"
 #include "map/mapper.hpp"
 #include "opt/passes.hpp"
 #include "sat/cnf.hpp"
@@ -23,6 +27,25 @@
 #include "util/thread_pool.hpp"
 
 namespace {
+
+/// Characterized mini-catalog library + matcher, built once. Used by the
+/// matcher microbenchmarks and the deterministic counter probes.
+const cryo::liberty::Library& mini_library() {
+  static const auto lib = [] {
+    cryo::cells::CharOptions options;
+    options.slews = {4e-12, 16e-12, 64e-12};
+    options.loads = {2e-16, 8e-16, 3.2e-15};
+    options.include_sequential = false;
+    return cryo::cells::characterize(cryo::cells::mini_catalog(), 10.0,
+                                     options);
+  }();
+  return lib;
+}
+
+const cryo::map::CellMatcher& mini_matcher() {
+  static const cryo::map::CellMatcher matcher{mini_library()};
+  return matcher;
+}
 
 void BM_FinFetEvaluate(benchmark::State& state) {
   const cryo::device::FinFetModel model{cryo::device::nominal_nfet_5nm(),
@@ -64,6 +87,55 @@ void BM_CutEnumerationK6(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CutEnumerationK6);
+
+// Priority-cut enumeration (area-flow ranking, the mapper's order):
+// same workload as BM_CutEnumerationK6 for a direct comparison of the
+// ranked path against the legacy size-first path.
+void BM_CutEnumerationPriority(benchmark::State& state) {
+  const auto aig = cryo::epfl::make_multiplier(12);
+  for (auto _ : state) {
+    cryo::logic::CutEnumerator cuts{aig, 6, 8,
+                                    cryo::logic::CutOrder::kAreaFlow};
+    cuts.run();
+    benchmark::DoNotOptimize(cuts.cuts(aig.num_nodes() - 1).size());
+  }
+}
+BENCHMARK(BM_CutEnumerationPriority);
+
+// Semi-canonical NPN signature computation over a fixed random stream
+// of 4-input functions — the per-cut cost the matcher pays before its
+// single hash lookup.
+void BM_NpnCanonicalize4(benchmark::State& state) {
+  cryo::util::Rng rng{7};
+  std::vector<std::uint64_t> tts(4096);
+  for (auto& tt : tts) {
+    tt = rng.next_u64() & cryo::logic::tt6_mask(4);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cryo::logic::npn_canonicalize(tts[i], 4).signature);
+    i = (i + 1) % tts.size();
+  }
+}
+BENCHMARK(BM_NpnCanonicalize4);
+
+// Full matcher lookup (canonicalize + class-table hash + per-binding
+// transform composition) against the characterized mini library.
+void BM_MatcherLookup(benchmark::State& state) {
+  const auto& matcher = mini_matcher();
+  cryo::util::Rng rng{11};
+  std::vector<std::uint64_t> tts(4096);
+  for (auto& tt : tts) {
+    tt = rng.next_u64() & cryo::logic::tt6_mask(4);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.matches(tts[i], 4).size());
+    i = (i + 1) % tts.size();
+  }
+}
+BENCHMARK(BM_MatcherLookup);
 
 void BM_RewritePass(benchmark::State& state) {
   const auto aig = cryo::epfl::make_adder(32);
@@ -146,6 +218,101 @@ BENCHMARK(BM_SynthesisFleet)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- deterministic counter probes (--counters-only) -------------------
+//
+// Fixed single-threaded workloads through the counted hot paths: cut
+// enumeration (both orders), NPN canonicalization + technology mapping,
+// and SAT search. Every counter they emit is exactly reproducible, so
+// `scripts/check_regression.py --counters-from
+// bench/baselines/kernels_counters.json` gates them bit-for-bit —
+// the machine-checkable form of "the mapper tries fewer matches".
+void run_counter_probes() {
+  // Cut enumeration, legacy and ranked order, on a mid-size multiplier.
+  const auto mult = cryo::epfl::make_multiplier(12);
+  for (const auto order : {cryo::logic::CutOrder::kSizeFirst,
+                           cryo::logic::CutOrder::kAreaFlow}) {
+    cryo::logic::CutEnumerator cuts{mult, 6, 8, order};
+    cuts.run();
+  }
+
+  // Technology mapping of the EPFL mini suite under every cost
+  // priority: drives map.candidate_cuts / map.canon_lookups /
+  // map.match_static_evals / map.matches_tried.
+  for (const auto& bench : cryo::epfl::mini_suite()) {
+    for (const auto priority :
+         {cryo::opt::CostPriority::kBaselinePowerAware,
+          cryo::opt::CostPriority::kPowerAreaDelay,
+          cryo::opt::CostPriority::kPowerDelayArea}) {
+      cryo::map::TechMapOptions options;
+      options.priority = priority;
+      const auto net = cryo::map::tech_map(bench.aig, mini_matcher(),
+                                           options);
+      if (net.gate_count() == 0) {
+        std::abort();  // probe must exercise the hot path
+      }
+    }
+  }
+
+  // SAT: an UNSAT pigeonhole under a reduction-heavy config plus a CEC
+  // proof, driving sat.conflicts / sat.restarts / sat.reduce_dbs.
+  {
+    cryo::sat::SolverConfig config;
+    config.restart_base = 10;
+    config.reduce_base = 50;
+    config.reduce_inc = 25;
+    cryo::sat::Solver solver{config};
+    const int holes = 6;
+    const int pigeons = 7;
+    std::vector<std::vector<cryo::sat::Var>> vars(
+        pigeons, std::vector<cryo::sat::Var>(holes));
+    for (auto& row : vars) {
+      for (auto& v : row) {
+        v = solver.new_var();
+      }
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<cryo::sat::Lit> clause;
+      for (int h = 0; h < holes; ++h) {
+        clause.push_back(cryo::sat::mk_lit(vars[p][h]));
+      }
+      solver.add_clause(std::move(clause));
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          solver.add_clause(cryo::sat::mk_lit(vars[p1][h], true),
+                            cryo::sat::mk_lit(vars[p2][h], true));
+        }
+      }
+    }
+    if (solver.solve() != cryo::sat::Status::kUnsat) {
+      std::abort();
+    }
+  }
+  {
+    const auto a = cryo::epfl::make_adder(12);
+    const auto b = cryo::opt::compress2rs(a);
+    if (!cryo::sat::check_equivalence(a, b).equivalent()) {
+      std::abort();
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--counters-only") == 0) {
+      run_counter_probes();
+      cryo::bench::write_bench_report("kernels");
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

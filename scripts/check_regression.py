@@ -5,8 +5,13 @@ Compares a freshly generated ``report.json`` (see ``util::obs``) against
 a checked-in baseline and fails when a quality figure drifts:
 
 * every ``experiment.<circuit>.<scenario>.*`` gauge in the baseline must
-  be present in the fresh report and agree within ``--rel-tol``
-  (delay / area / power / gate count — the normalized Fig. 3 figures);
+  be present in the fresh report and must not be *worse* than the
+  baseline by more than ``--rel-tol`` (delay / area / power / gate
+  count — the normalized Fig. 3 figures, all lower-is-better).
+  Improvements beyond the tolerance are reported as advisory notes (a
+  hint to refresh the baseline), not failures: the quality gate exists
+  to catch regressions, while bit-level reproducibility is the job of
+  the much tighter counter gate below;
 * total wall time (``meta.wall_s``) may grow by at most ``--wall-slack``
   x the baseline (a coarse guard against order-of-magnitude slowdowns).
   Baselines are typically recorded on a developer machine while CI runs
@@ -23,6 +28,20 @@ a checked-in baseline and fails when a quality figure drifts:
   A baseline-gated signoff run is expected to be clean: degradation means
   the quality figures were produced by a partially skipped flow, so the
   comparison is not measuring what the baseline measured.
+
+* with ``--counters-from``, deterministic work counters are gated
+  *symmetrically*: every counter present in the named baseline file
+  must agree with the fresh report within ``--counter-tol`` (default
+  0.5 %) in **both** directions. The counters
+  (``map.matches_tried``, ``map.candidate_cuts``, ``sat.conflicts``,
+  ...) count algorithmic work, not wall time, so on a pinned
+  single-thread cold-cache run they are exactly reproducible; any
+  drift — growth *or* shrinkage — means the algorithm changed and the
+  baseline must be re-frozen deliberately. Reads the fresh counters
+  from FRESH unless ``--counters-report`` points at a different report
+  (the canonical signoff report strips counters; point it at the full
+  ``BENCH_<name>.json``). Works standalone (no BASELINE/FRESH) or
+  combined with the baseline gate;
 
 * with ``--search-from``, a ``cryoeda --search`` report is gated: every
   circuit's searched best must be a clean (ok, non-degraded) trial whose
@@ -142,6 +161,60 @@ def rel_diff(baseline, fresh):
     return abs(fresh - baseline) / scale if scale > 0 else float("inf")
 
 
+def numeric_counters(report, path):
+    """The report's counter map restricted to numeric values."""
+    counters = report.get("counters", {})
+    if not isinstance(counters, dict):
+        fail_usage(f"{path}: 'counters' is {type(counters).__name__}, "
+                   "expected an object")
+    return {name: value for name, value in counters.items()
+            if not isinstance(value, bool)
+            and isinstance(value, (int, float))}
+
+
+def check_counters(baseline_path, fresh_report, fresh_path, counter_tol):
+    """Symmetric gate over deterministic work counters.
+
+    Every numeric counter in the baseline file must be present in the
+    fresh report and agree within ``counter_tol`` relative drift — in
+    both directions. A counter that *shrinks* fails just like one that
+    grows: these counters are exactly reproducible on a pinned run, so
+    any movement is an unreviewed algorithm change, and an "improvement"
+    that nobody froze into the baseline is indistinguishable from a
+    search-space loss.
+    """
+    base = load_report(baseline_path, "counter baseline")
+    base_counters = numeric_counters(base, baseline_path)
+    fresh_counters = numeric_counters(fresh_report, fresh_path)
+    if not base_counters:
+        fail_usage(f"counter baseline {baseline_path} has no numeric "
+                   "counters — nothing to gate on")
+
+    failures = []
+    worst = (0.0, None)
+    for name in sorted(base_counters):
+        baseline_value = base_counters[name]
+        if name not in fresh_counters:
+            failures.append(f"counter {name}: missing from {fresh_path}")
+            continue
+        fresh_value = fresh_counters[name]
+        drift = rel_diff(baseline_value, fresh_value)
+        if drift > worst[0]:
+            worst = (drift, name)
+        if drift > counter_tol:
+            direction = "grew" if fresh_value > baseline_value else "shrank"
+            failures.append(
+                f"counter {name}: {baseline_value:g} -> {fresh_value:g} "
+                f"({direction}; drift {drift * 100.0:.3f} % > tol "
+                f"{counter_tol * 100.0:.3f} %) — re-freeze the baseline "
+                "if this change is intentional")
+    if worst[1] is not None:
+        print(f"checked {len(base_counters)} counters from "
+              f"{baseline_path}; worst drift {worst[0] * 100.0:.3f} % "
+              f"({worst[1]})")
+    return failures
+
+
 def check_search_report(path, rel_tol):
     """Gate a ``cryoeda --search`` report: searched-best quality must be
     no worse than the Fig. 3 seed recipes.
@@ -233,6 +306,22 @@ def main():
              "(the signoff report excludes them; point this at the full "
              "BENCH_<name>.json)")
     parser.add_argument(
+        "--counters-from", metavar="PATH",
+        help="gate deterministic work counters against this baseline "
+             "report: every counter it lists must match the fresh "
+             "counters within --counter-tol in both directions (growth "
+             "and shrinkage both fail); usable alone or alongside "
+             "BASELINE FRESH")
+    parser.add_argument(
+        "--counters-report", metavar="PATH",
+        help="read the fresh side's counters from this report instead of "
+             "FRESH (the canonical signoff report strips counters; point "
+             "this at the full BENCH_<name>.json)")
+    parser.add_argument(
+        "--counter-tol", type=float, default=0.005,
+        help="max symmetric relative drift for gated counters "
+             "(default %(default)s)")
+    parser.add_argument(
         "--search-from", metavar="PATH",
         help="gate a 'cryoeda --search' report: every circuit's searched "
              "best must be a clean trial no worse (in power, within "
@@ -242,13 +331,27 @@ def main():
 
     if (args.baseline is None) != (args.fresh is None):
         fail_usage("give both BASELINE and FRESH, or neither "
-                   "(with --search-from)")
-    if args.baseline is None and not args.search_from:
+                   "(with --search-from / --counters-from)")
+    if args.baseline is None and not args.search_from \
+            and not args.counters_from:
         fail_usage("nothing to gate: give BASELINE FRESH, --search-from "
-                   "PATH, or both")
+                   "PATH, --counters-from PATH, or a combination")
+    if args.counters_from and args.baseline is None \
+            and not args.counters_report:
+        fail_usage("--counters-from without BASELINE FRESH needs "
+                   "--counters-report to name the fresh report")
 
     if args.baseline is None:
-        failures = check_search_report(args.search_from, args.rel_tol)
+        failures = []
+        if args.counters_from:
+            counters_source = load_report(args.counters_report,
+                                          "fresh counter report")
+            failures.extend(check_counters(
+                args.counters_from, counters_source, args.counters_report,
+                args.counter_tol))
+        if args.search_from:
+            failures.extend(
+                check_search_report(args.search_from, args.rel_tol))
         if failures:
             print(f"\nREGRESSION GATE FAILED ({len(failures)} issue(s)):",
                   file=sys.stderr)
@@ -284,6 +387,7 @@ def main():
             "nothing to gate on (stale baseline?)")
 
     worst = (0.0, None)
+    improvements = []
     for name in sorted(gated):
         baseline_value = gated[name]
         if name not in fresh_gauges:
@@ -295,10 +399,25 @@ def main():
         if drift > worst[0]:
             worst = (drift, name)
         if drift > args.rel_tol:
-            failures.append(
-                f"{name}: {baseline_value:.6g} -> {fresh_value:.6g} "
-                f"(drift {drift * 100.0:.2f} % > tol "
-                f"{args.rel_tol * 100.0:.2f} %)")
+            # Gated gauges are quality figures where lower is better;
+            # only movement *toward worse* fails. Large improvements are
+            # surfaced so the baseline gets re-frozen, keeping the gate
+            # tight around current behavior.
+            if fresh_value > baseline_value:
+                failures.append(
+                    f"{name}: {baseline_value:.6g} -> {fresh_value:.6g} "
+                    f"(worse by {drift * 100.0:.2f} % > tol "
+                    f"{args.rel_tol * 100.0:.2f} %)")
+            else:
+                improvements.append(
+                    f"{name}: {baseline_value:.6g} -> {fresh_value:.6g} "
+                    f"(better by {drift * 100.0:.2f} %)")
+    if improvements:
+        print(f"note: {len(improvements)} gauge(s) improved beyond "
+              f"{args.rel_tol * 100.0:.2f} % — consider refreshing the "
+              "baseline:")
+        for line in improvements:
+            print(f"  + {line}")
 
     new_keys = sorted(k for k in fresh_gauges
                       if k.startswith(args.prefix) and k not in base_gauges)
@@ -343,6 +462,17 @@ def main():
                 "gated quality figures come from a degraded flow")
     elif args.fail_on_degraded:
         print("degradation: none (clean flow)")
+
+    if args.counters_from:
+        counters_source = fresh
+        counters_source_path = args.fresh
+        if args.counters_report:
+            counters_source = load_report(args.counters_report,
+                                          "fresh counter report")
+            counters_source_path = args.counters_report
+        failures.extend(check_counters(
+            args.counters_from, counters_source, counters_source_path,
+            args.counter_tol))
 
     if args.search_from:
         failures.extend(check_search_report(args.search_from, args.rel_tol))

@@ -244,7 +244,10 @@ PassRegistry make_builtin_registry() {
     Pass pass;
     pass.name = "map";
     pass.help = "cryogenic-aware standard-cell technology mapping";
-    pass.args = {priority_arg()};
+    pass.args = {priority_arg(),
+                 uint_arg("-C", 1, 32, "priority cuts kept per node"),
+                 uint_arg("-M", 1, 16, "matches evaluated per cut"),
+                 uint_arg("-F", 0, 1, "cut order: 0 size-first, 1 area-flow")};
     pass.run = [](FlowState& s, const PassArgs& args) {
       if (s.matcher == nullptr) {
         throw RecipeError{
@@ -252,6 +255,11 @@ PassRegistry make_builtin_registry() {
       }
       map::TechMapOptions topt;
       topt.priority = args.get_priority("-p", s.options.priority);
+      topt.cuts_per_node = args.get_uint("-C", topt.cuts_per_node);
+      topt.matches_per_cut = args.get_uint("-M", topt.matches_per_cut);
+      topt.cut_order = args.get_uint("-F", 0) != 0
+                           ? logic::CutOrder::kAreaFlow
+                           : logic::CutOrder::kSizeFirst;
       topt.epsilon = s.options.epsilon;
       topt.input_activity = s.options.input_activity;
       topt.clock_estimate = s.options.clock_estimate;
@@ -493,6 +501,7 @@ util::Json pass_cache_inputs(std::uint64_t state_fp,
                              std::uint64_t library_fp,
                              const FlowOptions& options) {
   util::Json inputs = util::Json::object();
+  inputs["pass_key_version"] = util::Json{kPassCacheKeyVersion};
   inputs["state_fingerprint"] = util::Json{util::hex64(state_fp)};
   // Canonical print, so spelling variants share an entry. Flag defaults
   // baked into the pass lambdas (e.g. rewrite's k = 4) are not spelled

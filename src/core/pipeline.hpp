@@ -29,6 +29,15 @@ namespace cryo::core {
 /// through this machinery, the Fig. 3 experiment runs three recipe
 /// strings, and the `cryoeda` CLI driver accepts arbitrary `--script`s.
 
+/// Version of the *pass-cache key format*, mixed into every `core.pass`
+/// artifact-cache key (and into CI's `actions/cache` key). Bump it when
+/// the set of inputs serialized into `pass_cache_inputs` changes — a new
+/// flag, a new FlowOptions knob read by pass bodies — so old entries
+/// keyed under the previous input set cannot collide with new ones.
+/// Semantic changes to pass *bodies* with unchanged inputs are covered
+/// by `util::kCacheSchemaVersion` instead.
+inline constexpr int kPassCacheKeyVersion = 1;
+
 /// Recipe parse / validation failure. `what()` carries an actionable
 /// message with the offending segment, pass, and flag.
 class RecipeError : public std::runtime_error {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/obs.hpp"
+
 namespace cryo::logic {
 
 bool Cut::contains_all_of(const Cut& other) const {
@@ -47,8 +49,9 @@ std::uint64_t tt6_expand(std::uint64_t tt, const NodeIdx* sub_leaves,
   return out;
 }
 
-CutEnumerator::CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts)
-    : aig_{aig}, k_{k}, max_cuts_{max_cuts} {
+CutEnumerator::CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts,
+                             CutOrder order)
+    : aig_{aig}, k_{k}, max_cuts_{max_cuts}, order_{order} {
   if (k > Cut::kMaxLeaves || k < 2) {
     throw std::invalid_argument{"CutEnumerator: k must be in [2, 6]"};
   }
@@ -56,6 +59,17 @@ CutEnumerator::CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts)
 
 void CutEnumerator::run() {
   cuts_.assign(aig_.num_nodes(), {});
+  flow_.assign(aig_.num_nodes(), 0.0);
+  depth_.assign(aig_.num_nodes(), 0u);
+  refs_.assign(aig_.num_nodes(), 1.0);
+  {
+    const auto fanouts = aig_.fanout_counts();
+    for (NodeIdx v = 0; v < aig_.num_nodes(); ++v) {
+      refs_[v] = std::max<double>(1.0, fanouts[v]);
+    }
+  }
+  merged_tally_ = 0;
+  kept_tally_ = 0;
   // Constant node: single empty cut with constant-0 function.
   {
     Cut c;
@@ -75,6 +89,11 @@ void CutEnumerator::run() {
       merge_node(v);
     }
   }
+  // Flush the batched local tallies once per enumeration: hot-loop
+  // counters are far too frequent for per-event atomic updates.
+  namespace obs = util::obs;
+  obs::counter("cuts.merged_candidates").add(merged_tally_);
+  obs::counter("cuts.kept_cuts").add(kept_tally_);
 }
 
 bool CutEnumerator::merge_leaves(const Cut& a, const Cut& b, unsigned k,
@@ -119,7 +138,6 @@ void CutEnumerator::merge_node(NodeIdx v) {
   const auto& cuts0 = cuts_[lit_var(f0)];
   const auto& cuts1 = cuts_[lit_var(f1)];
 
-  std::vector<Cut>& out = cuts_[v];
   std::vector<Cut> candidates;
   candidates.reserve(cuts0.size() * cuts1.size());
 
@@ -143,22 +161,30 @@ void CutEnumerator::merge_node(NodeIdx v) {
       candidates.push_back(merged);
     }
   }
+  merged_tally_ += candidates.size();
 
-  // Dominance filtering: drop any cut that is a superset of another.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Cut& a, const Cut& b) { return a.size < b.size; });
-  for (const Cut& cand : candidates) {
-    bool dominated = false;
-    for (const Cut& kept : out) {
-      if (cand.contains_all_of(kept)) {
-        dominated = true;
-        break;
+  std::vector<Cut>& out = cuts_[v];
+  if (order_ == CutOrder::kSizeFirst) {
+    // Legacy dominance filtering: drop any cut that is a superset of
+    // another; smallest first, first-come within a size.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Cut& a, const Cut& b) { return a.size < b.size; });
+    for (const Cut& cand : candidates) {
+      bool dominated = false;
+      for (const Cut& kept : out) {
+        if (cand.contains_all_of(kept)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated && out.size() < max_cuts_) {
+        out.push_back(cand);
       }
     }
-    if (!dominated && out.size() < max_cuts_) {
-      out.push_back(cand);
-    }
+  } else {
+    merge_ranked(v, candidates);
   }
+  kept_tally_ += out.size();
 
   // Always include the trivial cut so the node itself stays mappable.
   Cut trivial;
@@ -167,6 +193,124 @@ void CutEnumerator::merge_node(NodeIdx v) {
   trivial.tt = 0x2;
   trivial.signature = 1ull << (v & 63u);
   out.push_back(trivial);
+}
+
+void CutEnumerator::merge_ranked(NodeIdx v, std::vector<Cut>& candidates) {
+  // A merged candidate with its priority rank: area flow first (the
+  // cost the mapper's own flow heuristic minimizes), then depth, then
+  // size. Only the best `max_cuts_` non-dominated candidates survive.
+  struct Ranked {
+    Cut cut;
+    double flow = 0.0;
+    unsigned depth = 0;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (const Cut& cut : candidates) {
+    Ranked r;
+    r.cut = cut;
+    r.flow = 1.0;
+    for (unsigned i = 0; i < cut.size; ++i) {
+      const NodeIdx leaf = cut.leaves[i];
+      r.flow += flow_[leaf] / refs_[leaf];
+      r.depth = std::max(r.depth, depth_[leaf] + 1u);
+    }
+    ranked.push_back(r);
+  }
+
+  // The structural fanin-pair cut (merge of the two trivial cuts, which
+  // are stored last, so it is the last candidate produced) is the
+  // mapper's universal fallback — any cell library with a 2-input
+  // AND-class cell can realize it. Keep it regardless of rank, like the
+  // trivial cut.
+  Cut fanin_pair;
+  bool have_fanin_pair = false;
+  if (!candidates.empty()) {
+    fanin_pair = candidates.back();
+    have_fanin_pair = true;
+  }
+
+  // Priority order: smallest cuts first (they are the structurally
+  // cheapest to realize), then area flow, then depth; leaf lists as the
+  // final tie-break keep the ranking independent of merge order.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.cut.size != b.cut.size) {
+                       return a.cut.size < b.cut.size;
+                     }
+                     if (a.flow != b.flow) {
+                       return a.flow < b.flow;
+                     }
+                     if (a.depth != b.depth) {
+                       return a.depth < b.depth;
+                     }
+                     return std::lexicographical_compare(
+                         a.cut.leaves.begin(),
+                         a.cut.leaves.begin() + a.cut.size,
+                         b.cut.leaves.begin(),
+                         b.cut.leaves.begin() + b.cut.size);
+                   });
+
+  // Keep the best non-dominated candidates, up to the bound. Dominance
+  // runs both ways: a cheap subset cut arriving later evicts the
+  // superset cuts it dominates.
+  std::vector<Cut>& out = cuts_[v];
+  for (const Ranked& cand : ranked) {
+    bool dominated = false;
+    for (const Cut& kept : out) {
+      if (cand.cut.contains_all_of(kept)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      continue;
+    }
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Cut& kept) {
+                               return kept.contains_all_of(cand.cut);
+                             }),
+              out.end());
+    if (out.size() < max_cuts_) {
+      out.push_back(cand.cut);
+    }
+  }
+  if (have_fanin_pair) {
+    const bool present = std::any_of(
+        out.begin(), out.end(), [&](const Cut& kept) {
+          return fanin_pair.contains_all_of(kept) ||
+                 (kept.size == fanin_pair.size &&
+                  std::equal(kept.leaves.begin(),
+                             kept.leaves.begin() + kept.size,
+                             fanin_pair.leaves.begin()));
+        });
+    if (!present) {
+      out.push_back(fanin_pair);
+    }
+  }
+
+  // The node's flow/depth estimate follows its best surviving cut.
+  if (!out.empty()) {
+    double best_flow = 0.0;
+    unsigned best_depth = 0;
+    bool first = true;
+    for (const Cut& c : out) {
+      double flow = 1.0;
+      unsigned depth = 0;
+      for (unsigned i = 0; i < c.size; ++i) {
+        flow += flow_[c.leaves[i]] / refs_[c.leaves[i]];
+        depth = std::max(depth, depth_[c.leaves[i]] + 1u);
+      }
+      if (first || flow < best_flow ||
+          (flow == best_flow && depth < best_depth)) {
+        first = false;
+        best_flow = flow;
+        best_depth = depth;
+      }
+    }
+    flow_[v] = best_flow;
+    depth_[v] = best_depth;
+  }
 }
 
 }  // namespace cryo::logic

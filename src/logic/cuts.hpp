@@ -23,12 +23,31 @@ struct Cut {
   bool contains_all_of(const Cut& other) const;
 };
 
+/// How CutEnumerator orders merged candidates before the bound applies.
+enum class CutOrder {
+  /// Legacy order: smallest cuts first, first-come within a size. Used
+  /// by the AIG optimization passes (rewrite, LUT covering), which want
+  /// maximum structural diversity among the survivors.
+  kSizeFirst,
+  /// Priority cuts: rank by area flow (leaf flows shared across
+  /// fanout), then depth, then size; dominated cuts are pruned in both
+  /// directions. Used by the standard-cell mapper, whose own cost
+  /// function the flow rank approximates.
+  kAreaFlow,
+};
+
 /// Per-node bounded cut sets ("priority cuts", Mishchenko et al.).
+///
+/// At most `max_cuts` non-dominated cuts survive per node, plus the
+/// trivial cut (and, under kAreaFlow, the structural fanin-pair cut).
+/// Work totals are flushed to the `cuts.merged_candidates` /
+/// `cuts.kept_cuts` counters per run.
 class CutEnumerator {
 public:
   /// k = max leaves per cut (<= 6), max_cuts = cuts stored per node
   /// (the trivial cut {v} is stored in addition).
-  CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts);
+  CutEnumerator(const Aig& aig, unsigned k, unsigned max_cuts,
+                CutOrder order = CutOrder::kSizeFirst);
 
   /// Enumerate cuts for all AND nodes (PIs get their trivial cut only).
   void run();
@@ -38,6 +57,7 @@ public:
 
 private:
   void merge_node(NodeIdx v);
+  void merge_ranked(NodeIdx v, std::vector<Cut>& candidates);
   static bool merge_leaves(const Cut& a, const Cut& b, unsigned k, Cut& out);
   std::uint64_t cut_function(const Cut& merged, const Cut& sub,
                              std::uint64_t sub_tt) const;
@@ -45,7 +65,16 @@ private:
   const Aig& aig_;
   unsigned k_;
   unsigned max_cuts_;
+  CutOrder order_;
   std::vector<std::vector<Cut>> cuts_;
+  /// Priority-rank state: per-node area flow / depth of the best cut,
+  /// and fanout reference counts for flow sharing.
+  std::vector<double> flow_;
+  std::vector<unsigned> depth_;
+  std::vector<double> refs_;
+  /// Batched counter tallies (flushed once per run()).
+  std::uint64_t merged_tally_ = 0;
+  std::uint64_t kept_tally_ = 0;
 };
 
 /// Expand a truth table over `sub_leaves` (subset, sorted) to one over

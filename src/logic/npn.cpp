@@ -1,0 +1,219 @@
+#include "logic/npn.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace cryo::logic {
+
+std::uint64_t npn_apply(std::uint64_t tt, unsigned n, const NpnTransform& t) {
+  std::uint64_t out = 0;
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    unsigned z = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const unsigned x = (m >> t.perm[i]) & 1u;
+      z |= (x ^ ((t.input_phase >> i) & 1u)) << i;
+    }
+    bool bit = tt6_bit(tt, z);
+    if (t.out_negate) {
+      bit = !bit;
+    }
+    if (bit) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+NpnTransform npn_compose(const NpnTransform& a, const NpnTransform& b,
+                         unsigned n) {
+  // (a ∘ b) f: f's input i reads (through b) var b.perm[i] of the
+  // intermediate, which (through a) reads var a.perm[b.perm[i]] of the
+  // final domain, with the phases accumulating along the way.
+  NpnTransform c;
+  for (unsigned i = 0; i < n; ++i) {
+    c.perm[i] = a.perm[b.perm[i]];
+    const unsigned phase =
+        ((b.input_phase >> i) & 1u) ^ ((a.input_phase >> b.perm[i]) & 1u);
+    c.input_phase |= phase << i;
+  }
+  c.out_negate = a.out_negate != b.out_negate;
+  return c;
+}
+
+NpnTransform npn_inverse(const NpnTransform& t, unsigned n) {
+  NpnTransform inv;
+  for (unsigned i = 0; i < n; ++i) {
+    inv.perm[t.perm[i]] = static_cast<std::uint8_t>(i);
+  }
+  for (unsigned j = 0; j < n; ++j) {
+    inv.input_phase |= ((t.input_phase >> inv.perm[j]) & 1u) << j;
+  }
+  inv.out_negate = t.out_negate;
+  return inv;
+}
+
+namespace {
+
+/// Variable classification for one output-phase candidate: the phase
+/// flip chosen by the cofactor-weight rule, whether the rule left the
+/// phase ambiguous (equal weights), and the sort key.
+struct VarKey {
+  unsigned var = 0;
+  unsigned weight = 0;      ///< positive-cofactor weight after phase fix
+  unsigned other = 0;       ///< negative-cofactor weight after phase fix
+  bool phase = false;       ///< flip chosen by the weight rule
+  bool phase_ambiguous = false;
+};
+
+/// Enumeration state shared by the residual-orbit walk.
+struct Best {
+  std::uint64_t tt = ~0ull;
+  NpnTransform transform;
+  bool valid = false;
+};
+
+void consider(std::uint64_t tt, unsigned n, const NpnTransform& cand,
+              Best& best) {
+  const std::uint64_t value = npn_apply(tt, n, cand);
+  if (!best.valid || value < best.tt) {
+    best.valid = true;
+    best.tt = value;
+    best.transform = cand;
+  }
+}
+
+/// Walk every assignment of ambiguous phases and every permutation of
+/// tied sort groups; `keys` is already sorted by (weight, other).
+void enumerate_residual(std::uint64_t tt, unsigned n, bool out_negate,
+                        std::vector<VarKey>& keys, Best& best) {
+  // Permutations within tied groups: std::next_permutation over the
+  // whole key vector, constrained to stay sorted, walks exactly the
+  // product of per-group permutations.
+  const auto tied = [](const VarKey& a, const VarKey& b) {
+    return a.weight == b.weight && a.other == b.other;
+  };
+  std::vector<unsigned> ambiguous;
+  for (unsigned j = 0; j < n; ++j) {
+    if (keys[j].phase_ambiguous) {
+      ambiguous.push_back(j);
+    }
+  }
+  // Sort group boundaries for the constrained permutation walk.
+  std::vector<unsigned> order(n);
+  for (unsigned j = 0; j < n; ++j) {
+    order[j] = j;
+  }
+  const auto emit = [&]() {
+    for (std::uint32_t amb = 0; amb < (1u << ambiguous.size()); ++amb) {
+      NpnTransform cand;
+      cand.out_negate = out_negate;
+      cand.input_phase = 0;
+      for (unsigned j = 0; j < n; ++j) {
+        const VarKey& key = keys[order[j]];
+        // Original variable key.var lands at canonical position j:
+        // f's input key.var reads canonical var j.
+        cand.perm[key.var] = static_cast<std::uint8_t>(j);
+        bool phase = key.phase;
+        for (std::size_t a = 0; a < ambiguous.size(); ++a) {
+          if (ambiguous[a] == order[j] && ((amb >> a) & 1u)) {
+            phase = !phase;
+          }
+        }
+        if (phase) {
+          cand.input_phase |= 1u << key.var;
+        }
+      }
+      consider(tt, n, cand, best);
+    }
+  };
+
+  // Walk permutations of `order` that keep tied groups contiguous: for
+  // each group, permute its members. Recursive product of group perms.
+  std::vector<std::pair<unsigned, unsigned>> groups;  // [begin, end)
+  unsigned begin = 0;
+  for (unsigned j = 1; j <= n; ++j) {
+    if (j == n || !tied(keys[j - 1], keys[j])) {
+      groups.push_back({begin, j});
+      begin = j;
+    }
+  }
+  const std::size_t num_groups = groups.size();
+  // Iterative odometer over per-group permutations.
+  std::vector<std::vector<unsigned>> group_orders(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (unsigned j = groups[g].first; j < groups[g].second; ++j) {
+      group_orders[g].push_back(j);
+    }
+  }
+  for (;;) {
+    unsigned pos = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      for (const unsigned j : group_orders[g]) {
+        order[pos++] = j;
+      }
+    }
+    emit();
+    // Advance: next_permutation on the last group that still has one.
+    std::size_t g = num_groups;
+    while (g-- > 0) {
+      if (std::next_permutation(group_orders[g].begin(),
+                                group_orders[g].end())) {
+        break;
+      }
+      // Wrapped: reset (next_permutation leaves it sorted) and carry on.
+      if (g == 0) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+NpnCanon npn_canonicalize(std::uint64_t tt, unsigned n) {
+  if (n > 6) {
+    throw std::invalid_argument{"npn_canonicalize: at most 6 variables"};
+  }
+  const std::uint64_t mask = tt6_mask(n);
+  tt &= mask;
+  if (n == 0) {
+    NpnCanon canon;
+    canon.signature = 0;
+    canon.transform.out_negate = (tt & 1ull) != 0;
+    return canon;
+  }
+
+  Best best;
+  for (const bool out_negate : {false, true}) {
+    const std::uint64_t g = out_negate ? (~tt & mask) : tt;
+    const unsigned total = static_cast<unsigned>(std::popcount(g));
+    std::vector<VarKey> keys(n);
+    for (unsigned v = 0; v < n; ++v) {
+      const unsigned w1 =
+          static_cast<unsigned>(std::popcount(g & kVarTt6[v] & mask));
+      const unsigned w0 = total - w1;
+      VarKey& key = keys[v];
+      key.var = v;
+      // Phase rule: make the positive-cofactor weight the smaller one;
+      // equal weights leave the phase ambiguous.
+      key.phase = w1 > w0;
+      key.phase_ambiguous = w1 == w0;
+      key.weight = std::min(w1, w0);
+      key.other = std::max(w1, w0);
+    }
+    std::stable_sort(keys.begin(), keys.end(),
+                     [](const VarKey& a, const VarKey& b) {
+                       return a.weight != b.weight ? a.weight < b.weight
+                                                   : a.other < b.other;
+                     });
+    enumerate_residual(tt, n, out_negate, keys, best);
+  }
+
+  NpnCanon canon;
+  canon.signature = best.tt;
+  canon.transform = best.transform;
+  return canon;
+}
+
+}  // namespace cryo::logic

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "logic/tt.hpp"
+
+namespace cryo::logic {
+
+/// NPN canonicalization of packed (<= 6 variable) truth tables.
+///
+/// Two functions are NPN-equivalent when one can be obtained from the
+/// other by permuting inputs, complementing inputs, and/or complementing
+/// the output. `npn_canonicalize` maps every member of an NPN class to
+/// the same representative table (the class *signature*) and returns the
+/// transform that achieves it, so cut-to-cell matching reduces to one
+/// hash lookup of the signature plus a transform composition — instead
+/// of expanding the full n!·2^(n+1) orbit of every library cell.
+///
+/// The procedure is semi-canonical in spirit (cheap cofactor-weight
+/// normalization prunes almost the whole orbit) but exact in result:
+/// the small residual ambiguity left by weight ties is enumerated and
+/// resolved by lexicographic minimum, so the signature is a *complete*
+/// NPN invariant — equal signatures iff NPN-equivalent (verified
+/// exhaustively over all 2^16 4-input functions in test_npn.cpp).
+
+/// An NPN transform in the `tt6_transform` convention:
+/// (T f)(x) = f(u) ^ out_negate, where f's input i reads
+/// u_i = x[perm[i]] ^ ((input_phase >> i) & 1).
+struct NpnTransform {
+  std::array<std::uint8_t, 6> perm{{0, 1, 2, 3, 4, 5}};
+  unsigned input_phase = 0;
+  bool out_negate = false;
+
+  bool operator==(const NpnTransform& o) const {
+    return perm == o.perm && input_phase == o.input_phase &&
+           out_negate == o.out_negate;
+  }
+};
+
+/// Result of canonicalizing one function.
+struct NpnCanon {
+  std::uint64_t signature = 0;  ///< canonical representative table
+  NpnTransform transform;       ///< signature == npn_apply(tt, n, transform)
+};
+
+/// Apply a transform (array-based twin of `tt6_transform`; no
+/// allocation, hot-path safe).
+std::uint64_t npn_apply(std::uint64_t tt, unsigned n, const NpnTransform& t);
+
+/// Compose: npn_apply(f, n, compose(a, b)) == npn_apply(npn_apply(f, n, b),
+/// n, a) — apply `b` first, then `a`.
+NpnTransform npn_compose(const NpnTransform& a, const NpnTransform& b,
+                         unsigned n);
+
+/// Inverse: npn_apply(npn_apply(f, n, t), n, npn_inverse(t, n)) == f.
+NpnTransform npn_inverse(const NpnTransform& t, unsigned n);
+
+/// Canonicalize a function over exactly n variables (n <= 6). The
+/// signature is invariant over the whole NPN class; the transform maps
+/// the input table onto the signature.
+NpnCanon npn_canonicalize(std::uint64_t tt, unsigned n);
+
+/// Signature only (convenience for hashing / tests).
+inline std::uint64_t npn_signature(std::uint64_t tt, unsigned n) {
+  return npn_canonicalize(tt, n).signature;
+}
+
+}  // namespace cryo::logic

@@ -1,12 +1,14 @@
 #include "map/mapper.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "logic/cuts.hpp"
+#include "logic/npn.hpp"
 #include "logic/simulate.hpp"
 #include "util/budget.hpp"
 #include "util/obs.hpp"
@@ -45,6 +47,34 @@ CellFigures figures_of(const liberty::Cell& cell, double slew, double load) {
   return f;
 }
 
+/// One candidate cell binding of one cut, with the round-independent
+/// part of its cost precomputed. The leaf-flow part (which changes with
+/// the reference counts every refinement round) is added on top.
+struct MatchCand {
+  Match match;
+  Cost static_cost;
+};
+
+/// A deduplicated, support-minimized, match-bearing cut of one node.
+struct CutCand {
+  Cut cut;
+  std::vector<MatchCand> matches;  ///< dominance-pruned, sorted, capped
+};
+
+/// Cost components in priority order, for capping an oversized match
+/// frontier at the statically cheapest candidates.
+std::array<double Cost::*, 3> priority_members(opt::CostPriority priority) {
+  switch (priority) {
+    case opt::CostPriority::kBaselinePowerAware:
+      return {&Cost::area, &Cost::delay, &Cost::power};
+    case opt::CostPriority::kPowerAreaDelay:
+      return {&Cost::power, &Cost::area, &Cost::delay};
+    case opt::CostPriority::kPowerDelayArea:
+      return {&Cost::power, &Cost::delay, &Cost::area};
+  }
+  return {&Cost::area, &Cost::delay, &Cost::power};
+}
+
 /// A selected implementation of one AIG node.
 struct Selection {
   Cut cut;                      ///< the chosen cut (support-minimized)
@@ -64,7 +94,9 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
       options.budget != nullptr ? *options.budget : util::Budget::global();
   budget.check_cancelled("map.tech_map");
   std::uint64_t matches_tried = 0;  // flushed to obs after the rounds
-  logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node};
+  std::uint64_t canon_lookups = 0;
+  logic::CutEnumerator cuts{aig, options.k, options.cuts_per_node,
+                            options.cut_order};
   cuts.run();
 
   const liberty::Cell* inv = matcher.inverter();
@@ -132,6 +164,155 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
     }
   }
 
+  // ---------------------------------------------- match precompute ----
+  // Everything that does not depend on the refinement round is hoisted
+  // out of the rounds: support minimization, cut deduplication, NPN
+  // canonicalization (memoized per truth table), the class lookup, and
+  // the round-independent ("static") part of each match's cost. The
+  // activity vector is fixed, so cell figures, phase-fixup inverters and
+  // the pin-capacitance power term are all static; only the leaf flow
+  // terms change between rounds.
+  const unsigned matches_per_cut = std::max(1u, options.matches_per_cut);
+  const auto members = priority_members(options.priority);
+  std::uint64_t static_evals = 0;
+  std::array<std::unordered_map<std::uint64_t, logic::NpnCanon>, 7>
+      canon_cache;
+  std::vector<std::vector<CutCand>> node_cands(aig.num_nodes());
+  for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) {
+      continue;
+    }
+    if ((v & 0x3FFu) == 0) {
+      budget.check_cancelled("map.tech_map");
+    }
+    std::vector<CutCand>& cands = node_cands[v];
+    for (const Cut& c : candidates[v]) {
+      // Support-minimize the cut function before matching.
+      std::vector<unsigned> support;
+      const std::uint64_t stt = logic::tt6_shrink(c.tt, c.size, support);
+      Cut mc;  // minimized cut
+      mc.size = static_cast<std::uint8_t>(support.size());
+      for (unsigned i = 0; i < support.size(); ++i) {
+        mc.leaves[i] = c.leaves[support[i]];
+      }
+      mc.tt = stt;
+      if (mc.size == 1 && mc.leaves[0] == v) {
+        continue;  // trivial self-cut
+      }
+      if (mc.size == 0) {
+        continue;  // constant node functions are handled at the POs
+      }
+      // Minimization collapses distinct raw cuts onto the same
+      // (function, leaves) pair; evaluate each only once.
+      const auto duplicate = [&](const CutCand& cc) {
+        return cc.cut.tt == mc.tt && cc.cut.size == mc.size &&
+               std::equal(cc.cut.leaves.begin(),
+                          cc.cut.leaves.begin() + mc.size, mc.leaves.begin());
+      };
+      if (std::any_of(cands.begin(), cands.end(), duplicate)) {
+        continue;
+      }
+      ++canon_lookups;
+      auto& cache = canon_cache[mc.size];
+      auto canon_it = cache.find(stt);
+      if (canon_it == cache.end()) {
+        canon_it =
+            cache.emplace(stt, logic::npn_canonicalize(stt, mc.size)).first;
+      }
+      const logic::NpnCanon& canon = canon_it->second;
+      const auto* bindings = matcher.find_class(canon.signature, mc.size);
+      if (bindings == nullptr) {
+        continue;
+      }
+      CutCand cc;
+      cc.cut = mc;
+      for (const CellBinding& binding : *bindings) {
+        ++static_evals;
+        MatchCand mcand;
+        mcand.match = CellMatcher::bind(binding, canon.transform, mc.size);
+        const Match& m = mcand.match;
+        const CellFigures& fig = figures(m.cell);
+        Cost cost;
+        const unsigned extra_invs =
+            static_cast<unsigned>(std::popcount(m.input_phase)) +
+            (m.out_invert ? 1u : 0u);
+        cost.area = fig.area + extra_invs * inv_fig.area;
+        // Power cost = internal energy at the output toggle rate
+        //            + leakage converted to per-cycle energy
+        //            + switched capacitance presented to the leaf nets
+        //              (the term a power-aware mapper actually controls).
+        cost.power =
+            activity[v] * (fig.energy + extra_invs * inv_fig.energy) +
+            (fig.leakage + extra_invs * inv_fig.leakage) *
+                options.clock_estimate;
+        for (unsigned i = 0; i < m.perm.size(); ++i) {
+          const NodeIdx leaf = mc.leaves[m.perm[i]];
+          double cap = fig.pin_caps.size() > i ? fig.pin_caps[i] : 0.0;
+          if ((m.input_phase >> i) & 1u) {
+            cap += inv_fig.pin_caps.empty() ? 0.0 : inv_fig.pin_caps[0];
+          }
+          cost.power += 0.5 * vdd_sq * cap * activity[leaf];
+        }
+        cost.delay = fig.delay + (m.out_invert ? inv_fig.delay : 0.0);
+        mcand.static_cost = cost;
+        cc.matches.push_back(std::move(mcand));
+      }
+      // The leaf-flow part of the cost is identical for every match of
+      // the same cut, so a match that is no better than an earlier one
+      // on any component can never be selected over it (costs are
+      // nonnegative and `opt::better` must find a strictly better
+      // level): prune it. Bucket order is library cell order — the same
+      // evaluation order the pre-canonicalization matcher produced — so
+      // epsilon tie-breaks in the rounds are preserved exactly.
+      std::vector<MatchCand> kept;
+      for (MatchCand& mcand : cc.matches) {
+        const bool dominated = std::any_of(
+            kept.begin(), kept.end(), [&](const MatchCand& k) {
+              return k.static_cost.power <= mcand.static_cost.power &&
+                     k.static_cost.area <= mcand.static_cost.area &&
+                     k.static_cost.delay <= mcand.static_cost.delay;
+            });
+        if (!dominated) {
+          kept.push_back(std::move(mcand));
+        }
+      }
+      // When the frontier exceeds the bound, keep the statically
+      // cheapest matches under the active priority — then restore
+      // library order among the survivors so tie-breaks stay put.
+      if (kept.size() > matches_per_cut) {
+        std::vector<std::size_t> idx(kept.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          idx[i] = i;
+        }
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           for (const auto member : members) {
+                             const double ka = kept[a].static_cost.*member;
+                             const double kb = kept[b].static_cost.*member;
+                             if (ka != kb) {
+                               return ka < kb;
+                             }
+                           }
+                           return false;
+                         });
+        idx.resize(matches_per_cut);
+        std::sort(idx.begin(), idx.end());
+        std::vector<MatchCand> capped;
+        capped.reserve(idx.size());
+        for (const std::size_t i : idx) {
+          capped.push_back(std::move(kept[i]));
+        }
+        kept = std::move(capped);
+      }
+      cc.matches = std::move(kept);
+      cands.push_back(std::move(cc));
+    }
+    if (cands.empty()) {
+      throw std::runtime_error{
+          "tech_map: no match for node (library too small?)"};
+    }
+  }
+
   std::vector<Selection> best(aig.num_nodes());
   std::vector<double> refs(aig.num_nodes(), 1.0);
   {
@@ -154,64 +335,29 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
       bool have = false;
       Cost best_cost;
       Selection sel;
-      for (const Cut& c : candidates[v]) {
-        // Support-minimize the cut function before matching.
-        std::vector<unsigned> support;
-        const std::uint64_t stt = logic::tt6_shrink(c.tt, c.size, support);
-        Cut mc;  // minimized cut
-        mc.size = static_cast<std::uint8_t>(support.size());
-        for (unsigned i = 0; i < support.size(); ++i) {
-          mc.leaves[i] = c.leaves[support[i]];
+      for (const CutCand& cc : node_cands[v]) {
+        // Leaf-flow terms: shared by every match of this cut.
+        double flow_area = 0.0;
+        double flow_power = 0.0;
+        double worst_arrival = 0.0;
+        for (unsigned i = 0; i < cc.cut.size; ++i) {
+          const NodeIdx leaf = cc.cut.leaves[i];
+          flow_area += best[leaf].flow.area / refs[leaf];
+          flow_power += best[leaf].flow.power / refs[leaf];
+          worst_arrival = std::max(worst_arrival, best[leaf].flow.delay);
         }
-        mc.tt = stt;
-        if (mc.size == 1 && mc.leaves[0] == v) {
-          continue;  // trivial self-cut
-        }
-        if (mc.size == 0) {
-          continue;  // constant node functions are handled at the POs
-        }
-        const auto* matches = matcher.find(stt, mc.size);
-        if (matches == nullptr) {
-          continue;
-        }
-        for (const Match& m : *matches) {
+        for (const MatchCand& mcand : cc.matches) {
           ++matches_tried;
-          const CellFigures& fig = figures(m.cell);
-          Cost cost;
-          const unsigned extra_invs =
-              static_cast<unsigned>(std::popcount(m.input_phase)) +
-              (m.out_invert ? 1u : 0u);
-          cost.area = fig.area + extra_invs * inv_fig.area;
-          // Power cost = internal energy at the output toggle rate
-          //            + leakage converted to per-cycle energy
-          //            + switched capacitance presented to the leaf nets
-          //              (the term a power-aware mapper actually controls).
-          cost.power = activity[v] * (fig.energy + extra_invs * inv_fig.energy) +
-                       (fig.leakage + extra_invs * inv_fig.leakage) *
-                           options.clock_estimate;
-          for (unsigned i = 0; i < m.perm.size(); ++i) {
-            const NodeIdx leaf = mc.leaves[m.perm[i]];
-            double cap = fig.pin_caps.size() > i ? fig.pin_caps[i] : 0.0;
-            if ((m.input_phase >> i) & 1u) {
-              cap += inv_fig.pin_caps.empty() ? 0.0 : inv_fig.pin_caps[0];
-            }
-            cost.power += 0.5 * vdd_sq * cap * activity[leaf];
-          }
-          cost.delay = fig.delay + (m.out_invert ? inv_fig.delay : 0.0);
-          double worst_arrival = 0.0;
-          for (unsigned i = 0; i < mc.size; ++i) {
-            const NodeIdx leaf = mc.leaves[i];
-            cost.area += best[leaf].flow.area / refs[leaf];
-            cost.power += best[leaf].flow.power / refs[leaf];
-            worst_arrival = std::max(worst_arrival, best[leaf].flow.delay);
-          }
+          Cost cost = mcand.static_cost;
+          cost.area += flow_area;
+          cost.power += flow_power;
           cost.delay += worst_arrival;
           if (!have || opt::better(cost, best_cost, options.priority,
                                    options.epsilon)) {
             have = true;
             best_cost = cost;
-            sel.cut = mc;
-            sel.match = &m;
+            sel.cut = cc.cut;
+            sel.match = &mcand.match;
             sel.flow = cost;
           }
         }
@@ -253,14 +399,20 @@ Netlist tech_map(const Aig& aig, const CellMatcher& matcher,
 
   // Mapper statistics: candidate-cut pressure and the shape of the final
   // cover (cut sizes correlate directly with area/power quality).
+  // `map.candidate_cuts` counts deduplicated, match-bearing cuts that
+  // enter the evaluation loop; `map.matches_tried` counts static cost
+  // evaluations (once per cut x match) plus per-round evaluations of
+  // the pruned survivors.
   {
     std::uint64_t candidate_cuts = 0;
     for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
-      candidate_cuts += candidates[v].size();
+      candidate_cuts += node_cands[v].size();
     }
     obs::counter("map.runs").add();
     obs::counter("map.candidate_cuts").add(candidate_cuts);
     obs::counter("map.matches_tried").add(matches_tried);
+    obs::counter("map.match_static_evals").add(static_evals);
+    obs::counter("map.canon_lookups").add(canon_lookups);
     static obs::Histogram& cut_sizes = obs::histogram("map.chosen_cut_size");
     for (NodeIdx v = 1; v < aig.num_nodes(); ++v) {
       if (in_cover[v]) {

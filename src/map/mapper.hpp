@@ -1,6 +1,7 @@
 #pragma once
 
 #include "logic/aig.hpp"
+#include "logic/cuts.hpp"
 #include "map/matcher.hpp"
 #include "map/netlist.hpp"
 #include "opt/cost.hpp"
@@ -17,7 +18,12 @@ struct TechMapOptions {
   opt::CostPriority priority = opt::CostPriority::kBaselinePowerAware;
   double epsilon = 0.02;          ///< cost tie-break threshold
   unsigned k = 5;                 ///< max cut inputs (= max cell inputs)
-  unsigned cuts_per_node = 8;
+  unsigned cuts_per_node = 8;     ///< priority-cut bound C (recipe flag -C)
+  unsigned matches_per_cut = 2;   ///< surviving matches per cut (flag -M)
+  /// Candidate ordering inside the bounded cut sets. kSizeFirst keeps
+  /// the mapper's cut selection bit-compatible with earlier releases;
+  /// kAreaFlow ranks by area flow for deeper area recovery (flag -F).
+  logic::CutOrder cut_order = logic::CutOrder::kSizeFirst;
   unsigned rounds = 3;            ///< refinement rounds
   double input_activity = 0.2;    ///< PI toggle rate for the power cost
   double nominal_slew = 10e-12;   ///< corner for cost-model lookups

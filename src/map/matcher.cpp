@@ -1,7 +1,6 @@
 #include "map/matcher.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 #include "liberty/function.hpp"
 #include "logic/tt.hpp"
@@ -49,42 +48,63 @@ CellMatcher::CellMatcher(const liberty::Library& library, unsigned max_inputs,
       }
     }
 
-    std::vector<unsigned> perm(n);
-    std::iota(perm.begin(), perm.end(), 0u);
-    do {
-      for (unsigned phase = 0; phase < (1u << n); ++phase) {
-        for (const bool out_inv : {false, true}) {
-          const std::uint64_t g =
-              logic::tt6_transform(f, n, perm, phase, out_inv);
-          auto& bucket = tables_[n][g];
-          if (bucket.size() >= max_matches_per_key) {
-            continue;
-          }
-          // One match per cell per key is enough (symmetries create
-          // duplicates).
-          if (std::any_of(bucket.begin(), bucket.end(),
-                          [&](const Match& m) { return m.cell == &cell; })) {
-            continue;
-          }
-          Match m;
-          m.cell = &cell;
-          m.perm = perm;
-          m.input_phase = phase;
-          m.out_invert = out_inv;
-          bucket.push_back(std::move(m));
-        }
-      }
-    } while (std::next_permutation(perm.begin(), perm.end()));
+    const logic::NpnCanon canon = logic::npn_canonicalize(f, n);
+    auto& bucket = tables_[n][canon.signature];
+    if (bucket.size() >= max_matches_per_key) {
+      continue;
+    }
+    // One binding per cell per class (cell symmetries add nothing: the
+    // composed match differs only in equivalent pin assignments).
+    if (std::any_of(bucket.begin(), bucket.end(), [&](const CellBinding& b) {
+          return b.cell == &cell;
+        })) {
+      continue;
+    }
+    CellBinding binding;
+    binding.cell = &cell;
+    binding.to_canon = canon.transform;
+    bucket.push_back(binding);
   }
 }
 
-const std::vector<Match>* CellMatcher::find(std::uint64_t tt,
-                                            unsigned n) const {
+const std::vector<CellBinding>* CellMatcher::find_class(
+    std::uint64_t signature, unsigned n) const {
   if (n >= tables_.size()) {
     return nullptr;
   }
-  const auto it = tables_[n].find(tt);
+  const auto it = tables_[n].find(signature);
   return it == tables_[n].end() ? nullptr : &it->second;
+}
+
+Match CellMatcher::bind(const CellBinding& binding,
+                        const logic::NpnTransform& cut_transform, unsigned n) {
+  // cut_tt --cut_transform--> signature <--to_canon-- f_cell, so
+  // cut_tt = npn_apply(f_cell, n, cut_transform⁻¹ ∘ to_canon).
+  const logic::NpnTransform m = logic::npn_compose(
+      logic::npn_inverse(cut_transform, n), binding.to_canon, n);
+  Match match;
+  match.cell = binding.cell;
+  match.perm.assign(m.perm.begin(), m.perm.begin() + n);
+  match.input_phase = m.input_phase & ((1u << n) - 1u);
+  match.out_invert = m.out_negate;
+  return match;
+}
+
+std::vector<Match> CellMatcher::matches(std::uint64_t tt, unsigned n) const {
+  std::vector<Match> out;
+  if (n >= tables_.size()) {
+    return out;
+  }
+  const logic::NpnCanon canon = logic::npn_canonicalize(tt, n);
+  const auto* bindings = find_class(canon.signature, n);
+  if (bindings == nullptr) {
+    return out;
+  }
+  out.reserve(bindings->size());
+  for (const CellBinding& binding : *bindings) {
+    out.push_back(bind(binding, canon.transform, n));
+  }
+  return out;
 }
 
 }  // namespace cryo::map

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "liberty/library.hpp"
+#include "logic/npn.hpp"
 
 namespace cryo::map {
 
@@ -17,21 +18,48 @@ struct Match {
   bool out_invert = false;     ///< cell output must be inverted
 };
 
+/// A library cell together with the transform that maps its function onto
+/// its NPN class signature: signature == npn_apply(f_cell, n, to_canon).
+struct CellBinding {
+  const liberty::Cell* cell = nullptr;
+  logic::NpnTransform to_canon;
+};
+
 /// Cut-function to standard-cell matcher.
 ///
 /// At construction, every combinational library cell's function is
-/// expanded under all input permutations, input phases, and output
-/// phases (full NPN orbit); the resulting truth tables are hashed. A cut
-/// is then matched by a single hash lookup of its (support-minimized)
-/// truth table — no per-cut canonicalization needed.
+/// NPN-canonicalized once and hashed by its class signature — one table
+/// entry per cell per class, instead of expanding the full n!·2^(n+1)
+/// orbit of every cell. A cut is matched by canonicalizing its
+/// (support-minimized) truth table, looking up the signature, and
+/// composing the cut-side and cell-side transforms into a concrete
+/// pin binding (`bind`). Only canonically-possible matches are ever
+/// visited; functions outside the cell's NPN class can no longer reach
+/// its bucket.
 class CellMatcher {
 public:
   explicit CellMatcher(const liberty::Library& library,
                        unsigned max_inputs = 5,
                        unsigned max_matches_per_key = 12);
 
-  /// Matches for a function over exactly `n` (support) variables.
-  const std::vector<Match>* find(std::uint64_t tt, unsigned n) const;
+  /// Bindings for the NPN class with the given canonical signature over
+  /// exactly `n` (support) variables; nullptr when no cell realizes the
+  /// class. The caller canonicalizes the cut function (and may memoize
+  /// that canonicalization — see `tech_map`).
+  const std::vector<CellBinding>* find_class(std::uint64_t signature,
+                                             unsigned n) const;
+
+  /// Compose a binding with the cut-side transform (`cut_transform`
+  /// maps the cut function onto the same signature) into a concrete
+  /// match: cut_tt == npn_apply(f_cell, n, M) with
+  /// M = cut_transform⁻¹ ∘ binding.to_canon.
+  static Match bind(const CellBinding& binding,
+                    const logic::NpnTransform& cut_transform, unsigned n);
+
+  /// Convenience (tests, one-off callers): canonicalize + look up +
+  /// bind in one step. The mapper hot path uses find_class/bind with a
+  /// memoized canonicalization instead.
+  std::vector<Match> matches(std::uint64_t tt, unsigned n) const;
 
   /// Cheapest inverter / buffer in the library.
   const liberty::Cell* inverter() const { return inverter_; }
@@ -51,9 +79,10 @@ private:
   const liberty::Library* library_;
   unsigned max_inputs_ = 5;
   unsigned max_matches_per_key_ = 12;
-  /// One exact-match table per input count (0..6) — no canonicalization,
-  /// no collisions.
-  std::array<std::unordered_map<std::uint64_t, std::vector<Match>>, 7> tables_;
+  /// One class table per input count (0..6), keyed by canonical
+  /// signature. Every entry in a bucket is NPN-equivalent to the key.
+  std::array<std::unordered_map<std::uint64_t, std::vector<CellBinding>>, 7>
+      tables_;
   const liberty::Cell* inverter_ = nullptr;
   const liberty::Cell* buffer_ = nullptr;
   const liberty::Cell* tiehi_ = nullptr;

@@ -9,7 +9,10 @@
 
 namespace cryo::sat {
 
-Solver::Solver() = default;
+Solver::Solver() : Solver(SolverConfig{}) {}
+
+Solver::Solver(const SolverConfig& config)
+    : config_{config}, reduce_threshold_{config.reduce_base} {}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
@@ -270,21 +273,44 @@ Lit Solver::pick_branch() {
   return mk_lit(best, polarity_[best] == kFalse);
 }
 
-void Solver::reduce_learnts() {
-  if (learnt_indices_.size() < 20000) {
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  lbd_levels_.clear();
+  for (const Lit l : lits) {
+    lbd_levels_.push_back(level_[lit_var(l)]);
+  }
+  std::sort(lbd_levels_.begin(), lbd_levels_.end());
+  lbd_levels_.erase(std::unique(lbd_levels_.begin(), lbd_levels_.end()),
+                    lbd_levels_.end());
+  return static_cast<std::uint32_t>(lbd_levels_.size());
+}
+
+void Solver::reduce_learnts(SolveStats& st) {
+  if (learnt_indices_.size() < reduce_threshold_) {
     return;
   }
-  // Drop the lower-activity half of the learnt clauses. Watches are
-  // rebuilt wholesale, which is simple and still cheap at this cadence.
+  ++st.reduce_dbs;
+  reduce_threshold_ += config_.reduce_inc;
+  // Keep the more valuable half: low LBD first, then high activity.
+  // "Glue" clauses (LBD <= glue_lbd) and clauses currently locked as a
+  // propagation reason are never dropped regardless of rank. Watches
+  // are rebuilt wholesale, which is simple and still cheap at this
+  // cadence.
   std::sort(learnt_indices_.begin(), learnt_indices_.end(),
             [&](std::int32_t a, std::int32_t b) {
+              if (clauses_[a].lbd != clauses_[b].lbd) {
+                return clauses_[a].lbd < clauses_[b].lbd;
+              }
               return clauses_[a].activity > clauses_[b].activity;
             });
-  std::vector<std::int32_t> locked;
+  std::vector<std::int32_t> kept;
   const std::size_t target = learnt_indices_.size() / 2;
   std::vector<bool> drop(clauses_.size(), false);
-  for (std::size_t i = target; i < learnt_indices_.size(); ++i) {
+  for (std::size_t i = 0; i < learnt_indices_.size(); ++i) {
     const std::int32_t ci = learnt_indices_[i];
+    if (i < target || clauses_[ci].lbd <= config_.glue_lbd) {
+      kept.push_back(ci);
+      continue;
+    }
     bool is_locked = false;
     for (const Lit l : clauses_[ci].lits) {
       if (reason_[lit_var(l)] == ci) {
@@ -293,14 +319,14 @@ void Solver::reduce_learnts() {
       }
     }
     if (is_locked) {
-      locked.push_back(ci);
+      kept.push_back(ci);
     } else {
       drop[ci] = true;
       clauses_[ci].lits.clear();
+      ++st.learnts_dropped;
     }
   }
-  learnt_indices_.resize(target);
-  learnt_indices_.insert(learnt_indices_.end(), locked.begin(), locked.end());
+  learnt_indices_ = std::move(kept);
   for (auto& ws : watches_) {
     std::size_t keep = 0;
     for (const Watcher& w : ws) {
@@ -357,10 +383,15 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       static obs::Counter& results_unsat = obs::counter("sat.results_unsat");
       static obs::Counter& results_unknown =
           obs::counter("sat.results_unknown");
+      static obs::Counter& reduce_dbs = obs::counter("sat.reduce_dbs");
+      static obs::Counter& learnts_dropped =
+          obs::counter("sat.learnts_dropped");
       calls.add();
       conflicts.add(static_cast<std::uint64_t>(out.conflicts));
       decision_count.add(out.decisions);
       restart_count.add(out.restarts);
+      reduce_dbs.add(out.reduce_dbs);
+      learnts_dropped.add(out.learnts_dropped);
       (out.status == Status::kSat     ? results_sat
        : out.status == Status::kUnsat ? results_unsat
                                       : results_unknown)
@@ -390,7 +421,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
 
   std::int64_t conflicts_this_call = 0;
   std::int64_t restart_count = 0;
-  std::int64_t restart_budget = 100 * luby(restart_count);
+  std::int64_t restart_budget = config_.restart_base * luby(restart_count);
   std::int64_t conflicts_since_restart = 0;
   std::vector<Lit> learnt;
 
@@ -414,7 +445,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
         enqueue(learnt[0], -1);
       } else {
         const auto ci = static_cast<std::int32_t>(clauses_.size());
-        clauses_.push_back({learnt, true, 0.0});
+        clauses_.push_back({learnt, true, 0.0, compute_lbd(learnt)});
         learnt_indices_.push_back(ci);
         attach(ci);
         bump_clause(clauses_[ci]);
@@ -442,9 +473,9 @@ Status Solver::solve(const std::vector<Lit>& assumptions,
       if (conflicts_since_restart >= restart_budget) {
         conflicts_since_restart = 0;
         ++st.restarts;
-        restart_budget = 100 * luby(++restart_count);
+        restart_budget = config_.restart_base * luby(++restart_count);
         backtrack(0);
-        reduce_learnts();
+        reduce_learnts(st);
       }
       continue;
     }

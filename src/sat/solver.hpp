@@ -22,6 +22,23 @@ inline constexpr Lit lit_neg(Lit l) { return l ^ 1; }
 
 enum class Status { kSat, kUnsat, kUnknown };
 
+/// Search-control knobs. The defaults reproduce the tuned production
+/// behavior; tests shrink them to exercise restarts and clause-database
+/// reduction on small instances.
+struct SolverConfig {
+  /// Luby restart unit: restart after `restart_base * luby(i)` conflicts.
+  std::int64_t restart_base = 100;
+  /// First clause-database reduction fires once this many learnt
+  /// clauses are live...
+  std::size_t reduce_base = 8000;
+  /// ...and each reduction raises the threshold by this much, so the
+  /// database is allowed to grow slowly as the search matures.
+  std::size_t reduce_inc = 2000;
+  /// "Glue" clauses (LBD <= glue_lbd) are never dropped: clauses that
+  /// connect few decision levels are the ones rediscovered most often.
+  std::uint32_t glue_lbd = 2;
+};
+
 /// Outcome record of the most recent `Solver::solve` call, including
 /// *why* a call came back kUnknown: its own per-call `conflict_limit`
 /// (`hit_conflict_limit`) versus the shared `util::Budget` running out
@@ -31,6 +48,8 @@ struct SolveStats {
   std::int64_t conflicts = 0;  ///< conflicts spent by this call
   std::uint64_t decisions = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t reduce_dbs = 0;       ///< clause-database reductions
+  std::uint64_t learnts_dropped = 0;  ///< learnt clauses discarded
   Status status = Status::kUnknown;
   bool hit_conflict_limit = false;
   bool budget_exhausted = false;
@@ -44,6 +63,7 @@ struct SolveStats {
 class Solver {
 public:
   Solver();
+  explicit Solver(const SolverConfig& config);
 
   Var new_var();
   int num_vars() const { return static_cast<int>(assigns_.size()); }
@@ -88,6 +108,9 @@ private:
     std::vector<Lit> lits;
     bool learnt = false;
     double activity = 0.0;
+    /// Literal block distance: distinct decision levels in the clause
+    /// at learning time. Low LBD = high reuse value (Audemard/Simon).
+    std::uint32_t lbd = 0;
   };
 
   struct Watcher {
@@ -110,7 +133,8 @@ private:
   void decay_var_activity() { var_inc_ /= 0.95; }
   void bump_clause(Clause& c);
   void attach(std::int32_t ci);
-  void reduce_learnts();
+  std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+  void reduce_learnts(SolveStats& st);
   static std::int64_t luby(std::int64_t i);
 
   std::vector<Clause> clauses_;
@@ -126,14 +150,19 @@ private:
   std::size_t qhead_ = 0;
   double var_inc_ = 1.0;
   double cla_inc_ = 1.0;
+  SolverConfig config_;
+  /// Adaptive reduction threshold: starts at config_.reduce_base and
+  /// grows by config_.reduce_inc after each reduction.
+  std::size_t reduce_threshold_ = 0;
   bool ok_ = true;
   std::int64_t conflicts_total_ = 0;
   std::vector<std::int32_t> learnt_indices_;
   SolveStats last_stats_;
   util::Budget* budget_ = nullptr;
 
-  // scratch for analyze()
+  // scratch for analyze() / compute_lbd()
   std::vector<std::int8_t> seen_;
+  std::vector<std::int32_t> lbd_levels_;
 };
 
 }  // namespace cryo::sat

@@ -133,7 +133,7 @@ SweepResult sat_sweep(const Aig& input, const SweepOptions& options) {
   };
 
   // --- rebuild with merging --------------------------------------------
-  Solver solver;
+  Solver solver{options.solver};
   util::Budget& budget =
       options.budget != nullptr ? *options.budget : util::Budget::global();
   solver.set_budget(&budget);

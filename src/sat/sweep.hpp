@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "logic/aig.hpp"
+#include "sat/solver.hpp"
 
 namespace cryo::util {
 class Budget;
@@ -15,6 +16,9 @@ struct SweepOptions {
   unsigned sim_words = 8;            ///< initial random simulation words
   std::int64_t conflict_limit = 500; ///< per-pair SAT budget
   std::uint64_t seed = 5;
+  /// Search-control knobs of the incremental proof solver (restart
+  /// cadence, clause-database reduction schedule).
+  SolverConfig solver;
   /// Shared resource budget; nullptr means `util::Budget::global()`.
   /// When exhausted, the sweep degrades: remaining candidate pairs stay
   /// unmerged (counted in `unresolved`) but the result is still a valid,

@@ -18,7 +18,7 @@ namespace cryo::util {
 /// serialized inputs: entries are addressed purely by their inputs, so a
 /// semantic change with the same inputs would otherwise replay stale
 /// results forever. CI mixes this constant into its cache key as well.
-inline constexpr int kCacheSchemaVersion = 1;
+inline constexpr int kCacheSchemaVersion = 2;
 
 /// Persistent, content-addressed, on-disk artifact cache.
 ///

@@ -2,7 +2,9 @@
 
 #include "cells/characterize.hpp"
 #include "epfl/benchmarks.hpp"
+#include "liberty/function.hpp"
 #include "logic/simulate.hpp"
+#include "logic/tt.hpp"
 #include "map/mapper.hpp"
 #include "sat/sweep.hpp"
 #include "util/rng.hpp"
@@ -39,24 +41,71 @@ CellMatcher* MapTest::matcher_ = nullptr;
 
 TEST_F(MapTest, MatcherFindsBasicFunctions) {
   // AND2 (tt 0x8 over 2 vars) must be implementable.
-  const auto* and_matches = matcher_->find(0x8, 2);
-  ASSERT_NE(and_matches, nullptr);
-  EXPECT_FALSE(and_matches->empty());
+  EXPECT_FALSE(matcher_->matches(0x8, 2).empty());
   // NAND2 directly.
-  ASSERT_NE(matcher_->find(0x7, 2), nullptr);
+  EXPECT_FALSE(matcher_->matches(0x7, 2).empty());
   // XOR2.
-  ASSERT_NE(matcher_->find(0x6, 2), nullptr);
+  EXPECT_FALSE(matcher_->matches(0x6, 2).empty());
   // MUX (tt 0xCA over (A,B,S)).
-  ASSERT_NE(matcher_->find(0xCA, 3), nullptr);
+  EXPECT_FALSE(matcher_->matches(0xCA, 3).empty());
   EXPECT_NE(matcher_->inverter(), nullptr);
   EXPECT_NE(matcher_->buffer(), nullptr);
 }
 
 TEST_F(MapTest, MatcherHandlesPermutedAndPhasedVariants) {
   // !(A) & B (tt over (A,B): minterm A=0,B=1 -> bit 2): 0x4.
-  const auto* matches = matcher_->find(0x4, 2);
-  ASSERT_NE(matches, nullptr);  // NAND/NOR/AOI with phases can realize it
-  EXPECT_FALSE(matches->empty());
+  // NAND/NOR/AOI with phases can realize it.
+  EXPECT_FALSE(matcher_->matches(0x4, 2).empty());
+}
+
+TEST_F(MapTest, MatcherBindingsRealizeTheTargetFunction) {
+  // Every match returned for a function must, when the cell's own truth
+  // table is transformed through the match's pin binding, reproduce the
+  // target exactly — this exercises the canonicalize + compose path end
+  // to end against the library.
+  cryo::util::Rng rng{91};
+  unsigned matched = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(3));
+    const std::uint64_t tt = rng.next_u64() & cryo::logic::tt6_mask(n);
+    for (const Match& m : matcher_->matches(tt, n)) {
+      ++matched;
+      const auto inputs = m.cell->input_names();
+      ASSERT_EQ(inputs.size(), n);
+      const std::uint64_t f =
+          cryo::liberty::function_truth_table(m.cell->output_pin()->function,
+                                              inputs);
+      EXPECT_EQ(cryo::logic::tt6_transform(f, n, m.perm, m.input_phase,
+                                           m.out_invert),
+                tt)
+          << "cell " << m.cell->name << " tt 0x" << std::hex << tt;
+    }
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+TEST_F(MapTest, MatcherAgreesAcrossNpnOrbit) {
+  // NPN-equivalent functions must see the same match count (the class
+  // table is keyed by the invariant signature).
+  cryo::util::Rng rng{93};
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(3));
+    const std::uint64_t tt = rng.next_u64() & cryo::logic::tt6_mask(n);
+    std::vector<unsigned> perm(n);
+    for (unsigned i = 0; i < n; ++i) {
+      perm[i] = i;
+    }
+    for (unsigned i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+    const unsigned phase =
+        static_cast<unsigned>(rng.next_u64()) & ((1u << n) - 1u);
+    const bool out = rng.next_bool();
+    const std::uint64_t other =
+        cryo::logic::tt6_transform(tt, n, perm, phase, out);
+    EXPECT_EQ(matcher_->matches(tt, n).size(),
+              matcher_->matches(other, n).size());
+  }
 }
 
 Aig random_aig(std::uint64_t seed, int pis, int nodes, int pos) {

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/npn.hpp"
+#include "logic/tt.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cryo::logic;
+
+std::vector<unsigned> perm_vec(const NpnTransform& t, unsigned n) {
+  std::vector<unsigned> p(n);
+  for (unsigned i = 0; i < n; ++i) {
+    p[i] = t.perm[i];
+  }
+  return p;
+}
+
+NpnTransform random_transform(cryo::util::Rng& rng, unsigned n) {
+  NpnTransform t;
+  for (unsigned i = 0; i < n; ++i) {
+    t.perm[i] = static_cast<std::uint8_t>(i);
+  }
+  // Fisher-Yates over the first n entries.
+  for (unsigned i = n; i > 1; --i) {
+    const unsigned j = static_cast<unsigned>(rng.next_u64() % i);
+    std::swap(t.perm[i - 1], t.perm[j]);
+  }
+  t.input_phase = static_cast<unsigned>(rng.next_u64()) & ((1u << n) - 1u);
+  t.out_negate = (rng.next_u64() & 1u) != 0;
+  return t;
+}
+
+TEST(Npn, ApplyMatchesTt6Transform) {
+  cryo::util::Rng rng{7};
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t tt = rng.next_u64() & tt6_mask(n);
+      const NpnTransform t = random_transform(rng, n);
+      EXPECT_EQ(npn_apply(tt, n, t),
+                tt6_transform(tt, n, perm_vec(t, n), t.input_phase,
+                              t.out_negate));
+    }
+  }
+}
+
+TEST(Npn, ComposeAndInverseRoundTrip) {
+  cryo::util::Rng rng{11};
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t tt = rng.next_u64() & tt6_mask(n);
+      const NpnTransform a = random_transform(rng, n);
+      const NpnTransform b = random_transform(rng, n);
+      EXPECT_EQ(npn_apply(npn_apply(tt, n, b), n, a),
+                npn_apply(tt, n, npn_compose(a, b, n)));
+      const NpnTransform inv = npn_inverse(a, n);
+      EXPECT_EQ(npn_apply(npn_apply(tt, n, a), n, inv), tt);
+      EXPECT_EQ(npn_apply(npn_apply(tt, n, inv), n, a), tt);
+    }
+  }
+}
+
+TEST(Npn, TransformAchievesSignature) {
+  cryo::util::Rng rng{13};
+  for (unsigned n = 0; n <= 6; ++n) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::uint64_t tt = rng.next_u64() & tt6_mask(n);
+      const NpnCanon canon = npn_canonicalize(tt, n);
+      EXPECT_EQ(npn_apply(tt, n, canon.transform), canon.signature);
+    }
+  }
+}
+
+TEST(Npn, SignatureInvariantUnderRandomTransforms) {
+  cryo::util::Rng rng{17};
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const std::uint64_t tt = rng.next_u64() & tt6_mask(n);
+      const std::uint64_t sig = npn_signature(tt, n);
+      const NpnTransform t = random_transform(rng, n);
+      EXPECT_EQ(npn_signature(npn_apply(tt, n, t), n), sig);
+    }
+  }
+}
+
+// The headline guarantee, proved exhaustively for every 4-input
+// function: the signature is invariant under input permutation and
+// input/output negation, and two functions share a signature iff they
+// are NPN-equivalent — exactly the condition under which the old
+// full-orbit matcher considered them matchable against the same cell.
+TEST(Npn, ExhaustiveFourInputClasses) {
+  constexpr unsigned kN = 4;
+  constexpr std::uint32_t kCount = 1u << (1u << kN);  // 65536 tables
+  std::vector<std::int32_t> orbit(kCount, -1);
+
+  // Generators of the NPN group acting on tables: adjacent input swaps,
+  // single input flips, output flip.
+  std::vector<NpnTransform> generators;
+  for (unsigned v = 0; v + 1 < kN; ++v) {
+    NpnTransform t;
+    std::swap(t.perm[v], t.perm[v + 1]);
+    generators.push_back(t);
+  }
+  for (unsigned v = 0; v < kN; ++v) {
+    NpnTransform t;
+    t.input_phase = 1u << v;
+    generators.push_back(t);
+  }
+  {
+    NpnTransform t;
+    t.out_negate = true;
+    generators.push_back(t);
+  }
+
+  // Flood-fill the orbits (classes) with BFS over the generators.
+  std::int32_t num_classes = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t seed = 0; seed < kCount; ++seed) {
+    if (orbit[seed] >= 0) {
+      continue;
+    }
+    const std::int32_t cls = num_classes++;
+    orbit[seed] = cls;
+    stack.assign(1, seed);
+    while (!stack.empty()) {
+      const std::uint32_t tt = stack.back();
+      stack.pop_back();
+      for (const NpnTransform& g : generators) {
+        const auto next =
+            static_cast<std::uint32_t>(npn_apply(tt, kN, g));
+        if (orbit[next] < 0) {
+          orbit[next] = cls;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  // 4-input NPN class count is a known constant.
+  EXPECT_EQ(num_classes, 222);
+
+  // Invariance: every member of a class has the class's signature.
+  // Completeness: no two classes share a signature.
+  std::vector<std::uint64_t> class_signature(num_classes, ~0ull);
+  std::vector<std::uint32_t> class_witness(num_classes, 0);
+  std::unordered_map<std::uint64_t, std::int32_t> signature_owner;
+  for (std::uint32_t tt = 0; tt < kCount; ++tt) {
+    const std::int32_t cls = orbit[tt];
+    const std::uint64_t sig = npn_signature(tt, kN);
+    if (class_signature[cls] == ~0ull) {
+      class_signature[cls] = sig;
+      class_witness[cls] = tt;
+      const auto [it, inserted] = signature_owner.emplace(sig, cls);
+      ASSERT_TRUE(inserted)
+          << "signature 0x" << std::hex << sig << " is shared by class of 0x"
+          << class_witness[it->second] << " and class of 0x" << tt
+          << " — functions the old matcher would NOT have matched";
+    } else {
+      ASSERT_EQ(class_signature[cls], sig)
+          << "signature not invariant: 0x" << std::hex << tt << " vs class "
+          << "witness 0x" << class_witness[cls];
+    }
+    // The signature is itself a member of the class (it is reached by a
+    // concrete transform), so matchability is preserved in both
+    // directions.
+    ASSERT_EQ(orbit[static_cast<std::uint32_t>(sig)], cls);
+  }
+}
+
+}  // namespace
