@@ -7,6 +7,8 @@
 //
 //   cryoeda input.aig --script "c2rs; dch; if -K 6 -p pad; mfs; strash; map -p pad"
 //   cryoeda --bench dec4 --temp 10 --priority pda --out dec4.v --report run.json
+//   cryoeda serve --threads 4            # resident NDJSON daemon
+//   cryoeda cec before.aig after.aig     # SAT equivalence check
 //   cryoeda --list-passes
 //
 // Exit codes: 0 success, 1 internal failure, 2 usage / recipe error,
@@ -16,15 +18,20 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "cells/characterize.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "core/search.hpp"
 #include "epfl/benchmarks.hpp"
 #include "logic/aiger.hpp"
 #include "map/verilog.hpp"
+#include "sat/cnf.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sta/sta.hpp"
 #include "util/budget.hpp"
 #include "util/error.hpp"
@@ -36,6 +43,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: cryoeda [input.aig|aag] [options]\n"
+    "       cryoeda serve [--threads N] [--lib-dir D] [--socket PATH]\n"
+    "       cryoeda cec A.aig B.aig [--conflict-limit N]\n"
     "\n"
     "input: an AIGER file, or --bench NAME for a built-in benchmark\n"
     "       (EPFL-style generators: adder, bar, ..., voter; mini-suite\n"
@@ -46,6 +55,7 @@ constexpr const char* kUsage =
     "                     the chosen --priority; see --list-passes)\n"
     "  --priority P       baseline | pad | pda       (default pda)\n"
     "  --temp K           corner temperature          (default 10)\n"
+    "  --vdd V            corner supply voltage       (default 0.7)\n"
     "  --lut-k N          k of the LUT stage, 2..16   (default 6)\n"
     "  --epsilon E        cost tie-break threshold    (default 0.02)\n"
     "  --activity A       PI toggle rate, (0,1]       (default 0.2)\n"
@@ -76,7 +86,15 @@ constexpr const char* kUsage =
     "  --lib PATH         liberty cache path (default\n"
     "                     cryoeda_out/cryoeda_lib_<T>K.lib)\n"
     "  --out PATH         write the mapped netlist as structural Verilog\n"
+    "  --pre-aig PATH     write the input AIG (binary AIGER) before any\n"
+    "                     pass runs (for external equivalence checks)\n"
+    "  --out-aig PATH     write the optimized AIG (binary AIGER) after\n"
+    "                     the recipe's AIG stages\n"
     "  --report PATH      write the observability run report (JSON)\n"
+    "  --job-report PATH  write the deterministic per-job report\n"
+    "                     (schema cryoeda-job-v1; byte-identical to the\n"
+    "                     'report' field a `cryoeda serve` daemon replies\n"
+    "                     with for the same job)\n"
     "  --quiet            suppress progress chatter\n"
     "  --list-passes      print the pass registry and exit\n"
     "  -h, --help         this text\n"
@@ -97,7 +115,11 @@ struct Args {
   std::string lib_path;
   std::string out_path;
   std::string report_path;
+  std::string job_report_path;
+  std::string pre_aig_path;
+  std::string out_aig_path;
   double temperature = 10.0;
+  double vdd = 0.7;
   bool quiet = false;
   core::FlowOptions flow;
   std::size_t search_variants = 0;  ///< 0 = normal single-recipe mode
@@ -144,20 +166,13 @@ void list_passes() {
 }
 
 logic::Aig resolve_benchmark(const std::string& name) {
-  for (auto* suite_fn : {epfl::mini_suite, epfl::epfl_suite}) {
-    for (auto& benchmark : suite_fn()) {
-      if (benchmark.name == name) {
-        logic::Aig aig = std::move(benchmark.aig);
-        aig.set_name(name);
-        return aig;
-      }
-    }
+  logic::Aig aig;
+  if (epfl::find_benchmark(name, aig)) {
+    return aig;
   }
   std::string known;
-  for (auto* suite_fn : {epfl::mini_suite, epfl::epfl_suite}) {
-    for (const auto& benchmark : suite_fn()) {
-      known += (known.empty() ? "" : ", ") + benchmark.name;
-    }
+  for (const std::string& candidate : epfl::benchmark_names()) {
+    known += (known.empty() ? "" : ", ") + candidate;
   }
   usage_error("unknown benchmark '" + name + "' (known: " + known + ")");
 }
@@ -187,6 +202,11 @@ Args parse_args(int argc, char** argv) {
       args.temperature = parse_double(arg, next());
       if (!(args.temperature > 0.0)) {
         usage_error("--temp must be a positive temperature in kelvin");
+      }
+    } else if (arg == "--vdd") {
+      args.vdd = parse_double(arg, next());
+      if (!(args.vdd > 0.0)) {
+        usage_error("--vdd must be a positive supply in volts");
       }
     } else if (arg == "--lut-k") {
       args.flow.lut_k = static_cast<unsigned>(parse_uint(arg, next()));
@@ -236,6 +256,12 @@ Args parse_args(int argc, char** argv) {
       args.out_path = next();
     } else if (arg == "--report") {
       args.report_path = next();
+    } else if (arg == "--job-report") {
+      args.job_report_path = next();
+    } else if (arg == "--pre-aig") {
+      args.pre_aig_path = next();
+    } else if (arg == "--out-aig") {
+      args.out_aig_path = next();
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (arg == "--list-passes") {
@@ -265,9 +291,110 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+// `cryoeda serve`: run the resident NDJSON daemon over stdin/stdout or
+// an AF_UNIX socket. Per-job failures are structured error replies; the
+// session exit code is 0 unless the daemon itself cannot run.
+int run_serve(int argc, char** argv) {
+  service::ServeOptions options;
+  std::string socket_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage_error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = static_cast<int>(parse_uint(arg, next()));
+    } else if (arg == "--lib-dir") {
+      options.lib_dir = next();
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else {
+      usage_error("unknown serve option '" + arg + "'");
+    }
+  }
+  try {
+    service::Server server{std::move(options)};
+    if (!socket_path.empty()) {
+      std::fprintf(stderr, "cryoeda: serving on %s\n", socket_path.c_str());
+      return server.serve_unix(socket_path);
+    }
+    return server.serve(std::cin, std::cout);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return error_exit_code(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 1;
+  }
+}
+
+// `cryoeda cec A B`: SAT equivalence check of two AIGER files.
+// Exit codes: 0 equivalent, 1 NOT equivalent, 4 unknown (conflict limit
+// hit), 2 usage / interface mismatch, 3 I/O failure.
+int run_cec(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::int64_t conflict_limit = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--conflict-limit") {
+      if (i + 1 >= argc) {
+        usage_error("missing value for " + arg);
+      }
+      conflict_limit = static_cast<std::int64_t>(parse_uint(arg, argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown cec option '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage_error("cec needs exactly two AIGER files");
+  }
+  try {
+    const logic::Aig a = logic::read_aiger_file(paths[0]);
+    const logic::Aig b = logic::read_aiger_file(paths[1]);
+    const sat::CecResult result =
+        sat::check_equivalence(a, b, conflict_limit);
+    if (result.equivalent()) {
+      std::printf("EQUIVALENT: %s == %s\n", paths[0].c_str(),
+                  paths[1].c_str());
+      return 0;
+    }
+    if (!result.proven()) {
+      std::printf("UNKNOWN: conflict limit %lld hit before a proof\n",
+                  static_cast<long long>(conflict_limit));
+      return 4;
+    }
+    std::string cex;
+    for (const bool bit : result.counterexample) {
+      cex += bit ? '1' : '0';
+    }
+    std::printf("NOT EQUIVALENT: distinguishing input %s\n", cex.c_str());
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return error_exit_code(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string{argv[1]} == "serve") {
+    return run_serve(argc, argv);
+  }
+  if (argc >= 2 && std::string{argv[1]} == "cec") {
+    return run_cec(argc, argv);
+  }
   const Args args = parse_args(argc, argv);
 
   // Compile the recipe first: a typo should fail before we spend
@@ -298,22 +425,66 @@ int main(int argc, char** argv) {
       std::printf("recipe : %s\n", pipeline.to_string().c_str());
     }
 
+    if (!args.pre_aig_path.empty()) {
+      logic::write_aiger_file(design, args.pre_aig_path);
+      if (!args.quiet) {
+        std::printf("input AIG written to %s\n", args.pre_aig_path.c_str());
+      }
+    }
+
     std::string lib_path = args.lib_path;
     if (lib_path.empty()) {
-      lib_path = "cryoeda_out/cryoeda_lib_" +
-                 std::to_string(static_cast<int>(args.temperature)) + "K.lib";
+      // Shared with the `cryoeda serve` daemon, so both resolve a corner
+      // to the same characterized-library bytes.
+      lib_path = service::default_lib_path("cryoeda_out", args.temperature,
+                                           args.vdd);
     }
     if (!args.quiet) {
-      std::printf("library: %s @ %g K\n", lib_path.c_str(), args.temperature);
+      std::printf("library: %s @ %g K, %g V\n", lib_path.c_str(),
+                  args.temperature, args.vdd);
     }
     const auto lib_dir = std::filesystem::path{lib_path}.parent_path();
     if (!lib_dir.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(lib_dir, ec);
     }
+    cells::CharOptions char_options;
+    char_options.vdd = args.vdd;
     const auto library = cells::load_or_characterize(
-        lib_path, cells::standard_catalog(), args.temperature);
+        lib_path, cells::standard_catalog(), args.temperature, char_options);
     const map::CellMatcher matcher{library};
+
+    // The deterministic per-job report goes through the same
+    // `core::run_scenario` entry point the daemon uses, so the two are
+    // byte-identical for the same job (the scenario cache serves the
+    // figures; the pipeline run below reuses the warm pass cache).
+    if (args.job_report_path.empty() == false && args.search_variants == 0) {
+      core::ExperimentOptions experiment;
+      experiment.flow = args.flow;
+      const core::ScenarioSpec spec{opt::short_name(args.flow.priority),
+                                    args.flow.priority, script};
+      const core::ScenarioResult scenario =
+          core::run_scenario(design, matcher, experiment, spec);
+      const util::Json job_report = service::job_report_json(
+          design, args.temperature, args.vdd, pipeline.to_string(), scenario);
+      const auto report_dir =
+          std::filesystem::path{args.job_report_path}.parent_path();
+      if (!report_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(report_dir, ec);
+      }
+      std::ofstream job_out{args.job_report_path};
+      if (!job_out) {
+        throw Error{ErrorKind::kIo, "cannot open job report path '" +
+                                        args.job_report_path +
+                                        "' for writing"};
+      }
+      job_out << job_report.dump() << '\n';
+      if (!args.quiet) {
+        std::printf("job report written to %s\n",
+                    args.job_report_path.c_str());
+      }
+    }
 
     if (args.search_variants > 0) {
       core::SearchOptions search;
@@ -392,6 +563,11 @@ int main(int argc, char** argv) {
       std::printf("  (recipe has no 'map' pass — no netlist/signoff)\n");
     }
 
+    if (!args.out_aig_path.empty()) {
+      logic::write_aiger_file(state.aig, args.out_aig_path);
+      std::printf("  optimized AIG written to %s\n",
+                  args.out_aig_path.c_str());
+    }
     if (!args.out_path.empty()) {
       if (!state.has_netlist) {
         std::fprintf(stderr,

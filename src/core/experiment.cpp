@@ -170,19 +170,41 @@ void renormalize(ScenarioResult& s, double analysis_clock,
 ScenarioResult run_scenario(const logic::Aig& aig,
                             const map::CellMatcher& matcher,
                             const ExperimentOptions& options,
-                            const ScenarioSpec& spec, util::Budget* budget) {
+                            const ScenarioSpec& spec, util::Budget* budget,
+                            const PassRegistry* registry) {
   const obs::ScopedSpan span{std::string{"core.scenario:"} + aig.name() + ":" +
                              spec.name};
   // A cached scenario would otherwise return before reaching any pass
-  // boundary, so honor cancellation here too.
-  util::Budget::global().check_cancelled("core.scenario");
+  // boundary, so honor cancellation here too — on *this* scenario's
+  // budget, not the global one (service jobs each carry their own).
+  util::Budget& active = budget ? *budget : util::Budget::global();
+  active.check_cancelled("core.scenario");
   util::faultinject::maybe_fail("core.scenario", ErrorKind::kInternal);
   // Cache under the canonical (parsed-and-printed) recipe, so spelling
   // variants of the same pipeline share an entry.
-  const std::string canonical = Pipeline::parse(spec.recipe).to_string();
+  const Pipeline pipeline = Pipeline::parse(
+      spec.recipe, registry ? *registry : PassRegistry::global());
+  const std::string canonical = pipeline.to_string();
+  // A recipe that touches any pass outside the builtin registry (a
+  // service plugin, flagged `cacheable = false`) must bypass the
+  // scenario cache: the entry would be keyed on the pass *name* while
+  // the body lives only in one daemon. Builtin passes resolved through a
+  // *copy* of the registry share the builtin bodies, so they stay
+  // cacheable.
+  bool builtin_only = true;
+  for (const PassInvocation& invocation : pipeline.sequence()) {
+    if (!invocation.pass->cacheable ||
+        PassRegistry::global().find(invocation.pass->name) == nullptr) {
+      builtin_only = false;
+      break;
+    }
+  }
+  if (!builtin_only) {
+    obs::counter("cache.plugin_skips").add();
+  }
   auto& cache = util::ArtifactCache::global();
   std::string cache_key;
-  if (cache.enabled()) {
+  if (cache.enabled() && builtin_only) {
     cache_key = util::ArtifactCache::key(
         kScenarioStage,
         scenario_cache_inputs(aig, matcher, options, canonical));
@@ -195,8 +217,8 @@ ScenarioResult run_scenario(const logic::Aig& aig,
     }
   }
   obs::counter("core.scenarios_run").add();
-  const FlowResult result =
-      synthesize_with_recipe(aig, matcher, options.flow, spec.recipe, budget);
+  const FlowResult result = synthesize_with_recipe(
+      aig, matcher, options.flow, spec.recipe, budget, registry);
   const sta::StaResult signoff = sta::analyze(result.netlist, options.sta);
   ScenarioResult out;
   out.scenario = spec.name;
@@ -211,7 +233,7 @@ ScenarioResult run_scenario(const logic::Aig& aig,
   // Never cache a degraded run: the key covers inputs only (not the
   // budget state), so a budget-starved result would later be served to
   // unbudgeted runs as the authoritative figures for this scenario.
-  if (cache.enabled() && !result.degraded) {
+  if (cache.enabled() && builtin_only && !result.degraded) {
     cache.store(kScenarioStage, cache_key, scenario_to_json(out));
   } else if (result.degraded) {
     obs::counter("cache.degraded_skips").add();

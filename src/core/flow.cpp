@@ -87,9 +87,13 @@ FlowResult synthesize_with_recipe(const logic::Aig& input,
                                   const map::CellMatcher& matcher,
                                   const FlowOptions& options,
                                   std::string_view recipe,
-                                  util::Budget* budget) {
+                                  util::Budget* budget,
+                                  const PassRegistry* registry) {
   validate(options);
-  return run_recipe(input, matcher, options, Pipeline::parse(recipe), budget);
+  return run_recipe(
+      input, matcher, options,
+      Pipeline::parse(recipe, registry ? *registry : PassRegistry::global()),
+      budget);
 }
 
 }  // namespace cryo::core

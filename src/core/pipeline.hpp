@@ -138,6 +138,11 @@ struct Pass {
   /// resub, dch, mfs): a budget found exhausted right after such a pass
   /// ran is recorded as a degradation.
   bool budget_aware = false;
+  /// Eligible for the per-pass artifact cache. Embedder-registered
+  /// passes (service `load_plugin`) set this false: their bodies are not
+  /// part of the process image, so a cache entry keyed on just the pass
+  /// name could collide across daemons with different plugin bodies.
+  bool cacheable = true;
   std::function<void(FlowState&, const PassArgs&)> run;
 };
 

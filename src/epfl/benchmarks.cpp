@@ -1,6 +1,7 @@
 #include "epfl/benchmarks.hpp"
 
 #include <cmath>
+#include <iterator>
 
 #include "epfl/wordlib.hpp"
 #include "util/rng.hpp"
@@ -594,6 +595,63 @@ std::vector<Benchmark> mini_suite() {
   suite.push_back({"priority16", false, make_priority(16)});
   suite.push_back({"voter15", false, make_voter(15)});
   return suite;
+}
+
+namespace {
+
+struct NamedGenerator {
+  const char* name;
+  Aig (*make)();
+};
+
+// Each entry builds exactly one circuit so lookups by name (the common
+// service / CLI path) avoid constructing the whole suite.
+constexpr NamedGenerator kGenerators[] = {
+    {"adder8", [] { return make_adder(8); }},
+    {"mult4", [] { return make_multiplier(4); }},
+    {"dec4", [] { return make_dec(4); }},
+    {"priority16", [] { return make_priority(16); }},
+    {"voter15", [] { return make_voter(15); }},
+    {"adder", [] { return make_adder(); }},
+    {"bar", [] { return make_bar(); }},
+    {"div", [] { return make_div(); }},
+    {"hyp", [] { return make_hyp(); }},
+    {"log2", [] { return make_log2(); }},
+    {"max", [] { return make_max(); }},
+    {"multiplier", [] { return make_multiplier(); }},
+    {"sin", [] { return make_sin(); }},
+    {"sqrt", [] { return make_sqrt(); }},
+    {"square", [] { return make_square(); }},
+    {"arbiter", [] { return make_arbiter(); }},
+    {"cavlc", [] { return make_cavlc(); }},
+    {"ctrl", [] { return make_ctrl(); }},
+    {"dec", [] { return make_dec(); }},
+    {"i2c", [] { return make_i2c(); }},
+    {"int2float", [] { return make_int2float(); }},
+    {"mem_ctrl", [] { return make_mem_ctrl(); }},
+    {"priority", [] { return make_priority(); }},
+    {"router", [] { return make_router(); }},
+    {"voter", [] { return make_voter(); }},
+};
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kGenerators));
+  for (const auto& entry : kGenerators) names.emplace_back(entry.name);
+  return names;
+}
+
+bool find_benchmark(const std::string& name, logic::Aig& out) {
+  for (const auto& entry : kGenerators) {
+    if (name == entry.name) {
+      out = entry.make();
+      out.set_name(name);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace cryo::epfl

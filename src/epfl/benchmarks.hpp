@@ -51,4 +51,11 @@ std::vector<Benchmark> epfl_suite();
 /// A reduced suite for fast tests (a few small circuits).
 std::vector<Benchmark> mini_suite();
 
+/// All benchmark names resolvable by find_benchmark(), mini suite first.
+std::vector<std::string> benchmark_names();
+
+/// Construct a single named benchmark (mini or full suite) without
+/// building the rest of the suite. Returns false if the name is unknown.
+bool find_benchmark(const std::string& name, logic::Aig& out);
+
 }  // namespace cryo::epfl

@@ -104,16 +104,16 @@ Aig read_aiger(const std::string& contents) {
   std::uint32_t a = 0;
   in >> magic >> m >> i >> l >> o >> a;
   if ((magic != "aag" && magic != "aig") || !in) {
-    throw std::runtime_error{"read_aiger: bad header"};
+    throw Error{ErrorKind::kIo, "read_aiger: bad header"};
   }
   if (l != 0) {
-    throw std::runtime_error{"read_aiger: latches are not supported"};
+    throw Error{ErrorKind::kIo, "read_aiger: latches are not supported"};
   }
   if (m != i + a) {
-    throw std::runtime_error{"read_aiger: non-contiguous variable indexing"};
+    throw Error{ErrorKind::kIo, "read_aiger: non-contiguous variable indexing"};
   }
   if (m > 100'000'000u || o > 100'000'000u) {
-    throw std::runtime_error{"read_aiger: implausible header sizes"};
+    throw Error{ErrorKind::kIo, "read_aiger: implausible header sizes"};
   }
   const bool binary = magic == "aig";
 
@@ -127,7 +127,7 @@ Aig read_aiger(const std::string& contents) {
   auto translate = [&](std::uint32_t aiger_lit) {
     const std::uint32_t var = aiger_lit >> 1;
     if (var > m) {
-      throw std::runtime_error{"read_aiger: literal out of range"};
+      throw Error{ErrorKind::kIo, "read_aiger: literal out of range"};
     }
     return lit_notif(lit_of[var], (aiger_lit & 1u) != 0);
   };
@@ -136,7 +136,7 @@ Aig read_aiger(const std::string& contents) {
     for (std::uint32_t k = 0; k < i; ++k) {
       std::uint32_t lit = 0;
       if (!(in >> lit) || lit != 2 * (k + 1)) {
-        throw std::runtime_error{"read_aiger: unexpected input literal"};
+        throw Error{ErrorKind::kIo, "read_aiger: unexpected input literal"};
       }
     }
     std::vector<std::uint32_t> raw_pos(o);
@@ -148,7 +148,7 @@ Aig read_aiger(const std::string& contents) {
       in >> row[0] >> row[1] >> row[2];
     }
     if (!in) {
-      throw std::runtime_error{"read_aiger: truncated body"};
+      throw Error{ErrorKind::kIo, "read_aiger: truncated body"};
     }
     in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
     for (const auto& row : ands) {
@@ -170,7 +170,7 @@ Aig read_aiger(const std::string& contents) {
       for (;;) {
         const int ch = in.get();
         if (ch == EOF) {
-          throw std::runtime_error{"read_aiger: truncated binary section"};
+          throw Error{ErrorKind::kIo, "read_aiger: truncated binary section"};
         }
         delta |= static_cast<std::uint32_t>(ch & 0x7f) << shift;
         if ((ch & 0x80) == 0) {
@@ -257,6 +257,10 @@ void write_aiger_file(const Aig& aig, const std::string& path, bool binary) {
     throw Error{ErrorKind::kIo, "write_aiger_file: cannot open " + path};
   }
   out << (binary ? write_aiger_binary(aig) : write_aiger_ascii(aig));
+  out.flush();
+  if (!out) {
+    throw Error{ErrorKind::kIo, "write_aiger_file: write failed for " + path};
+  }
 }
 
 Aig read_aiger_file(const std::string& path) {

@@ -22,10 +22,12 @@ std::string write_aiger_ascii(const Aig& aig);
 std::string write_aiger_binary(const Aig& aig);
 
 /// Parse either AIGER variant (auto-detected from the header).
-/// Throws std::runtime_error on malformed input or latches.
+/// Throws cryo::Error{ErrorKind::kIo} on malformed input or latches, so
+/// bad benchmark files surface through the exit-code taxonomy (exit 3)
+/// instead of as an unclassified failure.
 Aig read_aiger(const std::string& contents);
 
-/// File helpers.
+/// File helpers. Open and write failures throw cryo::Error{kIo}.
 void write_aiger_file(const Aig& aig, const std::string& path,
                       bool binary = true);
 Aig read_aiger_file(const std::string& path);

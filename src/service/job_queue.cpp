@@ -1,0 +1,55 @@
+#include "service/job_queue.hpp"
+
+#include <utility>
+
+namespace cryo::service {
+
+JobQueue::JobQueue(int threads) : pool_{threads} {}
+
+void JobQueue::submit(std::function<util::Json()> job) {
+  auto slot = std::make_shared<Slot>();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    slots_.push_back(slot);
+  }
+  pool_.submit([this, slot, job = std::move(job)]() {
+    util::Json reply = job();
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      slot->reply = std::move(reply);
+      slot->ready = true;
+    }
+    cv_.notify_all();
+  });
+}
+
+void JobQueue::submit_ready(util::Json reply) {
+  auto slot = std::make_shared<Slot>();
+  slot->reply = std::move(reply);
+  slot->ready = true;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  slots_.push_back(std::move(slot));
+}
+
+std::vector<util::Json> JobQueue::drain_ready() {
+  std::vector<util::Json> replies;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  while (!slots_.empty() && slots_.front()->ready) {
+    replies.push_back(std::move(slots_.front()->reply));
+    slots_.pop_front();
+  }
+  return replies;
+}
+
+std::vector<util::Json> JobQueue::drain_all() {
+  std::vector<util::Json> replies;
+  std::unique_lock<std::mutex> lock{mutex_};
+  while (!slots_.empty()) {
+    cv_.wait(lock, [&] { return slots_.front()->ready; });
+    replies.push_back(std::move(slots_.front()->reply));
+    slots_.pop_front();
+  }
+  return replies;
+}
+
+}  // namespace cryo::service

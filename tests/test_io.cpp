@@ -76,6 +76,38 @@ TEST(Aiger, RejectsLatchesAndGarbage) {
                std::runtime_error);
 }
 
+// Malformed benchmark files must flow through the exit-code taxonomy:
+// every read_aiger rejection is cryo::Error{kIo} (driver exit code 3),
+// not a raw std::runtime_error that the CLI would report as exit 1.
+TEST(Aiger, MalformedInputsAreIoErrorsWithExitCode3) {
+  const char* malformed[] = {
+      "aag 1 0 1 0 0\n",          // latches unsupported
+      "not aiger",                // bad header
+      "aag 5 1 0 1 2\n2\n10\n",   // truncated body
+      "aag 3 1 0 1 1\n2\n10\n",   // non-contiguous indexing (m != i + a)
+      "aag 200000001 200000001 0 0 0\n",  // implausible header sizes
+      "aig 1 1 0 1 0\n9999\n",    // literal out of range
+      "aag 1 1 0 1 0\n4\n2\n",    // unexpected input literal
+      "aig 2 1 0 1 1\n2\n\x80",   // truncated binary delta section
+  };
+  for (const char* text : malformed) {
+    try {
+      cryo::logic::read_aiger(text);
+      FAIL() << "expected Error{kIo} for: " << text;
+    } catch (const cryo::Error& e) {
+      EXPECT_EQ(e.kind(), cryo::ErrorKind::kIo) << text;
+      EXPECT_EQ(cryo::error_exit_code(e.kind()), 3) << text;
+    }
+  }
+  // File-level helpers classify open failures the same way.
+  try {
+    cryo::logic::read_aiger_file("/nonexistent/cryoeda/x.aig");
+    FAIL() << "expected Error{kIo} for a missing file";
+  } catch (const cryo::Error& e) {
+    EXPECT_EQ(cryo::error_exit_code(e.kind()), 3);
+  }
+}
+
 // A corrupt symbol table used to reach raw std::stoul, which crashes
 // with std::invalid_argument / std::out_of_range carrying no hint of
 // the offending line. It must surface as cryo::Error{kIo} quoting the
