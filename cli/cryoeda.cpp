@@ -23,15 +23,18 @@
 #include <vector>
 
 #include "cells/characterize.hpp"
+#include "core/corner_matrix.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "core/search.hpp"
+#include "device/preset.hpp"
 #include "epfl/benchmarks.hpp"
 #include "logic/aiger.hpp"
 #include "map/verilog.hpp"
 #include "sat/cnf.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "spice/backend.hpp"
 #include "sta/sta.hpp"
 #include "util/budget.hpp"
 #include "util/error.hpp"
@@ -45,6 +48,8 @@ constexpr const char* kUsage =
     "usage: cryoeda [input.aig|aag] [options]\n"
     "       cryoeda serve [--threads N] [--lib-dir D] [--socket PATH]\n"
     "       cryoeda cec A.aig B.aig [--conflict-limit N]\n"
+    "       cryoeda matrix [--preset P]... [--temp K]... [--vdd V]...\n"
+    "                      [--bench NAME]... [--out REPORT.json] [options]\n"
     "\n"
     "input: an AIGER file, or --bench NAME for a built-in benchmark\n"
     "       (EPFL-style generators: adder, bar, ..., voter; mini-suite\n"
@@ -56,6 +61,13 @@ constexpr const char* kUsage =
     "  --priority P       baseline | pad | pda       (default pda)\n"
     "  --temp K           corner temperature          (default 10)\n"
     "  --vdd V            corner supply voltage       (default 0.7)\n"
+    "                     (--temp/--vdd are checked against the preset's\n"
+    "                     declared model envelope; out-of-range corners\n"
+    "                     are a usage error, not an extrapolation)\n"
+    "  --preset NAME      device/technology preset    (default finfet5;\n"
+    "                     see --list-presets)\n"
+    "  --spice-backend B  SPICE engine: builtin | ngspice (default: the\n"
+    "                     CRYOEDA_SPICE_BACKEND env var, else builtin)\n"
     "  --lut-k N          k of the LUT stage, 2..16   (default 6)\n"
     "  --epsilon E        cost tie-break threshold    (default 0.02)\n"
     "  --activity A       PI toggle rate, (0,1]       (default 0.2)\n"
@@ -97,7 +109,22 @@ constexpr const char* kUsage =
     "                     with for the same job)\n"
     "  --quiet            suppress progress chatter\n"
     "  --list-passes      print the pass registry and exit\n"
+    "  --list-presets     print the device preset registry and exit\n"
+    "  --list-backends    print the SPICE engine registry and exit\n"
     "  -h, --help         this text\n"
+    "\n"
+    "matrix options (cryoeda matrix):\n"
+    "  --preset/--temp/--vdd  repeatable; the cross product is the corner\n"
+    "                     grid. Defaults per preset: its paper corner\n"
+    "                     temperatures at its default Vdd.\n"
+    "  --bench NAME       repeatable; default: the mini suite\n"
+    "  --out PATH         matrix report (default cryoeda_out/matrix.json)\n"
+    "  --lib-dir D        per-corner library cache dir (default\n"
+    "                     cryoeda_out)\n"
+    "  --corner-deadline S  per-corner characterization wall budget\n"
+    "  --mini             mini cell catalog + coarse char grid (CI smoke)\n"
+    "  exit 0 = every corner and row clean; 1 = some corner/row faulted\n"
+    "  (the report records each fault; siblings still complete)\n"
     "\n"
     "exit codes: 0 success, 1 internal failure, 2 usage/recipe error,\n"
     "            3 I/O error, 4 budget exhausted/cancelled, 5 numerical\n"
@@ -120,6 +147,8 @@ struct Args {
   std::string out_aig_path;
   double temperature = 10.0;
   double vdd = 0.7;
+  std::string preset;   ///< "" = the default platform
+  std::string backend;  ///< "" = $CRYOEDA_SPICE_BACKEND / builtin
   bool quiet = false;
   core::FlowOptions flow;
   std::size_t search_variants = 0;  ///< 0 = normal single-recipe mode
@@ -163,6 +192,33 @@ void list_passes() {
   }
   std::printf("\ncanonical recipe (defaults): %s\n",
               core::canonical_recipe(core::FlowOptions{}).c_str());
+}
+
+void list_presets() {
+  std::printf("device presets (--preset NAME):\n\n");
+  for (const device::Preset& p : device::preset_registry()) {
+    std::printf("  %-12s %-14s T [%g, %g] K, Vdd [%g, %g] V, default %g K / "
+                "%g V\n",
+                p.name.c_str(), p.technology.c_str(), p.temp_min_k,
+                p.temp_max_k, p.vdd_min, p.vdd_max, p.default_temp_k,
+                p.default_vdd);
+    std::printf("               %s\n", p.description.c_str());
+  }
+}
+
+void list_backends() {
+  std::printf("SPICE engines (--spice-backend NAME, or the\n"
+              "CRYOEDA_SPICE_BACKEND env var):\n\n");
+  for (const std::string& name : spice::backend_names()) {
+    const spice::Backend* backend = spice::find_backend(name);
+    if (backend->available()) {
+      std::printf("  %-10s %s (available)\n", name.c_str(),
+                  backend->identity().c_str());
+    } else {
+      std::printf("  %-10s unavailable: %s\n", name.c_str(),
+                  backend->unavailable_reason().c_str());
+    }
+  }
 }
 
 logic::Aig resolve_benchmark(const std::string& name) {
@@ -262,10 +318,20 @@ Args parse_args(int argc, char** argv) {
       args.pre_aig_path = next();
     } else if (arg == "--out-aig") {
       args.out_aig_path = next();
+    } else if (arg == "--preset") {
+      args.preset = next();
+    } else if (arg == "--spice-backend") {
+      args.backend = next();
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (arg == "--list-passes") {
       list_passes();
+      std::exit(0);
+    } else if (arg == "--list-presets") {
+      list_presets();
+      std::exit(0);
+    } else if (arg == "--list-backends") {
+      list_backends();
       std::exit(0);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("%s", kUsage);
@@ -386,6 +452,108 @@ int run_cec(int argc, char** argv) {
   }
 }
 
+// `cryoeda matrix`: characterize + synthesize a temperature x Vdd x
+// technology corner grid through the cached pipeline, one fault-isolated
+// corner at a time, and write the deterministic cryoeda-matrix-v1
+// report. Exit 0 only when every corner and row is clean; 1 when some
+// entry faulted (the report says which); usage errors (unknown preset /
+// benchmark / engine, out-of-envelope corner) exit 2 before any corner
+// runs.
+int run_matrix_cmd(int argc, char** argv) {
+  core::MatrixOptions options;
+  std::string report_path = "cryoeda_out/matrix.json";
+  bool mini = false;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage_error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--preset") {
+      options.axes.presets.push_back(next());
+    } else if (arg == "--temp") {
+      options.axes.temps.push_back(parse_double(arg, next()));
+    } else if (arg == "--vdd") {
+      options.axes.vdds.push_back(parse_double(arg, next()));
+    } else if (arg == "--bench") {
+      options.benches.push_back(next());
+    } else if (arg == "--spice-backend") {
+      options.backend = next();
+    } else if (arg == "--lib-dir") {
+      options.lib_dir = next();
+    } else if (arg == "--out") {
+      report_path = next();
+    } else if (arg == "--corner-deadline") {
+      options.per_corner_deadline_s = parse_double(arg, next());
+      if (!(options.per_corner_deadline_s > 0.0)) {
+        usage_error("--corner-deadline must be a positive time in seconds");
+      }
+    } else if (arg == "--threads") {
+      const int threads = static_cast<int>(parse_uint(arg, next()));
+      options.experiment.threads = threads;
+      options.char_options.threads = threads;
+    } else if (arg == "--seed") {
+      options.experiment.flow.seed = parse_uint(arg, next());
+    } else if (arg == "--mini") {
+      mini = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage_error("unknown matrix option '" + arg + "'");
+    }
+  }
+  if (mini) {
+    // CI-smoke configuration: the mini catalog on a coarse 3x3 grid
+    // keeps an 8-corner matrix in tens of seconds instead of hours.
+    options.catalog = cells::mini_catalog();
+    options.char_options.slews = {4e-12, 16e-12, 48e-12};
+    options.char_options.loads = {2e-16, 1e-15, 4e-15};
+  }
+  options.verbose = !quiet;
+  try {
+    const core::MatrixResult result = core::run_matrix(options);
+    for (const auto& corner : result.corners) {
+      if (!quiet) {
+        std::printf("corner %-28s %s\n", corner.corner.label().c_str(),
+                    corner.ok ? "ok" : corner.error.c_str());
+        for (const auto& row : corner.rows) {
+          std::printf("  %-12s %s\n", row.bench.c_str(),
+                      !row.ok ? row.error.c_str()
+                              : (row.comparison.ok() ? "ok"
+                                                     : "scenario fault"));
+        }
+      }
+    }
+    const util::Json report = core::matrix_report(result);
+    const auto report_dir = std::filesystem::path{report_path}.parent_path();
+    if (!report_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(report_dir, ec);
+    }
+    std::ofstream out{report_path};
+    if (!out) {
+      throw Error{ErrorKind::kIo, "cannot open matrix report path '" +
+                                      report_path + "' for writing"};
+    }
+    out << report.dump(2) << '\n';
+    std::printf("matrix : %zu corners (%d ok), %d rows (%d ok), engine %s\n",
+                result.corners.size(), result.corners_ok(),
+                result.rows_total(), result.rows_ok(),
+                result.backend_identity.c_str());
+    std::printf("matrix report written to %s\n", report_path.c_str());
+    return result.all_ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return error_exit_code(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cryoeda: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -395,6 +563,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string{argv[1]} == "cec") {
     return run_cec(argc, argv);
   }
+  if (argc >= 2 && std::string{argv[1]} == "matrix") {
+    return run_matrix_cmd(argc, argv);
+  }
   const Args args = parse_args(argc, argv);
 
   // Compile the recipe first: a typo should fail before we spend
@@ -403,9 +574,17 @@ int main(int argc, char** argv) {
                                  ? core::canonical_recipe(args.flow)
                                  : args.script;
   core::Pipeline pipeline;
+  const device::Preset* preset = nullptr;
   try {
     core::validate(args.flow);
     pipeline = core::Pipeline::parse(script);
+    // The corner must sit inside the preset's declared model envelope —
+    // silently extrapolating the compact model is a usage error, caught
+    // before any characterization time is spent. The engine name is
+    // resolved here too so a typo'd --spice-backend fails just as fast.
+    preset = &device::resolve_preset(args.preset);
+    device::validate_corner(*preset, args.temperature, args.vdd);
+    spice::resolve_backend(args.backend);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cryoeda: %s\n", e.what());
     return 2;
@@ -434,10 +613,12 @@ int main(int argc, char** argv) {
 
     std::string lib_path = args.lib_path;
     if (lib_path.empty()) {
-      // Shared with the `cryoeda serve` daemon, so both resolve a corner
-      // to the same characterized-library bytes.
-      lib_path = service::default_lib_path("cryoeda_out", args.temperature,
-                                           args.vdd);
+      // Shared with the `cryoeda serve` daemon and `cryoeda matrix`, so
+      // all three resolve a (preset, engine, corner) to the same
+      // characterized-library bytes.
+      lib_path = cells::default_lib_path(
+          "cryoeda_out", *preset, spice::resolve_backend(args.backend).name(),
+          args.temperature, args.vdd);
     }
     if (!args.quiet) {
       std::printf("library: %s @ %g K, %g V\n", lib_path.c_str(),
@@ -450,6 +631,8 @@ int main(int argc, char** argv) {
     }
     cells::CharOptions char_options;
     char_options.vdd = args.vdd;
+    char_options.preset = *preset;
+    char_options.backend = args.backend;
     const auto library = cells::load_or_characterize(
         lib_path, cells::standard_catalog(), args.temperature, char_options);
     const map::CellMatcher matcher{library};
@@ -466,7 +649,9 @@ int main(int argc, char** argv) {
       const core::ScenarioResult scenario =
           core::run_scenario(design, matcher, experiment, spec);
       const util::Json job_report = service::job_report_json(
-          design, args.temperature, args.vdd, pipeline.to_string(), scenario);
+          design, args.temperature, args.vdd, preset->name,
+          spice::resolve_backend(args.backend).identity(),
+          pipeline.to_string(), scenario);
       const auto report_dir =
           std::filesystem::path{args.job_report_path}.parent_path();
       if (!report_dir.empty()) {

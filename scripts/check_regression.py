@@ -47,7 +47,20 @@ a checked-in baseline and fails when a quality figure drifts:
   circuit's searched best must be a clean (ok, non-degraded) trial whose
   power is no worse than the best clean Fig. 3 seed trial of the same
   report, within ``--rel-tol``. Works standalone (no BASELINE/FRESH) or
-  combined with the baseline gate.
+  combined with the baseline gate;
+
+* with ``--matrix-from``, a ``cryoeda matrix`` report
+  (``cryoeda-matrix-v1``) is gated: every corner and every per-bench row
+  must be ok (fault-isolated failures are *visible* in the report, and
+  a gated smoke run must be clean). With ``--matrix-baseline``, the
+  fresh report is additionally compared against a frozen baseline: the
+  corner grid (labels, in order), the canonical library names, and the
+  backend identity must match *exactly* — a silently renamed library
+  means the preset/backend cache-key seam moved — while the per-scenario
+  quality figures (power / delay / area / gates, lower-is-better) and
+  the headline power savings (higher-is-better) are gated within
+  ``--rel-tol``. Works standalone (no BASELINE/FRESH) or combined with
+  the baseline gate.
 
 Exit code 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
 
@@ -271,6 +284,169 @@ def check_search_report(path, rel_tol):
     return failures
 
 
+SCENARIO_FIGURES = ("total_power_w", "delay_s", "area_um2", "gates")
+SAVING_FIGURES = ("power_saving_pad", "power_saving_pda")
+
+
+def check_matrix_report(path, baseline_path, rel_tol):
+    """Gate a ``cryoeda matrix`` report (schema ``cryoeda-matrix-v1``).
+
+    Always: every corner and every per-bench row must be ok. The matrix
+    runner isolates per-corner and per-row faults so a crash degrades
+    only its own entry — which is exactly why a *gated* smoke run must
+    come back fully clean: an entry marked failed means a corner of the
+    envelope silently stopped being covered.
+
+    With a frozen baseline: the corner grid must be structurally
+    identical (same labels in the same order, same canonical library
+    names, same backend identity) — library names encode the
+    (preset, backend, temperature) cache key, so a rename here means
+    cached characterizations would alias or silently go cold. Quality
+    figures are then gated like the Fig. 3 gauges: per-scenario
+    power / delay / area / gate count may not be *worse* than the
+    baseline beyond ``rel_tol`` (improvements are advisory), and the
+    headline power savings may not *shrink* beyond ``rel_tol``.
+    """
+    report = load_json(path, "matrix report")
+    if not isinstance(report, dict) or \
+            report.get("schema") != "cryoeda-matrix-v1":
+        fail_usage(f"matrix report {path} is not a cryoeda matrix report "
+                   "(expected schema 'cryoeda-matrix-v1')")
+    corners = report.get("corners")
+    if not isinstance(corners, list) or not corners:
+        fail_usage(f"matrix report {path} has no corners")
+
+    failures = []
+    rows_seen = 0
+    for corner in corners:
+        label = corner.get("label", "<unlabeled>")
+        if not corner.get("ok"):
+            failures.append(
+                f"matrix[{label}]: corner failed "
+                f"({corner.get('error_kind', '?')}: "
+                f"{corner.get('error', 'no diagnostic')})")
+            continue
+        for row in corner.get("rows", []):
+            rows_seen += 1
+            if not row.get("ok"):
+                failures.append(
+                    f"matrix[{label}/{row.get('bench', '?')}]: row failed "
+                    f"({row.get('error_kind', '?')}: "
+                    f"{row.get('error', 'no diagnostic')})")
+    summary = report.get("summary", {})
+    if isinstance(summary, dict) and not summary.get("all_ok") \
+            and not failures:
+        failures.append(
+            f"matrix report {path}: summary.all_ok is false but every "
+            "corner and row claims ok — inconsistent report")
+    print(f"matrix: {len(corners)} corners, {rows_seen} rows, backend "
+          f"{report.get('backend', '?')!r}")
+
+    if baseline_path is None:
+        return failures
+
+    base = load_json(baseline_path, "matrix baseline")
+    if not isinstance(base, dict) or \
+            base.get("schema") != "cryoeda-matrix-v1":
+        fail_usage(f"matrix baseline {baseline_path} is not a cryoeda "
+                   "matrix report (expected schema 'cryoeda-matrix-v1')")
+    if base.get("backend") != report.get("backend"):
+        failures.append(
+            f"matrix backend changed: baseline {base.get('backend')!r} vs "
+            f"fresh {report.get('backend')!r} — refreeze the baseline if "
+            "the engine change is intentional")
+    base_corners = base.get("corners")
+    if not isinstance(base_corners, list) or not base_corners:
+        fail_usage(f"matrix baseline {baseline_path} has no corners")
+
+    base_labels = [c.get("label") for c in base_corners]
+    fresh_labels = [c.get("label") for c in corners]
+    if base_labels != fresh_labels:
+        failures.append(
+            f"matrix corner grid changed: baseline {base_labels} vs "
+            f"fresh {fresh_labels} — the smoke grid is part of the "
+            "frozen contract")
+        return failures
+
+    checked = 0
+    worst = (0.0, None)
+    improvements = []
+
+    def gate(name, baseline_value, fresh_value, lower_is_better):
+        nonlocal checked, worst
+        if isinstance(baseline_value, bool) or isinstance(fresh_value, bool) \
+                or not isinstance(baseline_value, (int, float)) \
+                or not isinstance(fresh_value, (int, float)):
+            failures.append(f"{name}: non-numeric figure "
+                            f"({baseline_value!r} vs {fresh_value!r})")
+            return
+        drift = rel_diff(baseline_value, fresh_value)
+        checked += 1
+        if drift > worst[0]:
+            worst = (drift, name)
+        if drift <= rel_tol:
+            return
+        got_worse = (fresh_value > baseline_value) == lower_is_better
+        line = (f"{name}: {baseline_value:.6g} -> {fresh_value:.6g} "
+                f"({drift * 100.0:.2f} %)")
+        if got_worse:
+            failures.append(f"{line} — worse beyond tol "
+                            f"{rel_tol * 100.0:.2f} %")
+        else:
+            improvements.append(line)
+
+    for base_corner, fresh_corner in zip(base_corners, corners):
+        label = base_corner.get("label", "<unlabeled>")
+        if base_corner.get("library") != fresh_corner.get("library"):
+            failures.append(
+                f"matrix[{label}]: canonical library name changed: "
+                f"{base_corner.get('library')!r} -> "
+                f"{fresh_corner.get('library')!r} — the name encodes the "
+                "(preset, backend, temperature) cache key")
+        if not base_corner.get("ok"):
+            # A baseline with failed corners gates nothing there; the
+            # ok-gate above already handles the fresh side.
+            continue
+        fresh_rows = {row.get("bench"): row
+                      for row in fresh_corner.get("rows", [])}
+        for base_row in base_corner.get("rows", []):
+            bench = base_row.get("bench", "<unnamed>")
+            where = f"matrix[{label}/{bench}]"
+            fresh_row = fresh_rows.get(bench)
+            if fresh_row is None:
+                failures.append(f"{where}: bench missing from fresh report")
+                continue
+            if not base_row.get("ok") or not fresh_row.get("ok"):
+                continue  # the ok-gate above already flagged fresh failures
+            base_scenarios = base_row.get("scenarios", [])
+            fresh_scenarios = fresh_row.get("scenarios", [])
+            if len(base_scenarios) != len(fresh_scenarios):
+                failures.append(
+                    f"{where}: scenario count changed "
+                    f"({len(base_scenarios)} -> {len(fresh_scenarios)})")
+                continue
+            for base_s, fresh_s in zip(base_scenarios, fresh_scenarios):
+                scenario = base_s.get("scenario", "?")
+                for figure in SCENARIO_FIGURES:
+                    gate(f"{where}.{scenario}.{figure}",
+                         base_s.get(figure), fresh_s.get(figure),
+                         lower_is_better=True)
+            for figure in SAVING_FIGURES:
+                gate(f"{where}.{figure}",
+                     base_row.get(figure), fresh_row.get(figure),
+                     lower_is_better=False)
+
+    if improvements:
+        print(f"note: {len(improvements)} matrix figure(s) improved beyond "
+              f"{rel_tol * 100.0:.2f} % — consider refreshing the baseline:")
+        for line in improvements:
+            print(f"  + {line}")
+    if worst[1] is not None:
+        print(f"checked {checked} matrix figures vs {baseline_path}; "
+              f"worst drift {worst[0] * 100.0:.3f} % ({worst[1]})")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", nargs="?",
@@ -327,19 +503,34 @@ def main():
              "best must be a clean trial no worse (in power, within "
              "--rel-tol) than the best clean Fig. 3 seed trial of the "
              "same report; usable alone or alongside BASELINE FRESH")
+    parser.add_argument(
+        "--matrix-from", metavar="PATH",
+        help="gate a 'cryoeda matrix' report (cryoeda-matrix-v1): every "
+             "corner and per-bench row must be ok; usable alone or "
+             "alongside BASELINE FRESH")
+    parser.add_argument(
+        "--matrix-baseline", metavar="PATH",
+        help="additionally compare the --matrix-from report against this "
+             "frozen baseline: the corner grid, library names and backend "
+             "identity must match exactly, and quality figures must be no "
+             "worse than the baseline within --rel-tol")
     args = parser.parse_args()
 
     if (args.baseline is None) != (args.fresh is None):
         fail_usage("give both BASELINE and FRESH, or neither "
                    "(with --search-from / --counters-from)")
     if args.baseline is None and not args.search_from \
-            and not args.counters_from:
+            and not args.counters_from and not args.matrix_from:
         fail_usage("nothing to gate: give BASELINE FRESH, --search-from "
-                   "PATH, --counters-from PATH, or a combination")
+                   "PATH, --counters-from PATH, --matrix-from PATH, or a "
+                   "combination")
     if args.counters_from and args.baseline is None \
             and not args.counters_report:
         fail_usage("--counters-from without BASELINE FRESH needs "
                    "--counters-report to name the fresh report")
+    if args.matrix_baseline and not args.matrix_from:
+        fail_usage("--matrix-baseline needs --matrix-from to name the "
+                   "fresh matrix report")
 
     if args.baseline is None:
         failures = []
@@ -352,6 +543,9 @@ def main():
         if args.search_from:
             failures.extend(
                 check_search_report(args.search_from, args.rel_tol))
+        if args.matrix_from:
+            failures.extend(check_matrix_report(
+                args.matrix_from, args.matrix_baseline, args.rel_tol))
         if failures:
             print(f"\nREGRESSION GATE FAILED ({len(failures)} issue(s)):",
                   file=sys.stderr)
@@ -476,6 +670,10 @@ def main():
 
     if args.search_from:
         failures.extend(check_search_report(args.search_from, args.rel_tol))
+
+    if args.matrix_from:
+        failures.extend(check_matrix_report(
+            args.matrix_from, args.matrix_baseline, args.rel_tol))
 
     if worst[1] is not None:
         print(f"checked {checked} gauges under {args.prefix!r}; worst drift "

@@ -1,14 +1,17 @@
 #include "cells/characterize.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <stdexcept>
 
+#include "device/preset.hpp"
 #include "liberty/json_io.hpp"
 #include "logic/tt.hpp"
+#include "spice/backend.hpp"
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
 #include "util/artifact_cache.hpp"
@@ -71,9 +74,10 @@ void emit_network(Circuit& ckt, const PdnExpr& expr,
 
 /// Netlist of a combinational cell. Returns the output node.
 NodeId build_cell_circuit(Circuit& ckt, const CellSpec& spec, NodeId vdd,
-                          double temperature_k) {
-  const auto nparams = device::nominal_nfet_5nm();
-  const auto pparams = device::nominal_pfet_5nm();
+                          double temperature_k,
+                          const device::Preset& preset) {
+  const auto& nparams = preset.nfet;
+  const auto& pparams = preset.pfet;
   const device::FinFetModel nmodel{nparams, temperature_k};
   const device::FinFetModel pmodel{pparams, temperature_k};
 
@@ -107,9 +111,9 @@ NodeId build_cell_circuit(Circuit& ckt, const CellSpec& spec, NodeId vdd,
 
 /// Input capacitance of a pin: sum of gate caps of devices it drives.
 double pin_capacitance(const CellSpec& spec, const std::string& pin,
-                       double temperature_k) {
-  const device::FinFetModel nmodel{device::nominal_nfet_5nm(), temperature_k};
-  const device::FinFetModel pmodel{device::nominal_pfet_5nm(), temperature_k};
+                       double temperature_k, const device::Preset& preset) {
+  const device::FinFetModel nmodel{preset.nfet, temperature_k};
+  const device::FinFetModel pmodel{preset.pfet, temperature_k};
   double cap = 0.0;
   for (const auto& stage : spec.stages) {
     // Count how many devices in the PDN are driven by this pin; PUN has
@@ -161,7 +165,8 @@ struct ArcPoint {
 /// One transient: toggle `pin` with the given slew while the others hold
 /// `others`; measure delay/slew/energy at the output.
 ArcPoint measure_point(const CellSpec& spec, double temperature_k,
-                       const CharOptions& options, unsigned pin,
+                       const CharOptions& options,
+                       const spice::Backend& backend, unsigned pin,
                        unsigned others, bool input_rising, double slew,
                        double load, double leakage_power) {
   Circuit ckt;
@@ -171,7 +176,8 @@ ArcPoint measure_point(const CellSpec& spec, double temperature_k,
   for (const auto& name : spec.inputs) {
     pins.push_back(ckt.add_node(name));
   }
-  const NodeId out = build_cell_circuit(ckt, spec, vdd, temperature_k);
+  const NodeId out =
+      build_cell_circuit(ckt, spec, vdd, temperature_k, options.preset);
   ckt.add_cap(out, spice::kGround, load);
 
   ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
@@ -188,14 +194,14 @@ ArcPoint measure_point(const CellSpec& spec, double temperature_k,
     }
   }
 
-  spice::Simulator sim{ckt, temperature_k};
   spice::TransientOptions topt;
   topt.steps = options.transient_steps;
   topt.t_stop = kRampStart + ramp + 250e-12;
 
   const double v_half = options.vdd / 2.0;
   for (int attempt = 0; attempt < 3; ++attempt) {
-    const auto res = sim.transient(topt, {pins[pin], out});
+    const auto res =
+        backend.transient(ckt, temperature_k, topt, {pins[pin], out});
     const auto& tout = res.trace(out).values;
     const double v_final = tout.back();
     const bool out_rising = v_final > v_half;
@@ -234,14 +240,15 @@ ArcPoint measure_point(const CellSpec& spec, double temperature_k,
 
 /// Average leakage over all input states.
 double measure_leakage(const CellSpec& spec, double temperature_k,
-                       const CharOptions& options) {
+                       const CharOptions& options,
+                       const spice::Backend& backend) {
   Circuit ckt;
   const NodeId vdd = ckt.add_node("VDD");
   std::vector<NodeId> pins;
   for (const auto& name : spec.inputs) {
     pins.push_back(ckt.add_node(name));
   }
-  build_cell_circuit(ckt, spec, vdd, temperature_k);
+  build_cell_circuit(ckt, spec, vdd, temperature_k, options.preset);
   ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
   const auto n = static_cast<unsigned>(spec.inputs.size());
   double total = 0.0;
@@ -250,9 +257,8 @@ double measure_leakage(const CellSpec& spec, double temperature_k,
       ckt.set_source(pins[i], spice::Pwl::constant(
                                   ((m >> i) & 1u) != 0 ? options.vdd : 0.0));
     }
-    spice::Simulator sim{ckt, temperature_k};
-    const auto op = sim.dc();
-    total += sim.source_current(op, vdd) * options.vdd;
+    const auto op = backend.dc(ckt, temperature_k);
+    total += op.source_current(vdd) * options.vdd;
   }
   return total / static_cast<double>(1u << n);
 }
@@ -264,11 +270,12 @@ liberty::NldmTable make_table(const CharOptions& options,
 
 /// Characterize one combinational cell.
 liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
-                                const CharOptions& options) {
+                                const CharOptions& options,
+                                const spice::Backend& backend) {
   liberty::Cell cell;
   cell.name = spec.name;
   cell.area = spec.area;
-  cell.leakage_power = measure_leakage(spec, temperature_k, options);
+  cell.leakage_power = measure_leakage(spec, temperature_k, options, backend);
 
   const auto n = static_cast<unsigned>(spec.inputs.size());
   const std::uint64_t tt = spec.truth_table();
@@ -276,7 +283,8 @@ liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
   for (const auto& pin_name : spec.inputs) {
     liberty::Pin pin;
     pin.name = pin_name;
-    pin.capacitance = pin_capacitance(spec, pin_name, temperature_k);
+    pin.capacitance =
+        pin_capacitance(spec, pin_name, temperature_k, options.preset);
     cell.pins.push_back(pin);
   }
   liberty::Pin out;
@@ -340,12 +348,12 @@ liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
           // Input edge that makes the output rise:
           const bool in_rising_for_rise = positive;
           PointPair point;
-          point.rise = measure_point(spec, temperature_k, options, pin,
-                                     *others, in_rising_for_rise, slew, load,
-                                     cell.leakage_power);
-          point.fall = measure_point(spec, temperature_k, options, pin,
-                                     *others, !in_rising_for_rise, slew, load,
-                                     cell.leakage_power);
+          point.rise = measure_point(spec, temperature_k, options, backend,
+                                     pin, *others, in_rising_for_rise, slew,
+                                     load, cell.leakage_power);
+          point.fall = measure_point(spec, temperature_k, options, backend,
+                                     pin, *others, !in_rising_for_rise, slew,
+                                     load, cell.leakage_power);
           return point;
         },
         options.threads);
@@ -373,9 +381,10 @@ liberty::Cell characterize_cell(const CellSpec& spec, double temperature_k,
 
 /// Master-slave DFF schematic (transmission-gate based). Returns Q.
 NodeId build_dff_circuit(Circuit& ckt, const CellSpec& /*spec*/, NodeId vdd,
-                         double temperature_k, bool latch) {
-  const auto np = device::nominal_nfet_5nm();
-  const auto pp = device::nominal_pfet_5nm();
+                         double temperature_k, bool latch,
+                         const device::Preset& preset) {
+  const auto& np = preset.nfet;
+  const auto& pp = preset.pfet;
   const device::FinFetModel nmodel{np, temperature_k};
   const device::FinFetModel pmodel{pp, temperature_k};
 
@@ -433,7 +442,8 @@ NodeId build_dff_circuit(Circuit& ckt, const CellSpec& /*spec*/, NodeId vdd,
 
 liberty::Cell characterize_sequential(const CellSpec& spec,
                                       double temperature_k,
-                                      const CharOptions& options) {
+                                      const CharOptions& options,
+                                      const spice::Backend& backend) {
   liberty::Cell cell;
   cell.name = spec.name;
   cell.area = spec.area;
@@ -447,15 +457,15 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
     for (unsigned m = 0; m < 4; ++m) {
       Circuit ckt;
       const NodeId vdd = ckt.add_node("VDD");
-      build_dff_circuit(ckt, spec, vdd, temperature_k, spec.level_sensitive);
+      build_dff_circuit(ckt, spec, vdd, temperature_k, spec.level_sensitive,
+                        options.preset);
       ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
       ckt.set_source(ckt.node("D"),
                      spice::Pwl::constant((m & 1u) != 0 ? options.vdd : 0.0));
       ckt.set_source(ckt.node("CK"),
                      spice::Pwl::constant((m & 2u) != 0 ? options.vdd : 0.0));
-      spice::Simulator sim{ckt, temperature_k};
-      const auto op = sim.dc();
-      total += sim.source_current(op, vdd) * options.vdd;
+      const auto op = backend.dc(ckt, temperature_k);
+      total += op.source_current(vdd) * options.vdd;
     }
     cell.leakage_power = total / 4.0;
   }
@@ -463,10 +473,8 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
   // Pins: D and CK input caps from the first transmission gate / clock
   // inverter gate loads.
   {
-    const device::FinFetModel nmodel{device::nominal_nfet_5nm(),
-                                     temperature_k};
-    const device::FinFetModel pmodel{device::nominal_pfet_5nm(),
-                                     temperature_k};
+    const device::FinFetModel nmodel{options.preset.nfet, temperature_k};
+    const device::FinFetModel pmodel{options.preset.pfet, temperature_k};
     liberty::Pin dpin;
     dpin.name = "D";
     dpin.capacitance = nmodel.cgg(2) + pmodel.cgg(2);
@@ -502,7 +510,7 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
     Circuit ckt;
     const NodeId vdd = ckt.add_node("VDD");
     const NodeId q = build_dff_circuit(ckt, spec, vdd, temperature_k,
-                                       spec.level_sensitive);
+                                       spec.level_sensitive, options.preset);
     ckt.add_cap(q, spice::kGround, load);
     ckt.set_source(vdd, spice::Pwl::constant(options.vdd));
     ckt.set_source(ckt.node("D"),
@@ -510,11 +518,11 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
     const double ramp = slew / 0.8;
     ckt.set_source(ckt.node("CK"),
                    spice::Pwl::ramp(0.0, options.vdd, kRampStart, ramp));
-    spice::Simulator sim{ckt, temperature_k};
     spice::TransientOptions topt;
     topt.steps = options.transient_steps;
     topt.t_stop = kRampStart + ramp + 400e-12;
-    const auto res = sim.transient(topt, {ckt.node("CK"), q});
+    const auto res =
+        backend.transient(ckt, temperature_k, topt, {ckt.node("CK"), q});
     const double v_half = options.vdd / 2.0;
     const auto t_ck = spice::crossing_time(
         res.times, res.trace(ckt.node("CK")).values, v_half, true);
@@ -575,14 +583,19 @@ liberty::Cell characterize_sequential(const CellSpec& spec,
 constexpr std::string_view kCharStage = "cells.characterize";
 
 /// Everything that determines one cell's characterized tables: the full
-/// schematic spec, the corner, and the measurement grid. Worker counts
-/// and verbosity deliberately stay out — they cannot change the result.
+/// schematic spec, the corner, the device platform (full parameter sets,
+/// not just the preset name), the simulation engine identity, and the
+/// measurement grid. Worker counts and verbosity deliberately stay out —
+/// they cannot change the result.
 util::Json char_cache_inputs(const CellSpec& spec, double temperature_k,
-                             const CharOptions& options) {
+                             const CharOptions& options,
+                             const spice::Backend& backend) {
   util::Json inputs = util::Json::object();
   inputs["spec"] = to_json(spec);
   inputs["temperature_k"] = util::Json{temperature_k};
   inputs["vdd"] = util::Json{options.vdd};
+  inputs["device"] = device::preset_device_json(options.preset);
+  inputs["backend"] = util::Json{backend.identity()};
   util::Json slews = util::Json::array();
   for (const double s : options.slews) {
     slews.push_back(util::Json{s});
@@ -602,14 +615,16 @@ util::Json char_cache_inputs(const CellSpec& spec, double temperature_k,
 /// miss runs the SPICE grid and persists the result.
 liberty::Cell characterize_cell_cached(const CellSpec& spec,
                                        double temperature_k,
-                                       const CharOptions& options) {
+                                       const CharOptions& options,
+                                       const spice::Backend& backend) {
   auto& cache = util::ArtifactCache::global();
   if (!cache.enabled()) {
     return spec.sequential
-               ? characterize_sequential(spec, temperature_k, options)
-               : characterize_cell(spec, temperature_k, options);
+               ? characterize_sequential(spec, temperature_k, options, backend)
+               : characterize_cell(spec, temperature_k, options, backend);
   }
-  const util::Json inputs = char_cache_inputs(spec, temperature_k, options);
+  const util::Json inputs =
+      char_cache_inputs(spec, temperature_k, options, backend);
   const std::string key = util::ArtifactCache::key(kCharStage, inputs);
   if (auto hit = cache.load(kCharStage, key)) {
     try {
@@ -621,18 +636,26 @@ liberty::Cell characterize_cell_cached(const CellSpec& spec,
     }
   }
   liberty::Cell cell =
-      spec.sequential ? characterize_sequential(spec, temperature_k, options)
-                      : characterize_cell(spec, temperature_k, options);
+      spec.sequential
+          ? characterize_sequential(spec, temperature_k, options, backend)
+          : characterize_cell(spec, temperature_k, options, backend);
   cache.store(kCharStage, key, liberty::to_json(cell));
   return cell;
 }
 
 /// A cached library is only reusable when it was characterized for the
-/// same corner (temperature, Vdd) and contains every requested cell — a
-/// stale cache from a different run must not poison downstream figures.
+/// same corner (temperature, Vdd), the same device platform and engine
+/// (via the canonical library name — two presets at the same corner must
+/// never alias), and contains every requested cell — a stale cache from
+/// a different run must not poison downstream figures.
 bool cache_matches(const liberty::Library& lib,
                    const std::vector<CellSpec>& catalog, double temperature_k,
-                   const CharOptions& options) {
+                   const CharOptions& options,
+                   const std::string& backend_identity) {
+  if (lib.name != library_name(options.preset, backend_identity,
+                               temperature_k)) {
+    return false;
+  }
   if (std::fabs(lib.temperature_k - temperature_k) > 1e-6) {
     return false;
   }
@@ -652,14 +675,62 @@ bool cache_matches(const liberty::Library& lib,
 
 }  // namespace
 
+std::string library_name(const device::Preset& preset,
+                         const std::string& backend_identity,
+                         double temperature_k) {
+  std::string name{"cryoeda_"};
+  const bool default_platform =
+      preset.name == device::default_preset().name &&
+      backend_identity == spice::builtin_backend().identity();
+  if (!default_platform) {
+    name += preset.name;
+    name += '_';
+    for (const char c : backend_identity) {
+      // Liberty-safe identifier: the engine identity may contain '/',
+      // '.' etc. ("ngspice/42.1").
+      name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    }
+    name += '_';
+  }
+  name += std::to_string(static_cast<int>(temperature_k));
+  name += 'K';
+  return name;
+}
+
+std::string default_lib_path(const std::string& dir,
+                             const device::Preset& preset,
+                             const std::string& backend_name,
+                             double temperature_k, double vdd) {
+  std::string path = dir.empty() ? std::string{} : dir + "/";
+  path += "cryoeda_lib_";
+  const bool default_platform =
+      preset.name == device::default_preset().name &&
+      (backend_name.empty() || backend_name == "builtin");
+  if (!default_platform) {
+    path += preset.name;
+    path += '_';
+    path += backend_name.empty() ? std::string{"builtin"} : backend_name;
+    path += '_';
+  }
+  path += std::to_string(static_cast<int>(temperature_k));
+  path += 'K';
+  if (vdd != 0.7) {
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "_%gV", vdd);
+    path += tag;
+  }
+  return path + ".lib";
+}
+
 liberty::Library characterize(const std::vector<CellSpec>& catalog,
                               double temperature_k,
                               const CharOptions& options) {
   const obs::ScopedSpan span{
       "cells.characterize_library:" +
       std::to_string(static_cast<int>(temperature_k)) + "K"};
+  const spice::Backend& backend = spice::resolve_backend(options.backend);
   liberty::Library lib;
-  lib.name = "cryoeda_" + std::to_string(static_cast<int>(temperature_k)) + "K";
+  lib.name = library_name(options.preset, backend.identity(), temperature_k);
   lib.temperature_k = temperature_k;
   lib.voltage = options.vdd;
   // Cells are characterized in parallel but assembled in catalog order,
@@ -685,7 +756,8 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
         const util::ScopedTimer cell_timer{spec.name, /*log=*/false};
         std::optional<liberty::Cell> cell;
         if (!spec.sequential || options.include_sequential) {
-          cell = characterize_cell_cached(spec, temperature_k, options);
+          cell = characterize_cell_cached(spec, temperature_k, options,
+                                          backend);
         }
         if (cell) {
           obs::counter("cells.characterized").add();
@@ -712,10 +784,16 @@ liberty::Library load_or_characterize(const std::string& cache_path,
                                       const std::vector<CellSpec>& catalog,
                                       double temperature_k,
                                       const CharOptions& options) {
+  // Resolving up front also validates the requested engine (unknown or
+  // unavailable backends fail with kRecipe even on a warm .lib cache —
+  // a cached file must not mask a bad request).
+  const std::string backend_identity =
+      spice::resolve_backend(options.backend).identity();
   if (std::filesystem::exists(cache_path)) {
     try {
       liberty::Library lib = liberty::read_liberty(cache_path);
-      if (cache_matches(lib, catalog, temperature_k, options)) {
+      if (cache_matches(lib, catalog, temperature_k, options,
+                        backend_identity)) {
         obs::counter("cells.cache_hits").add();
         return lib;
       }
@@ -732,7 +810,8 @@ liberty::Library load_or_characterize(const std::string& cache_path,
   // file, or downstream signoff reports lose byte-identity across runs.
   try {
     liberty::Library reread = liberty::read_liberty(cache_path);
-    if (cache_matches(reread, catalog, temperature_k, options)) {
+    if (cache_matches(reread, catalog, temperature_k, options,
+                      backend_identity)) {
       return reread;
     }
   } catch (const std::exception&) {

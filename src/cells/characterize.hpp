@@ -1,8 +1,10 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cells/catalog.hpp"
+#include "device/preset.hpp"
 #include "liberty/library.hpp"
 
 namespace cryo::util {
@@ -12,9 +14,17 @@ class Budget;
 namespace cryo::cells {
 
 /// Characterization options. Defaults reproduce the paper's setup: a
-/// 7x7 grid of input slews and output loads per arc, at Vdd = 0.7 V.
+/// 7x7 grid of input slews and output loads per arc, at Vdd = 0.7 V on
+/// the paper's FinFET platform with the builtin engine.
 struct CharOptions {
   double vdd = 0.7;
+  /// Device/technology platform supplying the transistor flavours.
+  /// The default is the paper's `finfet5` (bit-identical to the legacy
+  /// hard-coded `nominal_*_5nm()` path).
+  device::Preset preset = device::default_preset();
+  /// SPICE engine name; "" resolves via $CRYOEDA_SPICE_BACKEND and
+  /// falls back to "builtin" (see spice::resolve_backend).
+  std::string backend;
   std::vector<double> slews = {2e-12,  4e-12,  8e-12, 16e-12,
                                24e-12, 40e-12, 64e-12};
   std::vector<double> loads = {1e-16, 2e-16, 4e-16, 8e-16,
@@ -42,10 +52,34 @@ liberty::Library characterize(const std::vector<CellSpec>& catalog,
                               double temperature_k,
                               const CharOptions& options = {});
 
+/// The canonical library name of a characterization request. The
+/// default platform (finfet5 preset + builtin engine) keeps the
+/// historical `cryoeda_<T>K` spelling so existing signoff artifacts stay
+/// byte-identical; any other preset/backend combination is tagged with
+/// both, which is what lets `load_or_characterize` reject a cached
+/// library produced for a different platform at the same (temp, Vdd).
+std::string library_name(const device::Preset& preset,
+                         const std::string& backend_identity,
+                         double temperature_k);
+
+/// The canonical on-disk spelling of a characterized-library cache file
+/// for one (preset, engine, temperature, Vdd) corner. The default
+/// platform keeps the historical `cryoeda_lib_<T>K[_<Vdd>V].lib`
+/// spelling (Vdd untagged at the 0.7 V default); any other
+/// preset/engine is tagged with both so two platforms at the same
+/// corner land in different files. `backend_name` is the engine's
+/// registry name ("" = "builtin"); `dir` may be empty for a bare
+/// filename.
+std::string default_lib_path(const std::string& dir,
+                             const device::Preset& preset,
+                             const std::string& backend_name,
+                             double temperature_k, double vdd);
+
 /// Cached characterization: parse `cache_path` if it exists and matches
-/// the request (temperature, Vdd, and every requested catalog cell
-/// present), otherwise characterize and overwrite it. A stale or corrupt
-/// cache from a different corner is never returned.
+/// the request (temperature, Vdd, device preset + engine via the
+/// canonical library name, and every requested catalog cell present),
+/// otherwise characterize and overwrite it. A stale or corrupt cache
+/// from a different corner or platform is never returned.
 liberty::Library load_or_characterize(const std::string& cache_path,
                                       const std::vector<CellSpec>& catalog,
                                       double temperature_k,

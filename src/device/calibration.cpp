@@ -84,11 +84,13 @@ constexpr std::string_view kCalibrateStage = "device.calibrate";
 
 util::Json calibrate_cache_inputs(const MeasurementSet& measurements,
                                   const FinFetParams& initial_guess,
-                                  int max_evaluations) {
+                                  int max_evaluations,
+                                  const std::string& backend_identity) {
   util::Json inputs = util::Json::object();
   inputs["measurements"] = to_json(measurements);
   inputs["initial_guess"] = to_json(initial_guess);
   inputs["max_evaluations"] = util::Json{max_evaluations};
+  inputs["backend"] = util::Json{backend_identity};
   return inputs;
 }
 
@@ -96,7 +98,8 @@ util::Json calibrate_cache_inputs(const MeasurementSet& measurements,
 
 CalibrationResult calibrate(const MeasurementSet& measurements,
                             const FinFetParams& initial_guess,
-                            int max_evaluations) {
+                            int max_evaluations,
+                            const std::string& backend_identity) {
   if (measurements.points.empty()) {
     throw std::invalid_argument{"calibrate: empty measurement set"};
   }
@@ -106,7 +109,8 @@ CalibrationResult calibrate(const MeasurementSet& measurements,
   if (cache.enabled()) {
     cache_key = util::ArtifactCache::key(
         kCalibrateStage,
-        calibrate_cache_inputs(measurements, initial_guess, max_evaluations));
+        calibrate_cache_inputs(measurements, initial_guess, max_evaluations,
+                               backend_identity));
     if (auto hit = cache.load(kCalibrateStage, cache_key)) {
       try {
         return calibration_result_from_json(*hit);

@@ -20,6 +20,12 @@ struct CurveError {
   double mean_rel_error = 0.0;  ///< mean |I_model - I_meas| / I_meas (above floor)
 };
 
+/// The cache-key identity of the in-process simulation engine, mirrored
+/// here because `device` sits below `spice` in the layer graph and must
+/// not include it. A spice-layer test pins this to
+/// `spice::builtin_backend().identity()` so the two can never drift.
+inline constexpr const char* kBuiltinBackendIdentity = "builtin/1";
+
 /// Fit the cryogenic-aware FinFET model to a measurement set.
 ///
 /// This is the reproduction of the paper's §II-C: parameter extraction of
@@ -28,9 +34,16 @@ struct CurveError {
 /// sum of squared log10-current residuals (log scale so subthreshold and
 /// ON-current regions carry comparable weight), minimized with
 /// Nelder–Mead over {Vth300, n, Wt, mu0, theta, kvt, lambda, Ifloor}.
-CalibrationResult calibrate(const MeasurementSet& measurements,
-                            const FinFetParams& initial_guess,
-                            int max_evaluations = 6000);
+///
+/// `backend_identity` names the simulation engine whose physics the fit
+/// feeds (the objective evaluates the compact model in-process, but the
+/// extracted parameters are only trusted alongside the engine that will
+/// consume them); it participates in the calibration cache key so fits
+/// recorded under different engines or engine versions never alias.
+CalibrationResult calibrate(
+    const MeasurementSet& measurements, const FinFetParams& initial_guess,
+    int max_evaluations = 6000,
+    const std::string& backend_identity = kBuiltinBackendIdentity);
 
 /// Per-curve (T, Vds) error report for a given parameter set — the data
 /// behind the "lines vs dots" agreement of paper Fig. 1(b,c).

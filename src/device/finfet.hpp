@@ -92,6 +92,15 @@ public:
   /// Threshold voltage at this temperature [V].
   double vth() const { return vth_; }
 
+  /// n * v_eff(T): the thermal-plus-band-tail voltage scale [V].
+  double vte() const { return vte_; }
+
+  /// Specific current per fin at this temperature [A].
+  double specific_current() const { return is_; }
+
+  /// Mobility-degradation coefficient adjusted for cryo vsat gain [1/V].
+  double theta_t() const { return theta_t_; }
+
   /// Subthreshold slope at this temperature [V/decade].
   double subthreshold_slope() const;
 

@@ -1,0 +1,207 @@
+#include "device/preset.hpp"
+
+#include <sstream>
+
+#include "device/serialize.hpp"
+#include "util/error.hpp"
+
+namespace cryo::device {
+namespace {
+
+Preset make_finfet5() {
+  Preset p;
+  p.name = "finfet5";
+  p.description =
+      "paper platform: 5 nm-class FinFET calibrated 300 K -> 10 K";
+  p.technology = "finfet-5nm";
+  p.nfet = nominal_nfet_5nm();
+  p.pfet = nominal_pfet_5nm();
+  p.temp_min_k = 4.0;
+  p.temp_max_k = 400.0;
+  p.vdd_min = 0.3;
+  p.vdd_max = 1.0;
+  p.default_temp_k = 300.0;
+  p.default_vdd = 0.7;
+  p.corner_temps = {300.0, 10.0};
+  return p;
+}
+
+Preset make_soi4k() {
+  Preset p;
+  p.name = "soi4k";
+  p.description =
+      "deep-cryo SOI platform in the spirit of 4 K SOI CMOS "
+      "(arXiv:1001.3353): longer channel, higher Vth, wider band tail";
+  p.technology = "soi-40nm";
+
+  FinFetParams n = nominal_nfet_5nm();
+  n.name = "nfet_soi4k";
+  n.l_eff = 40e-9;
+  n.w_fin = 120e-9;
+  n.vth300 = 0.300;
+  n.ideality = 1.25;
+  n.band_tail_v = 8.0e-3;
+  n.kvt = 0.65e-3;
+  n.mu0 = 0.0120;
+  n.theta = 2.4;
+  n.cox = 0.030;
+  n.cov_per_fin = 7e-17;
+  n.cj_per_fin = 4e-17;
+  n.i_floor_per_fin = 8.0e-14;  // SOI: junction leakage collapses
+  p.nfet = n;
+
+  FinFetParams pf = nominal_pfet_5nm();
+  pf.name = "pfet_soi4k";
+  pf.l_eff = 40e-9;
+  pf.w_fin = 120e-9;
+  pf.vth300 = 0.320;
+  pf.ideality = 1.30;
+  pf.band_tail_v = 8.5e-3;
+  pf.kvt = 0.70e-3;
+  pf.mu0 = 0.0090;
+  pf.theta = 2.1;
+  pf.cox = 0.030;
+  pf.cov_per_fin = 7.5e-17;
+  pf.cj_per_fin = 4e-17;
+  pf.i_floor_per_fin = 6.0e-14;
+  p.pfet = pf;
+
+  p.temp_min_k = 2.0;
+  p.temp_max_k = 350.0;
+  p.vdd_min = 0.4;
+  p.vdd_max = 1.2;
+  p.default_temp_k = 4.0;
+  p.default_vdd = 0.8;
+  p.corner_temps = {300.0, 4.0};
+  return p;
+}
+
+Preset make_sky130_77k() {
+  Preset p;
+  p.name = "sky130_77k";
+  p.description =
+      "LN2-temperature 130 nm bulk platform in the spirit of 77 K "
+      "SkyWater BSIM4 modeling (arXiv:2604.21625)";
+  p.technology = "sky130";
+
+  FinFetParams n = nominal_nfet_5nm();
+  n.name = "nfet_sky130_77k";
+  n.l_eff = 150e-9;
+  n.w_fin = 420e-9;
+  n.vth300 = 0.420;
+  n.ideality = 1.35;
+  n.band_tail_v = 7.0e-3;
+  n.kvt = 0.70e-3;
+  n.mu0 = 0.0400;
+  n.theta = 1.2;
+  n.cox = 0.0086;
+  n.cov_per_fin = 2.0e-16;
+  n.cj_per_fin = 1.5e-16;
+  n.i_floor_per_fin = 1.0e-12;
+  p.nfet = n;
+
+  FinFetParams pf = nominal_pfet_5nm();
+  pf.name = "pfet_sky130_77k";
+  pf.l_eff = 150e-9;
+  pf.w_fin = 420e-9;
+  pf.vth300 = 0.450;
+  pf.ideality = 1.40;
+  pf.band_tail_v = 7.5e-3;
+  pf.kvt = 0.75e-3;
+  pf.mu0 = 0.0160;
+  pf.theta = 1.0;
+  pf.cox = 0.0086;
+  pf.cov_per_fin = 2.2e-16;
+  pf.cj_per_fin = 1.5e-16;
+  pf.i_floor_per_fin = 8.0e-13;
+  p.pfet = pf;
+
+  p.temp_min_k = 50.0;
+  p.temp_max_k = 400.0;
+  p.vdd_min = 1.2;
+  p.vdd_max = 2.0;
+  p.default_temp_k = 77.0;
+  p.default_vdd = 1.8;
+  p.corner_temps = {300.0, 77.0};
+  return p;
+}
+
+}  // namespace
+
+const std::vector<Preset>& preset_registry() {
+  static const std::vector<Preset> registry = {
+      make_finfet5(),
+      make_soi4k(),
+      make_sky130_77k(),
+  };
+  return registry;
+}
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const auto& preset : preset_registry()) {
+    names.push_back(preset.name);
+  }
+  return names;
+}
+
+const Preset* find_preset(const std::string& name) {
+  for (const auto& preset : preset_registry()) {
+    if (preset.name == name) {
+      return &preset;
+    }
+  }
+  return nullptr;
+}
+
+const Preset& default_preset() { return preset_registry().front(); }
+
+const Preset& resolve_preset(const std::string& name) {
+  if (name.empty()) {
+    return default_preset();
+  }
+  const Preset* preset = find_preset(name);
+  if (preset == nullptr) {
+    std::string known;
+    for (const auto& n : preset_names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw Error{ErrorKind::kRecipe,
+                "unknown device preset '" + name + "' (known: " + known + ")"};
+  }
+  return *preset;
+}
+
+void validate_corner(const Preset& preset, double temperature_k, double vdd) {
+  auto fmt = [](double value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  };
+  if (!(temperature_k >= preset.temp_min_k &&
+        temperature_k <= preset.temp_max_k)) {
+    throw Error{ErrorKind::kRecipe,
+                "temperature " + fmt(temperature_k) +
+                    " K is outside device preset '" + preset.name +
+                    "' valid range [" + fmt(preset.temp_min_k) + ", " +
+                    fmt(preset.temp_max_k) +
+                    "] K — refusing to extrapolate the compact model"};
+  }
+  if (!(vdd >= preset.vdd_min && vdd <= preset.vdd_max)) {
+    throw Error{ErrorKind::kRecipe,
+                "Vdd " + fmt(vdd) + " V is outside device preset '" +
+                    preset.name + "' valid range [" + fmt(preset.vdd_min) +
+                    ", " + fmt(preset.vdd_max) +
+                    "] V — refusing to extrapolate the compact model"};
+  }
+}
+
+util::Json preset_device_json(const Preset& preset) {
+  util::Json json = util::Json::object();
+  json["name"] = util::Json{preset.name};
+  json["nfet"] = to_json(preset.nfet);
+  json["pfet"] = to_json(preset.pfet);
+  return json;
+}
+
+}  // namespace cryo::device

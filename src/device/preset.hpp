@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/finfet.hpp"
+#include "util/json.hpp"
+
+namespace cryo::device {
+
+/// A named device/technology operating platform: the transistor flavour
+/// pair plus the corner envelope the compact model is trusted over.
+///
+/// The paper evaluates one technology (5 nm-class FinFET) at exactly
+/// 300 K and 10 K; the related work spans much wider — generic
+/// EDA-compatible cryo device platforms, 4 K SOI, 77 K SkyWater 130 nm.
+/// Presets make that space navigable: every flow entry point
+/// (characterization, the corner matrix, synth jobs) names a preset
+/// instead of hard-coding `nominal_*_5nm()`, and the declared
+/// temperature/Vdd ranges stop the model from being silently
+/// extrapolated outside the regime it was calibrated for.
+struct Preset {
+  std::string name;         ///< registry key ("finfet5", "soi4k", ...)
+  std::string description;  ///< one-line provenance
+  std::string technology;   ///< process label ("finfet-5nm", ...)
+
+  FinFetParams nfet;
+  FinFetParams pfet;
+
+  // Declared validity envelope of the compact model.
+  double temp_min_k = 4.0;
+  double temp_max_k = 400.0;
+  double vdd_min = 0.3;
+  double vdd_max = 1.0;
+
+  // Nominal operating point.
+  double default_temp_k = 300.0;
+  double default_vdd = 0.7;
+
+  /// The paper-style evaluation temperatures of this platform.
+  std::vector<double> corner_temps;
+};
+
+/// All registered presets, in stable registry order.
+const std::vector<Preset>& preset_registry();
+
+/// Registry names, in registry order.
+std::vector<std::string> preset_names();
+
+/// Look up a preset by name; nullptr when unknown.
+const Preset* find_preset(const std::string& name);
+
+/// The paper's platform ("finfet5"): exactly `nominal_nfet_5nm()` /
+/// `nominal_pfet_5nm()`, so default-preset flows reproduce the paper
+/// bit-for-bit.
+const Preset& default_preset();
+
+/// Resolve a preset name ("" = default). Throws cryo::Error{kRecipe}
+/// for an unknown name, listing the registry.
+const Preset& resolve_preset(const std::string& name);
+
+/// Check (temperature, Vdd) against the preset's declared envelope.
+/// Throws cryo::Error{kRecipe} with a usage-style diagnostic when the
+/// corner falls outside it — extrapolating the compact model silently
+/// is how wrong libraries get signed off.
+void validate_corner(const Preset& preset, double temperature_k, double vdd);
+
+/// The preset's device identity for artifact-cache keys: the full
+/// parameter sets (not just the name, which could be re-bound across
+/// versions to different parameters).
+util::Json preset_device_json(const Preset& preset);
+
+}  // namespace cryo::device

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 
+#include "cells/characterize.hpp"
+#include "device/preset.hpp"
 #include "opt/cost.hpp"
+#include "spice/backend.hpp"
 #include "util/error.hpp"
 
 namespace cryo::service {
@@ -64,6 +67,10 @@ JobRequest parse_request(const util::Json& json) {
       if (!(req.vdd > 0.0)) {
         reject("'vdd' must be a positive supply in volts");
       }
+    } else if (key == "preset") {
+      req.preset = expect_string(key, value);
+    } else if (key == "backend") {
+      req.backend = expect_string(key, value);
     } else if (key == "deadline_s") {
       req.deadline_s = expect_number(key, value);
       if (req.deadline_s < 0.0) {
@@ -97,13 +104,21 @@ JobRequest parse_request(const util::Json& json) {
     if (req.bench.empty() == req.aiger_path.empty()) {
       reject("a synth job needs exactly one of 'bench' or 'aiger_path'");
     }
+    // Same contract as the one-shot CLI: an unknown preset/engine or a
+    // corner outside the preset's declared model envelope is a usage
+    // error, rejected before the job costs any characterization.
+    const device::Preset& preset = device::resolve_preset(req.preset);
+    device::validate_corner(preset, req.temp, req.vdd);
+    spice::resolve_backend(req.backend);
     if (!req.plugin_name.empty() || !req.plugin_script.empty() ||
         !req.plugin_help.empty()) {
       reject("a synth job takes no name/script/help fields");
     }
   } else {
-    if (!req.bench.empty() || !req.aiger_path.empty() || !req.recipe.empty()) {
-      reject("'" + req.op + "' takes no bench/aiger_path/recipe fields");
+    if (!req.bench.empty() || !req.aiger_path.empty() || !req.recipe.empty() ||
+        !req.preset.empty() || !req.backend.empty()) {
+      reject("'" + req.op +
+             "' takes no bench/aiger_path/recipe/preset/backend fields");
     }
     if (req.op == "load_plugin") {
       if (req.plugin_name.empty() || req.plugin_script.empty()) {
@@ -119,19 +134,14 @@ JobRequest parse_request(const util::Json& json) {
 
 std::string default_lib_path(const std::string& dir, double temperature_k,
                              double vdd) {
-  std::string path = dir.empty() ? std::string{} : dir + "/";
-  path += "cryoeda_lib_" + std::to_string(static_cast<int>(temperature_k)) +
-          "K";
-  if (vdd != 0.7) {
-    char tag[32];
-    std::snprintf(tag, sizeof(tag), "_%gV", vdd);
-    path += tag;
-  }
-  return path + ".lib";
+  return cells::default_lib_path(dir, device::default_preset(), "builtin",
+                                 temperature_k, vdd);
 }
 
 util::Json job_report_json(const logic::Aig& design, double temperature_k,
-                           double vdd, const std::string& canonical_recipe,
+                           double vdd, const std::string& preset,
+                           const std::string& backend_identity,
+                           const std::string& canonical_recipe,
                            const core::ScenarioResult& result) {
   util::Json report = util::Json::object();
   report["schema"] = util::Json{kJobReportSchema};
@@ -143,6 +153,8 @@ util::Json job_report_json(const logic::Aig& design, double temperature_k,
   report["design"] = std::move(design_json);
   report["temp_k"] = util::Json{temperature_k};
   report["vdd"] = util::Json{vdd};
+  report["preset"] = util::Json{preset};
+  report["backend"] = util::Json{backend_identity};
   report["priority"] = util::Json{opt::short_name(result.priority)};
   report["recipe"] = util::Json{canonical_recipe};
   util::Json figures = util::Json::object();

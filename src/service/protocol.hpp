@@ -26,6 +26,10 @@ namespace cryo::service {
 ///    "priority": "pda",        // baseline | pad | pda (default pda)
 ///    "temp": 10,               // corner temperature [K]
 ///    "vdd": 0.7,               // corner supply [V]
+///    "preset": "finfet5",      // device preset (default finfet5); the
+///                              //   corner must sit inside its envelope
+///    "backend": "builtin",     // SPICE engine (default: the
+///                              //   CRYOEDA_SPICE_BACKEND env var)
 ///    "deadline_s": 5.0,        // per-job wall-clock budget (0 = none)
 ///    "seed": 29}               // flow seed
 ///
@@ -61,6 +65,8 @@ struct JobRequest {
   std::string recipe;  ///< empty = canonical recipe for `flow`
   double temp = 10.0;
   double vdd = 0.7;
+  std::string preset;   ///< device preset name; "" = the default
+  std::string backend;  ///< SPICE engine; "" = env / builtin
   double deadline_s = 0.0;
   core::FlowOptions flow;  ///< priority/seed applied from the request
   // load_plugin fields.
@@ -74,8 +80,10 @@ struct JobRequest {
 JobRequest parse_request(const util::Json& json);
 
 /// The liberty cache path the one-shot CLI and the daemon share for a
-/// corner: `<dir>/cryoeda_lib_<int(T)>K.lib`, with a `_<vdd>V` tag when
-/// the supply is not the 0.7 V default (keeps historical paths stable).
+/// corner of the *default* platform: `<dir>/cryoeda_lib_<int(T)>K.lib`,
+/// with a `_<vdd>V` tag when the supply is not the 0.7 V default (keeps
+/// historical paths stable). Non-default presets/engines resolve via
+/// `cells::default_lib_path`, which this delegates to.
 std::string default_lib_path(const std::string& dir, double temperature_k,
                              double vdd);
 
@@ -84,7 +92,9 @@ std::string default_lib_path(const std::string& dir, double temperature_k,
 /// and the scenario signoff figures. Contains no wall-clock data, so a
 /// daemon reply is byte-identical to the one-shot run of the same job.
 util::Json job_report_json(const logic::Aig& design, double temperature_k,
-                           double vdd, const std::string& canonical_recipe,
+                           double vdd, const std::string& preset,
+                           const std::string& backend_identity,
+                           const std::string& canonical_recipe,
                            const core::ScenarioResult& result);
 
 /// Reply constructors (key order is part of the wire format).

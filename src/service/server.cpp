@@ -16,7 +16,9 @@
 #include <utility>
 
 #include "core/experiment.hpp"
+#include "device/preset.hpp"
 #include "epfl/benchmarks.hpp"
+#include "spice/backend.hpp"
 #include "logic/aiger.hpp"
 #include "opt/cost.hpp"
 #include "util/error.hpp"
@@ -307,31 +309,36 @@ logic::Aig Server::resolve_design(const JobRequest& req) {
   return design;
 }
 
-Server::CornerPtr Server::build_corner(double temp, double vdd,
+Server::CornerPtr Server::build_corner(const JobRequest& req,
                                        util::Budget* budget) {
   const obs::ScopedSpan span{"service.corner"};
   obs::counter("service.corners_built").add();
-  const std::string lib_path =
-      default_lib_path(options_.lib_dir, temp, vdd);
+  const std::string lib_path = cells::default_lib_path(
+      options_.lib_dir, device::resolve_preset(req.preset),
+      spice::resolve_backend(req.backend).name(), req.temp, req.vdd);
   const auto dir = std::filesystem::path{lib_path}.parent_path();
   if (!dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
   }
   cells::CharOptions char_options = options_.char_options;
-  char_options.vdd = vdd;
+  char_options.vdd = req.vdd;
+  char_options.preset = device::resolve_preset(req.preset);
+  char_options.backend = req.backend;
   char_options.budget = budget;
   auto corner = std::make_shared<Corner>();
   corner->library =
-      cells::load_or_characterize(lib_path, options_.catalog, temp,
+      cells::load_or_characterize(lib_path, options_.catalog, req.temp,
                                   char_options);
   corner->matcher.emplace(corner->library);
   return corner;
 }
 
-Server::CornerPtr Server::corner(double temp, double vdd,
+Server::CornerPtr Server::corner(const JobRequest& req,
                                  util::Budget* budget, bool& warm) {
-  const std::string key = default_lib_path(options_.lib_dir, temp, vdd);
+  const std::string key = cells::default_lib_path(
+      options_.lib_dir, device::resolve_preset(req.preset),
+      spice::resolve_backend(req.backend).name(), req.temp, req.vdd);
   // Bounded retry: a waiter that inherited another job's failure (e.g.
   // that job's budget expired mid-characterization) re-enters and may
   // become the builder itself.
@@ -355,7 +362,7 @@ Server::CornerPtr Server::corner(double temp, double vdd,
     }
     if (builder) {
       try {
-        CornerPtr corner = build_corner(temp, vdd, budget);
+        CornerPtr corner = build_corner(req, budget);
         promise.set_value(corner);
         return corner;
       } catch (...) {
@@ -399,8 +406,7 @@ util::Json Server::run_job(const JobRequest& req) {
         core::Pipeline::parse(recipe, registry_).to_string();
     const logic::Aig design = resolve_design(req);
     bool corner_warm = false;
-    const CornerPtr corner_ptr =
-        corner(req.temp, req.vdd, &budget, corner_warm);
+    const CornerPtr corner_ptr = corner(req, &budget, corner_warm);
 
     core::ExperimentOptions experiment;
     experiment.flow = req.flow;
@@ -412,8 +418,11 @@ util::Json Server::run_job(const JobRequest& req) {
                            &budget, &registry_);
     const CacheSnapshot after = CacheSnapshot::take();
     return ok_reply(req.id,
-                    job_report_json(design, req.temp, req.vdd, canonical,
-                                    result),
+                    job_report_json(design, req.temp, req.vdd,
+                                    device::resolve_preset(req.preset).name,
+                                    spice::resolve_backend(req.backend)
+                                        .identity(),
+                                    canonical, result),
                     after.delta_since(before), corner_warm);
   } catch (const core::RecipeError& e) {
     obs::counter("service.job_errors").add();

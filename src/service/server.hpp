@@ -40,7 +40,8 @@ struct ServeOptions {
 /// The resident synthesis daemon behind `cryoeda serve`.
 ///
 /// One server owns the long-lived expensive state every job shares:
-///  * a characterized-corner map — (temp, vdd) -> liberty library +
+///  * a characterized-corner map — (preset, engine, temp, vdd) ->
+///    liberty library +
 ///    `map::CellMatcher`, built at most once per corner (concurrent
 ///    requesters wait on a shared future; a corner whose
 ///    characterization *failed* — e.g. the requesting job's budget
@@ -105,11 +106,13 @@ private:
   util::Json load_plugin(const JobRequest& req);
 
   logic::Aig resolve_design(const JobRequest& req);
-  /// Get or build the (temp, vdd) corner. `budget` bounds a cold
-  /// build (characterization aborts with kBudget when it expires);
-  /// `warm` reports whether the corner was already resident.
-  CornerPtr corner(double temp, double vdd, util::Budget* budget, bool& warm);
-  CornerPtr build_corner(double temp, double vdd, util::Budget* budget);
+  /// Get or build the job's (preset, engine, temp, vdd) corner — keyed
+  /// by the canonical library path, so two presets at the same
+  /// temperature never share a matcher. `budget` bounds a cold build
+  /// (characterization aborts with kBudget when it expires); `warm`
+  /// reports whether the corner was already resident.
+  CornerPtr corner(const JobRequest& req, util::Budget* budget, bool& warm);
+  CornerPtr build_corner(const JobRequest& req, util::Budget* budget);
 
   ServeOptions options_;
   core::PassRegistry registry_;

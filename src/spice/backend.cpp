@@ -1,0 +1,76 @@
+#include "spice/backend.hpp"
+
+#include <array>
+#include <cstdlib>
+
+#include "spice/builtin_backend.hpp"
+#include "spice/ngspice_backend.hpp"
+#include "util/error.hpp"
+
+namespace cryo::spice {
+
+double DcResult::source_current(NodeId node) const {
+  const auto it = source_currents.find(node);
+  if (it == source_currents.end()) {
+    throw std::out_of_range{"DcResult: node is not a source"};
+  }
+  return it->second;
+}
+
+namespace {
+
+std::array<const Backend*, 2> registry() {
+  static const BuiltinBackend builtin;
+  static const NgspiceBackend ngspice;
+  return {&builtin, &ngspice};
+}
+
+}  // namespace
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  for (const Backend* backend : registry()) {
+    names.push_back(backend->name());
+  }
+  return names;
+}
+
+const Backend* find_backend(const std::string& name) {
+  for (const Backend* backend : registry()) {
+    if (backend->name() == name) {
+      return backend;
+    }
+  }
+  return nullptr;
+}
+
+const Backend& builtin_backend() { return *registry()[0]; }
+
+const Backend& resolve_backend(const std::string& name) {
+  std::string want = name;
+  if (want.empty()) {
+    if (const char* env = std::getenv(kBackendEnv); env != nullptr) {
+      want = env;
+    }
+  }
+  if (want.empty()) {
+    want = "builtin";
+  }
+  const Backend* backend = find_backend(want);
+  if (backend == nullptr) {
+    std::string known;
+    for (const auto& n : backend_names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw Error{ErrorKind::kRecipe,
+                "unknown SPICE backend '" + want + "' (known: " + known + ")"};
+  }
+  if (!backend->available()) {
+    throw Error{ErrorKind::kRecipe, "SPICE backend '" + want +
+                                        "' is unavailable: " +
+                                        backend->unavailable_reason()};
+  }
+  return *backend;
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/simulator.hpp"
+
+namespace cryo::spice {
+
+/// DC operating-point result of a backend run: the full node-voltage
+/// vector (index = NodeId) plus, for every driven node, the current the
+/// source delivers into the circuit at that operating point [A].
+struct DcResult {
+  std::vector<double> voltages;
+  std::unordered_map<NodeId, double> source_currents;
+
+  double source_current(NodeId node) const;
+};
+
+/// Abstract SPICE engine: a netlist (plus temperature) in, traces and
+/// measurements out.
+///
+/// Everything above this seam — cell characterization, device
+/// calibration, the corner matrix — talks to a `Backend`, never to a
+/// concrete simulator. Implementations are stateless between calls
+/// (temperature is a per-call argument, not bound state), so one
+/// registered instance serves every thread concurrently.
+///
+/// `identity()` ("<name>/<version>") participates in every
+/// characterization / calibration artifact-cache key: results computed
+/// by different engines (or different versions of the same engine) must
+/// never alias in the cache.
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  /// Stable registry name ("builtin", "ngspice").
+  virtual std::string name() const = 0;
+
+  /// Engine version for cache keying. The builtin backend versions its
+  /// numerics explicitly; external backends report the detected binary
+  /// version.
+  virtual std::string version() const = 0;
+
+  /// Whether the engine can run on this machine right now. The builtin
+  /// backend is always available; external backends probe at first use.
+  virtual bool available() const = 0;
+
+  /// Human-readable reason when `available()` is false ("" otherwise).
+  virtual std::string unavailable_reason() const { return ""; }
+
+  /// DC operating point at t = 0 with per-source delivered currents.
+  virtual DcResult dc(const Circuit& circuit, double temperature_k) const = 0;
+
+  /// Transient run from the DC operating point at t = 0.
+  virtual TransientResult transient(const Circuit& circuit,
+                                    double temperature_k,
+                                    const TransientOptions& options,
+                                    const std::vector<NodeId>& probes)
+      const = 0;
+
+  /// "<name>/<version>" — the cache-key token of this engine.
+  std::string identity() const { return name() + "/" + version(); }
+};
+
+/// Environment variable consulted by `resolve_backend("")`.
+inline constexpr const char* kBackendEnv = "CRYOEDA_SPICE_BACKEND";
+
+/// Registered backend names, in registry order ({"builtin", "ngspice"}).
+std::vector<std::string> backend_names();
+
+/// Look up a backend by name; nullptr when unknown. The returned
+/// instance may be unavailable — callers that intend to simulate should
+/// use `resolve_backend`.
+const Backend* find_backend(const std::string& name);
+
+/// The always-available builtin engine.
+const Backend& builtin_backend();
+
+/// Resolve the backend to simulate with: an explicit non-empty `name`
+/// wins, else $CRYOEDA_SPICE_BACKEND, else "builtin". Throws
+/// cryo::Error{kRecipe} for an unknown name and for a backend that is
+/// not available on this machine (with its reason).
+const Backend& resolve_backend(const std::string& name = "");
+
+}  // namespace cryo::spice

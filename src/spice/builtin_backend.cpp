@@ -1,0 +1,24 @@
+#include "spice/builtin_backend.hpp"
+
+namespace cryo::spice {
+
+DcResult BuiltinBackend::dc(const Circuit& circuit,
+                            double temperature_k) const {
+  Simulator sim{circuit, temperature_k};
+  DcResult result;
+  result.voltages = sim.dc();
+  for (const auto& src : circuit.sources()) {
+    result.source_currents[src.node] =
+        sim.source_current(result.voltages, src.node);
+  }
+  return result;
+}
+
+TransientResult BuiltinBackend::transient(
+    const Circuit& circuit, double temperature_k,
+    const TransientOptions& options, const std::vector<NodeId>& probes) const {
+  Simulator sim{circuit, temperature_k};
+  return sim.transient(options, probes);
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "spice/backend.hpp"
+
+namespace cryo::spice {
+
+/// The in-process Newton–Raphson / trapezoidal engine (`Simulator`)
+/// behind the `Backend` seam. Always available, and bit-identical to
+/// driving `Simulator` directly: each call constructs a `Simulator`
+/// (a pure function of circuit + temperature) and delegates.
+///
+/// `version()` names the numerics, not the build: bump it whenever a
+/// change alters simulation results, so stale characterization /
+/// calibration cache entries can never be replayed against new math.
+class BuiltinBackend : public Backend {
+public:
+  std::string name() const override { return "builtin"; }
+  std::string version() const override { return "1"; }
+  bool available() const override { return true; }
+
+  DcResult dc(const Circuit& circuit, double temperature_k) const override;
+  TransientResult transient(const Circuit& circuit, double temperature_k,
+                            const TransientOptions& options,
+                            const std::vector<NodeId>& probes) const override;
+};
+
+}  // namespace cryo::spice

@@ -1,0 +1,509 @@
+#include "spice/ngspice_backend.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "device/finfet.hpp"
+#include "util/error.hpp"
+#include "util/obs.hpp"
+
+namespace cryo::spice {
+
+namespace obs = util::obs;
+
+const std::vector<double>& NgspiceRaw::column(
+    const std::string& variable) const {
+  for (std::size_t i = 0; i < variables.size(); ++i) {
+    if (variables[i] == variable) {
+      return columns[i];
+    }
+  }
+  throw std::out_of_range{"NgspiceRaw: no variable " + variable};
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string node_ref(const Circuit& circuit, NodeId node) {
+  (void)circuit;
+  if (node == kGround) {
+    return "0";
+  }
+  std::string name{"n"};
+  name += std::to_string(node);
+  return name;
+}
+
+/// ngspice's probe of the ngspice binary: done once per process, shared
+/// by every NgspiceBackend call (availability, version, failure reason).
+struct BinaryProbe {
+  bool ok = false;
+  std::string version = "unknown";
+  std::string reason = "ngspice not found on PATH";
+};
+
+const BinaryProbe& probe_binary() {
+  static const BinaryProbe probe = [] {
+    BinaryProbe result;
+    FILE* pipe = ::popen("ngspice --version 2>/dev/null", "r");
+    if (pipe == nullptr) {
+      return result;
+    }
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+      out += buf;
+    }
+    const int status = ::pclose(pipe);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || out.empty()) {
+      return result;
+    }
+    result.ok = true;
+    result.reason.clear();
+    // "ngspice-42 : Circuit level simulation program" -> "42".
+    if (const auto pos = out.find("ngspice-"); pos != std::string::npos) {
+      std::string v;
+      for (std::size_t i = pos + 8; i < out.size(); ++i) {
+        const char c = out[i];
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+          v += c;
+        } else {
+          break;
+        }
+      }
+      if (!v.empty()) {
+        result.version = v;
+      }
+    }
+    return result;
+  }();
+  return probe;
+}
+
+/// Emit one FinFET as a behavioral current source calling the chn/chp
+/// .func with its per-temperature model constants baked in.
+void emit_fet(std::ostream& out, const Circuit& circuit,
+              const FetInstance& fet, const device::FinFetModel& model,
+              std::size_t index) {
+  const double nfins = static_cast<double>(fet.nfins);
+  const char* func = fet.params.polarity == device::Polarity::kN ? "chn"
+                                                                 : "chp";
+  out << "bfet" << index << ' ' << node_ref(circuit, fet.drain) << ' '
+      << node_ref(circuit, fet.source) << " i={" << func << "(v("
+      << node_ref(circuit, fet.gate) << "),v("
+      << node_ref(circuit, fet.drain) << "),v("
+      << node_ref(circuit, fet.source) << ")," << fmt(model.vth()) << ','
+      << fmt(1.0 / (2.0 * model.vte())) << ','
+      << fmt(fet.params.ideality) << ','
+      << fmt(model.specific_current() * nfins) << ','
+      << fmt(model.theta_t() * 2.0 * model.vte()) << ','
+      << fmt(fet.params.lambda) << ','
+      << fmt(fet.params.i_floor_per_fin * nfins) << ")}\n";
+}
+
+/// Robust node/branch column lookup: rawfile variable spellings differ
+/// across ngspice versions ("v(n4)" vs "n4", "vsrc3#branch" vs
+/// "i(vsrc3)"). Returns nullptr when absent.
+const std::vector<double>* find_column(
+    const NgspiceRaw& raw, const std::vector<std::string>& candidates) {
+  for (const auto& want : candidates) {
+    for (std::size_t i = 0; i < raw.variables.size(); ++i) {
+      if (lower(raw.variables[i]) == want) {
+        return &raw.columns[i];
+      }
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<double>* node_column(const NgspiceRaw& raw, NodeId node) {
+  std::string n{"n"};
+  n += std::to_string(node);
+  return find_column(raw, {"v(" + n + ")", n});
+}
+
+const std::vector<double>* branch_column(const NgspiceRaw& raw, NodeId node) {
+  std::string src{"vsrc"};
+  src += std::to_string(node);
+  return find_column(raw, {src + "#branch", "i(" + src + ")"});
+}
+
+/// Linear interpolation of a raw column onto time `t` (clamped).
+double interp(const std::vector<double>& times,
+              const std::vector<double>& values, double t) {
+  if (times.empty()) {
+    return 0.0;
+  }
+  if (t <= times.front()) {
+    return values.front();
+  }
+  if (t >= times.back()) {
+    return values.back();
+  }
+  const auto it = std::lower_bound(times.begin(), times.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times[hi] - times[lo];
+  if (span <= 0.0) {
+    return values[hi];
+  }
+  const double frac = (t - times[lo]) / span;
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+/// Run an ngspice deck (piped via the shell, SNIPPETS popen idiom) and
+/// return the parsed rawfile. `make_deck` receives the rawfile path the
+/// deck's .control block must write to. Throws cryo::Error{kNumeric}
+/// when ngspice exits non-zero, with the log tail for diagnosis.
+template <typename MakeDeck>
+NgspiceRaw run_deck(const MakeDeck& make_deck) {
+  static std::atomic<unsigned> counter{0};
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string stem =
+      "cryoeda_ng_" + std::to_string(::getpid()) + "_" +
+      std::to_string(counter.fetch_add(1));
+  const std::string deck_path = (dir / (stem + ".cir")).string();
+  const std::string raw_path = (dir / (stem + ".raw")).string();
+  const std::string log_path = (dir / (stem + ".log")).string();
+
+  {
+    std::ofstream out{deck_path};
+    out << make_deck(raw_path);
+    if (!out) {
+      throw Error{ErrorKind::kIo, "ngspice: cannot write deck " + deck_path};
+    }
+  }
+
+  auto cleanup = [&] {
+    std::remove(deck_path.c_str());
+    std::remove(raw_path.c_str());
+    std::remove(log_path.c_str());
+  };
+
+  obs::counter("spice.ngspice_runs").add();
+  const std::string cmd = "ngspice -n < '" + deck_path + "' > '" + log_path +
+                          "' 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    cleanup();
+    throw Error{ErrorKind::kIo, "ngspice: popen failed"};
+  }
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+  }
+  const int status = ::pclose(pipe);
+  const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+  std::string raw_text;
+  if (ok) {
+    std::ifstream in{raw_path};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw_text = ss.str();
+  }
+  if (!ok || raw_text.empty()) {
+    std::string log;
+    {
+      std::ifstream in{log_path};
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      log = ss.str();
+    }
+    if (log.size() > 600) {
+      log = "..." + log.substr(log.size() - 600);
+    }
+    cleanup();
+    throw Error{ErrorKind::kNumeric,
+                ok ? "ngspice produced no rawfile; log: " + log
+                   : "ngspice exited non-zero; log: " + log};
+  }
+  cleanup();
+  return parse_ngspice_raw(raw_text);
+}
+
+}  // namespace
+
+NgspiceRaw parse_ngspice_raw(const std::string& text) {
+  NgspiceRaw raw;
+  std::istringstream in{text};
+  std::string line;
+  long n_vars = -1;
+  long n_points = -1;
+  bool saw_values = false;
+
+  auto fail = [](const std::string& why) -> void {
+    throw Error{ErrorKind::kIo, "ngspice rawfile: " + why};
+  };
+
+  while (std::getline(in, line)) {
+    if (line.rfind("No. Variables:", 0) == 0) {
+      n_vars = std::strtol(line.c_str() + 14, nullptr, 10);
+    } else if (line.rfind("No. Points:", 0) == 0) {
+      n_points = std::strtol(line.c_str() + 11, nullptr, 10);
+    } else if (line.rfind("Flags:", 0) == 0) {
+      if (line.find("complex") != std::string::npos) {
+        fail("complex plots are not supported");
+      }
+    } else if (line.rfind("Variables:", 0) == 0) {
+      if (n_vars <= 0) {
+        fail("Variables: before No. Variables:");
+      }
+      for (long i = 0; i < n_vars; ++i) {
+        if (!std::getline(in, line)) {
+          fail("truncated Variables section");
+        }
+        // "\t0\ttime\ttime" -> index, name, type.
+        std::istringstream fields{line};
+        long index = -1;
+        std::string name;
+        std::string type;
+        fields >> index >> name >> type;
+        if (index != i || name.empty()) {
+          fail("malformed variable line: " + line);
+        }
+        raw.variables.push_back(name);
+      }
+    } else if (line.rfind("Values:", 0) == 0) {
+      if (n_vars <= 0 || n_points < 0 ||
+          raw.variables.size() != static_cast<std::size_t>(n_vars)) {
+        fail("Values: before a complete header");
+      }
+      saw_values = true;
+      raw.columns.assign(static_cast<std::size_t>(n_vars), {});
+      for (auto& col : raw.columns) {
+        col.reserve(static_cast<std::size_t>(n_points));
+      }
+      for (long p = 0; p < n_points; ++p) {
+        long index = -1;
+        if (!(in >> index) || index != p) {
+          fail("bad point index at point " + std::to_string(p));
+        }
+        for (long v = 0; v < n_vars; ++v) {
+          double value = 0.0;
+          if (!(in >> value)) {
+            fail("truncated Values section at point " + std::to_string(p));
+          }
+          raw.columns[static_cast<std::size_t>(v)].push_back(value);
+        }
+      }
+    }
+  }
+  if (!saw_values) {
+    fail("missing Values section");
+  }
+  return raw;
+}
+
+std::string ngspice_deck(const Circuit& circuit, double temperature_k,
+                         const TransientOptions& options,
+                         NgspiceAnalysis analysis,
+                         const std::string& rawfile_path) {
+  std::ostringstream out;
+  out << "* cryoeda deck, T = " << fmt(temperature_k) << " K\n";
+  // Shared numerically-safe softplus and the cryogenic EKV channel
+  // current (n / p flavours): sgn() orients the symmetric channel so
+  // pass-gates conduct in both directions, exactly like the builtin
+  // engine's drain/source swap.
+  out << ".func sp(x) {max(x,0)+ln(1+exp(-abs(x)))}\n";
+  out << ".func chn(vg,vd,vs,vth,kk,nn,iss,th2,lam,ifl)"
+         " {sgn(vd-vs)*(iss*(pow(sp((vg-min(vd,vs)-vth)*kk),2)"
+         "-pow(sp((vg-min(vd,vs)-vth-nn*(max(vd,vs)-min(vd,vs)))*kk),2))"
+         "/(1+th2*sp((vg-min(vd,vs)-vth)*kk))"
+         "*(1+lam*(max(vd,vs)-min(vd,vs)))"
+         "+ifl*tanh((max(vd,vs)-min(vd,vs))/0.05))}\n";
+  out << ".func chp(vg,vd,vs,vth,kk,nn,iss,th2,lam,ifl)"
+         " {sgn(vd-vs)*(iss*(pow(sp((max(vd,vs)-vg-vth)*kk),2)"
+         "-pow(sp((max(vd,vs)-vg-vth-nn*(max(vd,vs)-min(vd,vs)))*kk),2))"
+         "/(1+th2*sp((max(vd,vs)-vg-vth)*kk))"
+         "*(1+lam*(max(vd,vs)-min(vd,vs)))"
+         "+ifl*tanh((max(vd,vs)-min(vd,vs))/0.05))}\n";
+
+  const double h = options.t_stop / static_cast<double>(options.steps);
+  for (const auto& src : circuit.sources()) {
+    out << "vsrc" << src.node << ' ' << node_ref(circuit, src.node) << " 0 ";
+    if (analysis == NgspiceAnalysis::kOperatingPoint) {
+      out << "dc " << fmt(src.waveform.at(0.0)) << '\n';
+    } else {
+      // Sample the PWL on the builtin engine's uniform grid: that is
+      // exactly the stimulus the builtin solver sees.
+      out << "PWL(";
+      for (int k = 0; k <= options.steps; ++k) {
+        const double t = h * static_cast<double>(k);
+        if (k > 0) {
+          out << "\n+ ";
+        }
+        out << fmt(t) << ' ' << fmt(src.waveform.at(t));
+      }
+      out << ")\n";
+    }
+  }
+
+  for (std::size_t i = 0; i < circuit.fets().size(); ++i) {
+    const auto& fet = circuit.fets()[i];
+    device::FinFetModel model{fet.params, temperature_k};
+    emit_fet(out, circuit, fet, model, i);
+  }
+  for (std::size_t i = 0; i < circuit.caps().size(); ++i) {
+    const auto& cap = circuit.caps()[i];
+    out << "c" << i << ' ' << node_ref(circuit, cap.a) << ' '
+        << node_ref(circuit, cap.b) << ' ' << fmt(cap.farads) << '\n';
+  }
+  for (std::size_t i = 0; i < circuit.resistors().size(); ++i) {
+    const auto& res = circuit.resistors()[i];
+    out << "r" << i << ' ' << node_ref(circuit, res.a) << ' '
+        << node_ref(circuit, res.b) << ' ' << fmt(res.ohms) << '\n';
+  }
+
+  out << ".options gmin=" << fmt(options.gmin)
+      << " abstol=" << fmt(options.abstol) << '\n';
+  out << ".control\n";
+  out << "set filetype=ascii\n";
+  if (analysis == NgspiceAnalysis::kOperatingPoint) {
+    out << "op\n";
+  } else {
+    out << "tran " << fmt(h) << ' ' << fmt(options.t_stop) << '\n';
+  }
+  out << "write " << rawfile_path << " all\n";
+  out << "quit\n";
+  out << ".endc\n";
+  out << ".end\n";
+  return out.str();
+}
+
+std::string NgspiceBackend::version() const { return probe_binary().version; }
+
+bool NgspiceBackend::available() const { return probe_binary().ok; }
+
+std::string NgspiceBackend::unavailable_reason() const {
+  return probe_binary().reason;
+}
+
+DcResult NgspiceBackend::dc(const Circuit& circuit,
+                            double temperature_k) const {
+  if (!available()) {
+    throw Error{ErrorKind::kRecipe,
+                "SPICE backend 'ngspice' is unavailable: " +
+                    unavailable_reason()};
+  }
+  const TransientOptions options;  // solver knobs only
+  const NgspiceRaw raw = run_deck([&](const std::string& raw_path) {
+    return ngspice_deck(circuit, temperature_k, options,
+                        NgspiceAnalysis::kOperatingPoint, raw_path);
+  });
+  if (raw.points() < 1) {
+    throw Error{ErrorKind::kNumeric, "ngspice: empty operating-point plot"};
+  }
+
+  DcResult result;
+  result.voltages.assign(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  for (NodeId n = 1; n < circuit.num_nodes(); ++n) {
+    if (const auto* col = node_column(raw, n)) {
+      result.voltages[static_cast<std::size_t>(n)] = col->front();
+    }
+  }
+  for (const auto& src : circuit.sources()) {
+    const auto* col = branch_column(raw, src.node);
+    if (col == nullptr) {
+      throw Error{ErrorKind::kNumeric,
+                  "ngspice: no branch current for source node " +
+                      std::to_string(src.node)};
+    }
+    // SPICE measures branch current + -> - through the source; the
+    // current the source delivers into the circuit is its negation.
+    result.source_currents[src.node] = -col->front();
+  }
+  return result;
+}
+
+TransientResult NgspiceBackend::transient(
+    const Circuit& circuit, double temperature_k,
+    const TransientOptions& options, const std::vector<NodeId>& probes) const {
+  if (!available()) {
+    throw Error{ErrorKind::kRecipe,
+                "SPICE backend 'ngspice' is unavailable: " +
+                    unavailable_reason()};
+  }
+  if (options.steps < 2 || options.t_stop <= 0.0) {
+    throw std::invalid_argument{"NgspiceBackend::transient: bad options"};
+  }
+  const NgspiceRaw raw = run_deck([&](const std::string& raw_path) {
+    return ngspice_deck(circuit, temperature_k, options,
+                        NgspiceAnalysis::kTransient, raw_path);
+  });
+  const auto* time_col = find_column(raw, {"time"});
+  if (time_col == nullptr || time_col->empty()) {
+    throw Error{ErrorKind::kNumeric, "ngspice: transient plot has no time"};
+  }
+  const std::vector<double>& rt = *time_col;
+
+  // Resample onto the builtin engine's uniform grid so downstream
+  // measurement code sees one trace format regardless of engine.
+  const double h = options.t_stop / static_cast<double>(options.steps);
+  TransientResult result;
+  result.times.reserve(static_cast<std::size_t>(options.steps) + 1);
+  for (int k = 0; k <= options.steps; ++k) {
+    result.times.push_back(h * static_cast<double>(k));
+  }
+
+  for (NodeId p : probes) {
+    Trace trace{p, {}};
+    trace.values.reserve(result.times.size());
+    const auto* col = p == kGround ? nullptr : node_column(raw, p);
+    for (double t : result.times) {
+      trace.values.push_back(col == nullptr ? 0.0 : interp(rt, *col, t));
+    }
+    result.traces.push_back(std::move(trace));
+  }
+
+  for (const auto& src : circuit.sources()) {
+    const auto* col = branch_column(raw, src.node);
+    if (col == nullptr) {
+      throw Error{ErrorKind::kNumeric,
+                  "ngspice: no branch current for source node " +
+                      std::to_string(src.node)};
+    }
+    const auto* vcol = node_column(raw, src.node);
+    double charge = 0.0;
+    double energy = 0.0;
+    double prev_i = 0.0;
+    double prev_p = 0.0;
+    for (std::size_t k = 0; k < result.times.size(); ++k) {
+      const double t = result.times[k];
+      const double i = -interp(rt, *col, t);
+      const double v = vcol != nullptr ? interp(rt, *vcol, t)
+                                       : src.waveform.at(t);
+      const double p = i * v;
+      if (k > 0) {
+        charge += 0.5 * (prev_i + i) * h;
+        energy += 0.5 * (prev_p + p) * h;
+      }
+      prev_i = i;
+      prev_p = p;
+    }
+    result.source_charge[src.node] = charge;
+    result.source_energy[src.node] = energy;
+  }
+  return result;
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/backend.hpp"
+
+namespace cryo::spice {
+
+/// The analysis a generated ngspice deck performs.
+enum class NgspiceAnalysis { kOperatingPoint, kTransient };
+
+/// A parsed ngspice ASCII rawfile: one named column per variable, all
+/// columns the same length (`points`). Column 0 of a transient plot is
+/// "time".
+struct NgspiceRaw {
+  std::vector<std::string> variables;
+  std::vector<std::vector<double>> columns;  ///< columns[var][point]
+
+  std::size_t points() const {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+  /// Column by variable name; throws std::out_of_range when absent.
+  const std::vector<double>& column(const std::string& variable) const;
+};
+
+/// Parse the ASCII rawfile format `write` emits under
+/// `set filetype=ascii` (Variables: / Values: sections, real flags).
+/// Throws cryo::Error{kIo} on malformed input. Exposed as a free
+/// function so the parser is unit-testable without an ngspice binary.
+NgspiceRaw parse_ngspice_raw(const std::string& text);
+
+/// Render `circuit` as an ngspice deck at `temperature_k`: nodes become
+/// `n<id>`, sources PWL voltage sources sampled on the transient grid,
+/// and every FinFET a behavioral (B) current source evaluating the
+/// cryogenic EKV compact model with its per-temperature constants baked
+/// in at deck time — ngspice supplies the solver, cryoeda supplies the
+/// device physics. The `.control` block runs the analysis and writes an
+/// ASCII rawfile to `rawfile_path`. Exposed for deck-golden tests.
+std::string ngspice_deck(const Circuit& circuit, double temperature_k,
+                         const TransientOptions& options,
+                         NgspiceAnalysis analysis,
+                         const std::string& rawfile_path);
+
+/// External-engine backend: shells out to an `ngspice` binary on PATH
+/// (popen, batch mode), then parses the ASCII rawfile back into the
+/// common result types, interpolated onto the builtin engine's uniform
+/// time grid. Availability (and the reported version) is probed once
+/// per process via `ngspice --version`; when the binary is missing the
+/// backend reports unavailable instead of failing, and tier-1 never
+/// requires it.
+class NgspiceBackend : public Backend {
+public:
+  std::string name() const override { return "ngspice"; }
+  std::string version() const override;
+  bool available() const override;
+  std::string unavailable_reason() const override;
+
+  DcResult dc(const Circuit& circuit, double temperature_k) const override;
+  TransientResult transient(const Circuit& circuit, double temperature_k,
+                            const TransientOptions& options,
+                            const std::vector<NodeId>& probes) const override;
+};
+
+}  // namespace cryo::spice

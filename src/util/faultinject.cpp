@@ -86,8 +86,8 @@ void ensure_env_loaded() {
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "cache.corrupt",     "cache.read",    "cache.write",
-      "cells.characterize", "core.scenario", "liberty.parse",
-      "sat.solve",          "spice.solve",
+      "cells.characterize", "core.matrix",  "core.scenario",
+      "liberty.parse",      "sat.solve",    "spice.solve",
   };
   return sites;
 }

@@ -36,6 +36,7 @@ namespace cryo::util::faultinject {
 ///   cache.corrupt       ArtifactCache::load — flip a byte of a
 ///                       successfully read entry (exercises quarantine)
 ///   cells.characterize  per-cell characterization worker (kInternal)
+///   core.matrix         per-corner matrix worker (kInternal)
 ///   core.scenario       per-scenario fleet worker (kInternal)
 ///   liberty.parse       parse_liberty entry (kIo)
 ///   sat.solve           Solver::solve returns kUnknown

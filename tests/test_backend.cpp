@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cells/catalog.hpp"
+#include "cells/characterize.hpp"
+#include "device/calibration.hpp"
+#include "device/finfet.hpp"
+#include "liberty/library.hpp"
+#include "spice/backend.hpp"
+#include "spice/measure.hpp"
+#include "spice/ngspice_backend.hpp"
+#include "spice/pwl.hpp"
+#include "spice/simulator.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/error.hpp"
+
+#ifndef CRYO_TEST_DATA_DIR
+#define CRYO_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using namespace cryo::spice;
+using cryo::Error;
+using cryo::ErrorKind;
+using cryo::device::nominal_nfet_5nm;
+using cryo::device::nominal_pfet_5nm;
+
+/// The fig. 3-style test vehicle: a loaded inverter at Vdd = 0.7 V with
+/// a rising input ramp — exercises both device polarities, the source
+/// stamp, and the capacitor integrator of any engine.
+Circuit loaded_inverter() {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.add_fet(nominal_nfet_5nm(), in, out, kGround, 2);
+  ckt.add_fet(nominal_pfet_5nm(), in, out, vdd, 3);
+  ckt.add_cap(out, kGround, 1e-15);
+  ckt.set_source(vdd, Pwl::constant(0.7));
+  ckt.set_source(in, Pwl::ramp(0.0, 0.7, 20e-12, 10e-12));
+  return ckt;
+}
+
+// ---------------------------------------------------------------------
+// registry / resolution
+// ---------------------------------------------------------------------
+
+TEST(BackendRegistry, NamesAndLookup) {
+  const auto names = backend_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "builtin");
+  EXPECT_EQ(names[1], "ngspice");
+  for (const auto& name : names) {
+    const Backend* backend = find_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+  }
+  EXPECT_EQ(find_backend("spectre"), nullptr);
+}
+
+TEST(BackendRegistry, BuiltinIsAlwaysAvailable) {
+  const Backend& builtin = builtin_backend();
+  EXPECT_TRUE(builtin.available());
+  EXPECT_EQ(builtin.unavailable_reason(), "");
+  EXPECT_EQ(builtin.identity(), "builtin/1");
+}
+
+/// The device layer sits below spice and mirrors the builtin identity
+/// as a constant for its cache keys; the two must never drift.
+TEST(BackendRegistry, DeviceLayerMirrorsBuiltinIdentity) {
+  EXPECT_EQ(cryo::device::kBuiltinBackendIdentity,
+            builtin_backend().identity());
+}
+
+TEST(BackendResolve, ExplicitNameBeatsEnvironment) {
+  ::setenv(kBackendEnv, "no-such-engine", 1);
+  EXPECT_EQ(resolve_backend("builtin").name(), "builtin");
+  ::unsetenv(kBackendEnv);
+}
+
+TEST(BackendResolve, EnvironmentThenBuiltinDefault) {
+  ::unsetenv(kBackendEnv);
+  EXPECT_EQ(resolve_backend("").name(), "builtin");
+  ::setenv(kBackendEnv, "builtin", 1);
+  EXPECT_EQ(resolve_backend("").name(), "builtin");
+  ::unsetenv(kBackendEnv);
+}
+
+TEST(BackendResolve, UnknownNameIsARecipeError) {
+  try {
+    resolve_backend("spectre");
+    FAIL() << "expected cryo::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRecipe);
+    EXPECT_NE(std::string{e.what()}.find("spectre"), std::string::npos);
+  }
+  ::setenv(kBackendEnv, "spectre", 1);
+  EXPECT_THROW(resolve_backend(""), Error);
+  ::unsetenv(kBackendEnv);
+}
+
+TEST(BackendResolve, UnavailableBackendNamesItsReason) {
+  const Backend* ngspice = find_backend("ngspice");
+  ASSERT_NE(ngspice, nullptr);
+  if (ngspice->available()) {
+    GTEST_SKIP() << "ngspice installed; unavailability path not testable";
+  }
+  try {
+    resolve_backend("ngspice");
+    FAIL() << "expected cryo::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRecipe);
+    EXPECT_NE(std::string{e.what()}.find("not found"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// builtin backend: bit identity with the direct Simulator path
+// ---------------------------------------------------------------------
+
+TEST(BuiltinBackend, TransientIsBitIdenticalToSimulator) {
+  const Circuit ckt = loaded_inverter();
+  TransientOptions options;
+  options.t_stop = 200e-12;
+  options.steps = 400;
+  const std::vector<NodeId> probes{ckt.node("in"), ckt.node("out")};
+
+  Simulator sim{ckt, 300.0};
+  const TransientResult direct = sim.transient(options, probes);
+  const TransientResult via =
+      builtin_backend().transient(ckt, 300.0, options, probes);
+
+  ASSERT_EQ(via.times.size(), direct.times.size());
+  for (std::size_t i = 0; i < direct.times.size(); ++i) {
+    EXPECT_EQ(via.times[i], direct.times[i]);
+  }
+  ASSERT_EQ(via.traces.size(), direct.traces.size());
+  for (std::size_t t = 0; t < direct.traces.size(); ++t) {
+    ASSERT_EQ(via.traces[t].values.size(), direct.traces[t].values.size());
+    for (std::size_t i = 0; i < direct.traces[t].values.size(); ++i) {
+      EXPECT_EQ(via.traces[t].values[i], direct.traces[t].values[i]);
+    }
+  }
+  EXPECT_EQ(via.source_energy, direct.source_energy);
+  EXPECT_EQ(via.source_charge, direct.source_charge);
+}
+
+TEST(BuiltinBackend, DcMatchesSimulatorWithPerSourceCurrents) {
+  Circuit ckt = loaded_inverter();
+  ckt.set_source(ckt.node("in"), Pwl::constant(0.0));
+  Simulator sim{ckt, 300.0};
+  const auto voltages = sim.dc();
+  const DcResult op = builtin_backend().dc(ckt, 300.0);
+  ASSERT_EQ(op.voltages.size(), voltages.size());
+  for (std::size_t i = 0; i < voltages.size(); ++i) {
+    EXPECT_EQ(op.voltages[i], voltages[i]);
+  }
+  EXPECT_EQ(op.source_current(ckt.node("vdd")),
+            sim.source_current(voltages, ckt.node("vdd")));
+  EXPECT_EQ(op.source_current(ckt.node("in")),
+            sim.source_current(voltages, ckt.node("in")));
+}
+
+// ---------------------------------------------------------------------
+// conformance: every registered backend agrees on the physics
+// ---------------------------------------------------------------------
+
+class BackendConformance : public ::testing::TestWithParam<std::string> {
+protected:
+  const Backend& backend() {
+    const Backend* b = find_backend(GetParam());
+    EXPECT_NE(b, nullptr);
+    return *b;
+  }
+};
+
+TEST_P(BackendConformance, InverterDcRails) {
+  const Backend& b = backend();
+  if (!b.available()) {
+    GTEST_SKIP() << "skipped: " << b.unavailable_reason();
+  }
+  Circuit ckt = loaded_inverter();
+  ckt.set_source(ckt.node("in"), Pwl::constant(0.0));
+  const DcResult low = b.dc(ckt, 300.0);
+  EXPECT_NEAR(low.voltages[ckt.node("out")], 0.7, 5e-3);
+  ckt.set_source(ckt.node("in"), Pwl::constant(0.7));
+  const DcResult high = b.dc(ckt, 300.0);
+  EXPECT_NEAR(high.voltages[ckt.node("out")], 0.0, 5e-3);
+  // The supply delivers (leakage-scale) current out of the rail.
+  EXPECT_GE(high.source_current(ckt.node("vdd")), 0.0);
+}
+
+TEST_P(BackendConformance, InverterTransientSwingsAndDissipates) {
+  const Backend& b = backend();
+  if (!b.available()) {
+    GTEST_SKIP() << "skipped: " << b.unavailable_reason();
+  }
+  const Circuit ckt = loaded_inverter();
+  TransientOptions options;
+  options.t_stop = 200e-12;
+  options.steps = 400;
+  const TransientResult res =
+      b.transient(ckt, 300.0, options, {ckt.node("in"), ckt.node("out")});
+  ASSERT_EQ(res.times.size(), static_cast<std::size_t>(options.steps) + 1);
+  const auto& out = res.trace(ckt.node("out")).values;
+  EXPECT_NEAR(out.front(), 0.7, 0.02);  // starts at the DC point
+  EXPECT_NEAR(out.back(), 0.0, 0.02);   // fully discharged
+  const auto t_in =
+      crossing_time(res.times, res.trace(ckt.node("in")).values, 0.35, true);
+  const auto t_out = crossing_time(res.times, out, 0.35, false);
+  ASSERT_TRUE(t_in.has_value());
+  ASSERT_TRUE(t_out.has_value());
+  EXPECT_GT(*t_out - *t_in, 0.0);
+  EXPECT_LT(*t_out - *t_in, 50e-12);
+  // The rail must deliver positive switching energy.
+  EXPECT_GT(res.source_energy.at(ckt.node("vdd")), 0.0);
+}
+
+/// Cross-engine agreement: every *available* backend must reproduce the
+/// builtin's delay figure to compact-model accuracy (the deck embeds the
+/// same EKV physics, so the engines differ only in solver details).
+TEST_P(BackendConformance, DelayAgreesWithBuiltin) {
+  const Backend& b = backend();
+  if (!b.available()) {
+    GTEST_SKIP() << "skipped: " << b.unavailable_reason();
+  }
+  const Circuit ckt = loaded_inverter();
+  TransientOptions options;
+  options.t_stop = 200e-12;
+  options.steps = 400;
+  const std::vector<NodeId> probes{ckt.node("in"), ckt.node("out")};
+  auto delay_of = [&](const TransientResult& res) {
+    const auto t_in =
+        crossing_time(res.times, res.trace(ckt.node("in")).values, 0.35,
+                      true);
+    const auto t_out =
+        crossing_time(res.times, res.trace(ckt.node("out")).values, 0.35,
+                      false);
+    EXPECT_TRUE(t_in.has_value());
+    EXPECT_TRUE(t_out.has_value());
+    return *t_out - *t_in;
+  };
+  const double reference =
+      delay_of(builtin_backend().transient(ckt, 300.0, options, probes));
+  const double measured = delay_of(b.transient(ckt, 300.0, options, probes));
+  EXPECT_NEAR(measured, reference, 0.15 * reference + 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BackendConformance,
+                         ::testing::ValuesIn(backend_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// ngspice deck generation + rawfile parsing (no binary required)
+// ---------------------------------------------------------------------
+
+TEST(NgspiceDeck, EmitsModelSourcesAndControlBlock) {
+  const Circuit ckt = loaded_inverter();
+  TransientOptions options;
+  options.t_stop = 200e-12;
+  options.steps = 400;
+  const std::string deck = ngspice_deck(ckt, 300.0, options,
+                                        NgspiceAnalysis::kTransient,
+                                        "/tmp/x.raw");
+  // The compact model rides in .func definitions; each FET is a
+  // behavioral current source; sources are PWL; the control block
+  // writes an ASCII rawfile.
+  for (const char* needle :
+       {".func sp(", ".func chn(", ".func chp(", "bfet", "PWL(",
+        "set filetype=ascii", "write /tmp/x.raw all", ".options gmin="}) {
+    EXPECT_NE(deck.find(needle), std::string::npos) << needle;
+  }
+  const std::string op_deck = ngspice_deck(
+      ckt, 300.0, options, NgspiceAnalysis::kOperatingPoint, "/tmp/x.raw");
+  EXPECT_NE(op_deck.find("\nop\n"), std::string::npos);
+  EXPECT_EQ(op_deck.find("PWL("), std::string::npos);
+}
+
+TEST(NgspiceDeck, ConstantsTrackTemperature) {
+  const Circuit ckt = loaded_inverter();
+  const std::string warm = ngspice_deck(ckt, 300.0, {},
+                                        NgspiceAnalysis::kOperatingPoint,
+                                        "x.raw");
+  const std::string cold = ngspice_deck(ckt, 10.0, {},
+                                        NgspiceAnalysis::kOperatingPoint,
+                                        "x.raw");
+  // Same topology, different per-temperature model constants.
+  EXPECT_NE(warm, cold);
+}
+
+TEST(NgspiceRawParse, RoundTripsAsciiPlot) {
+  const std::string raw =
+      "Title: cryoeda\n"
+      "Date: today\n"
+      "Plotname: Transient Analysis\n"
+      "Flags: real\n"
+      "No. Variables: 3\n"
+      "No. Points: 2\n"
+      "Variables:\n"
+      "\t0\ttime\ttime\n"
+      "\t1\tv(n1)\tvoltage\n"
+      "\t2\tvsrc1#branch\tcurrent\n"
+      "Values:\n"
+      " 0\t0.0\n"
+      "\t7.0e-01\n"
+      "\t-1.0e-05\n"
+      " 1\t1.0e-12\n"
+      "\t6.5e-01\n"
+      "\t-2.0e-05\n";
+  const NgspiceRaw parsed = parse_ngspice_raw(raw);
+  ASSERT_EQ(parsed.variables.size(), 3u);
+  ASSERT_EQ(parsed.points(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.column("time")[1], 1.0e-12);
+  EXPECT_DOUBLE_EQ(parsed.column("v(n1)")[0], 0.70);
+  EXPECT_DOUBLE_EQ(parsed.column("vsrc1#branch")[1], -2.0e-5);
+  EXPECT_THROW(parsed.column("v(nope)"), std::out_of_range);
+}
+
+TEST(NgspiceRawParse, RejectsComplexAndTruncatedPlots) {
+  EXPECT_THROW(parse_ngspice_raw("Flags: complex\nNo. Variables: 1\n"),
+               Error);
+  try {
+    parse_ngspice_raw("No. Variables: 2\nNo. Points: 3\nVariables:\n"
+                      "\t0\ttime\ttime\n\t1\tv(n1)\tvoltage\nValues:\n"
+                      " 0\t0.0\n\t0.7\n");
+    FAIL() << "expected cryo::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+// ---------------------------------------------------------------------
+// frozen golden: the refactored stack reproduces the pre-seam bytes
+// ---------------------------------------------------------------------
+
+/// Characterize the three golden cells through the backend seam and
+/// compare bytes against the library frozen from the pre-refactor
+/// monolithic Simulator path. This is the contract that extracting
+/// `spice::Backend` changed no numerics anywhere in characterization.
+class GoldenCharacterization : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoldenCharacterization, BuiltinReproducesPreRefactorBytes) {
+  const double temperature_k = GetParam();
+  const fs::path golden =
+      fs::path{CRYO_TEST_DATA_DIR} /
+      ("golden_char_" + std::to_string(static_cast<int>(temperature_k)) +
+       "K.lib");
+  ASSERT_TRUE(fs::exists(golden)) << golden;
+
+  // Cold private artifact cache: the run must *compute*, not replay.
+  const fs::path root = fs::temp_directory_path() /
+                        ("cryoeda_test_golden_" +
+                         std::to_string(::getpid()) + "_" +
+                         std::to_string(static_cast<int>(temperature_k)));
+  fs::remove_all(root);
+  cryo::util::ArtifactCache::Config config;
+  config.root = root;
+  cryo::util::ArtifactCache::global().configure(std::move(config));
+
+  std::vector<cryo::cells::CellSpec> catalog;
+  for (const auto& spec : cryo::cells::standard_catalog()) {
+    if (spec.name == "INV_X1" || spec.name == "NAND2_X1" ||
+        spec.name == "DFF_X1") {
+      catalog.push_back(spec);
+    }
+  }
+  ASSERT_EQ(catalog.size(), 3u);
+  cryo::cells::CharOptions options;
+  options.threads = 1;
+  const cryo::liberty::Library lib =
+      cryo::cells::characterize(catalog, temperature_k, options);
+
+  const fs::path out = root / "regen.lib";
+  cryo::liberty::write_liberty(lib, out.string());
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in{p, std::ios::binary};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  EXPECT_EQ(slurp(out), slurp(golden))
+      << "characterization through the Backend seam diverged from the "
+         "pre-refactor golden at "
+      << temperature_k << " K";
+
+  cryo::util::ArtifactCache::global().configure(
+      cryo::util::ArtifactCache::env_config());
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, GoldenCharacterization,
+                         ::testing::Values(300.0, 10.0));
+
+}  // namespace

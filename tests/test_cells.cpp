@@ -225,6 +225,35 @@ TEST(Characterize, CacheRoundTrip) {
   std::filesystem::remove(path);
 }
 
+/// Satellite guarantee of the preset/backend refactor: a cached library
+/// characterized for one device preset must never be returned for a
+/// request naming a different preset at the same (temperature, Vdd) —
+/// the canonical library name embeds the platform, and
+/// load_or_characterize re-characterizes on mismatch.
+TEST(Characterize, CacheRejectsADifferentPresetAtTheSameCorner) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "cryo_cache_preset_alias_test.lib")
+                        .string();
+  std::filesystem::remove(path);
+  CharOptions options;
+  options.vdd = 0.8;
+  options.slews = {4e-12, 16e-12};
+  options.loads = {2e-16, 2e-15};
+  options.include_sequential = false;
+  const auto catalog = mini_catalog();
+  const auto finfet = load_or_characterize(path, catalog, 300.0, options);
+  EXPECT_EQ(finfet.name, "cryoeda_300K");
+
+  CharOptions soi_options = options;
+  soi_options.preset = cryo::device::resolve_preset("soi4k");
+  const auto soi = load_or_characterize(path, catalog, 300.0, soi_options);
+  EXPECT_EQ(soi.name, "cryoeda_soi4k_builtin_1_300K");
+  // Different physics, not a replay of the cached finfet5 file.
+  EXPECT_NE(cryo::liberty::fingerprint(soi),
+            cryo::liberty::fingerprint(finfet));
+  std::filesystem::remove(path);
+}
+
 TEST(Characterize, SequentialCellsGetClockArcs) {
   CharOptions options;
   options.slews = {8e-12};
